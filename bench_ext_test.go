@@ -1,0 +1,104 @@
+package histapprox
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/quantile"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+	"repro/internal/wavelet"
+)
+
+// --------------------------------------------------- extension benchmarks
+
+// BenchmarkStreamMaintainerAdd measures amortized per-update cost including
+// compactions.
+func BenchmarkStreamMaintainerAdd(b *testing.B) {
+	m, err := stream.NewMaintainer(1<<16, 10, 0, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	points := make([]int, 1<<14)
+	for i := range points {
+		points[i] = 1 + r.Intn(1<<16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Add(points[i&(1<<14-1)], 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamMerge measures combining two O(k) summaries.
+func BenchmarkStreamMerge(b *testing.B) {
+	q := datasets.Dow()
+	half := len(q) / 2
+	left := append(append([]float64{}, q[:half]...), make([]float64, len(q)-half)...)
+	right := append(make([]float64, half), q[half:]...)
+	hl, err := core.ConstructHistogram(sparse.FromDense(left), 25, core.PaperOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hr, err := core.ConstructHistogram(sparse.FromDense(right), 25, core.PaperOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stream.Merge(hl.Histogram, hr.Histogram, 25, core.PaperOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWaveletSynopsis measures the B-term Haar synopsis build on the
+// dow data set at the Table 1 storage budget.
+func BenchmarkWaveletSynopsis(b *testing.B) {
+	q := datasets.Dow()
+	for i := 0; i < b.N; i++ {
+		if _, err := wavelet.NewSynopsis(q, 2*datasets.DowK); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuantileQuery measures quantile queries against a compacted
+// summary.
+func BenchmarkQuantileQuery(b *testing.B) {
+	q := datasets.Dow()
+	res, err := core.ConstructHistogram(sparse.FromDense(q), datasets.DowK, core.PaperOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := quantile.New(res.Histogram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := float64(i%999+1) / 1000
+		if _, err := c.Quantile(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistogramAt measures point evaluation on a compacted summary.
+func BenchmarkHistogramAt(b *testing.B) {
+	q := datasets.Dow()
+	res, err := core.ConstructHistogram(sparse.FromDense(q), datasets.DowK, core.PaperOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := res.Histogram
+	n := h.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.At(i%n + 1)
+	}
+}

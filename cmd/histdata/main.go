@@ -1,0 +1,78 @@
+// Command histdata regenerates the paper's Figure 1 data sets and writes
+// them as TSV (index, value) to stdout or per-series files.
+//
+// Usage:
+//
+//	histdata               # all three series to stdout, blank-line separated
+//	histdata -series dow   # one series
+//	histdata -dir out/     # write out/hist.tsv, out/poly.tsv, out/dow.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/datasets"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("histdata: ")
+	series := flag.String("series", "", "emit a single series: hist, poly, or dow")
+	dir := flag.String("dir", "", "write one TSV file per series into this directory")
+	flag.Parse()
+
+	all := bench.Figure1Series()
+	names := make([]string, 0, len(all))
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if *series != "" {
+		q, ok := all[*series]
+		if !ok {
+			log.Fatalf("unknown series %q (want hist, poly, or dow)", *series)
+		}
+		writeSeries(os.Stdout, *series, q)
+		return
+	}
+
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range names {
+			f, err := os.Create(filepath.Join(*dir, name+".tsv"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			writeSeries(f, name, all[name])
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	for _, name := range names {
+		writeSeries(os.Stdout, name, all[name])
+		fmt.Println()
+	}
+}
+
+func writeSeries(f *os.File, name string, q []float64) {
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	s := datasets.Describe(q)
+	fmt.Fprintf(w, "# %s: n=%d min=%.3f max=%.3f mean=%.3f\n", name, s.N, s.Min, s.Max, s.Mean)
+	for i, v := range q {
+		fmt.Fprintf(w, "%d\t%.6f\n", i+1, v)
+	}
+}

@@ -1,0 +1,117 @@
+// Command histfit fits a histogram (or piecewise polynomial) to a numeric
+// series read from a file or stdin (one value per line; blank lines and
+// #-comments ignored) and prints the pieces.
+//
+// Usage:
+//
+//	histfit -k 10 data.txt            # merging, 2k+1 pieces (paper params)
+//	histfit -k 10 -algo exact data.txt
+//	histfit -k 10 -algo fast -delta 1 -gamma 1 data.txt
+//	histfit -k 5 -degree 2 data.txt   # piecewise quadratic
+//	cat data.txt | histfit -k 10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	histapprox "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("histfit: ")
+	k := flag.Int("k", 10, "target number of histogram pieces")
+	algo := flag.String("algo", "merging", "algorithm: merging, fast, exact, dual, gks")
+	degree := flag.Int("degree", 0, "piecewise polynomial degree (0 = plain histogram)")
+	delta := flag.Float64("delta", 1000, "merging δ parameter")
+	gamma := flag.Float64("gamma", 1, "merging γ parameter")
+	gksDelta := flag.Float64("gks-delta", 0.1, "GKS approximation parameter")
+	flag.Parse()
+
+	data, err := readValues(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(data) == 0 {
+		log.Fatal("no input values")
+	}
+	opts := histapprox.Options{Delta: *delta, Gamma: *gamma}
+
+	if *degree > 0 {
+		f, l2, err := histapprox.FitPolynomial(data, *k, *degree, &opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("piecewise degree-%d polynomial: %d pieces, l2 error %.6g\n",
+			*degree, f.NumPieces(), l2)
+		for _, pc := range f.Pieces() {
+			fmt.Printf("  [%6d, %6d]  endpoints %.6g .. %.6g\n",
+				pc.Lo, pc.Hi, pc.Fit.Eval(pc.Lo), pc.Fit.Eval(pc.Hi))
+		}
+		return
+	}
+
+	var (
+		h  *histapprox.Histogram
+		l2 float64
+	)
+	switch *algo {
+	case "merging":
+		h, l2, err = histapprox.Fit(data, *k, &opts)
+	case "fast":
+		h, l2, err = histapprox.FitFast(data, *k, &opts)
+	case "exact":
+		h, l2, err = histapprox.FitExact(data, *k)
+	case "dual":
+		h, l2, err = histapprox.FitDual(data, *k)
+	case "gks":
+		h, l2, err = histapprox.FitGKS(data, *k, *gksDelta)
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d pieces, l2 error %.6g (n=%d)\n", *algo, h.NumPieces(), l2, len(data))
+	for _, pc := range h.Pieces() {
+		fmt.Printf("  [%6d, %6d]  %.6g\n", pc.Lo, pc.Hi, pc.Value)
+	}
+}
+
+func readValues(path string) ([]float64, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var out []float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		// Accept "value" or "index<TAB>value" (histdata output).
+		fields := strings.Fields(s)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}

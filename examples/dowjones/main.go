@@ -1,0 +1,82 @@
+// Dow Jones summarization: compress a 16384-point market-index series into
+// histogram synopses of increasing size, reading the whole size-vs-accuracy
+// Pareto curve from ONE multiscale construction (Theorem 2.2 of the paper).
+//
+// Run with:
+//
+//	go run ./examples/dowjones
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	histapprox "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	series := datasets.Dow() // simulated DJIA closes, n = 16384 (see DESIGN.md)
+	stats := datasets.Describe(series)
+	fmt.Printf("input: %d daily closes, range [%.1f, %.1f]\n\n", stats.N, stats.Min, stats.Max)
+
+	// One O(n) pass builds every scale at once.
+	start := time.Now()
+	hier, err := histapprox.FitMultiscale(series)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multiscale construction: %v (%d levels)\n\n",
+		time.Since(start).Round(time.Microsecond), hier.NumLevels())
+
+	fmt.Println("  k   pieces   l2 error    bytes vs raw")
+	for _, k := range []int{1, 2, 5, 10, 25, 50, 100, 250} {
+		res, err := hier.ForK(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pieces := res.Histogram.NumPieces()
+		// A piece stores (end index, value): 16 bytes.
+		compression := float64(stats.N*8) / float64(pieces*16)
+		fmt.Printf("%4d   %6d   %8.1f    %6.0f×\n", k, pieces, res.Error, compression)
+	}
+
+	// Render the 50-piece summary as a terminal sparkline against the raw
+	// series' scale.
+	res, err := hier.ForK(25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d-piece summary (each char ≈ %d days):\n", res.Histogram.NumPieces(), stats.N/100)
+	fmt.Println(sparkline(res.Histogram.ToDense(), 100, stats.Min, stats.Max))
+	fmt.Println("raw series at the same resolution:")
+	fmt.Println(sparkline(series, 100, stats.Min, stats.Max))
+}
+
+// sparkline downsamples q to width buckets and renders block characters.
+func sparkline(q []float64, width int, min, max float64) string {
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for w := 0; w < width; w++ {
+		lo := w * len(q) / width
+		hi := (w + 1) * len(q) / width
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += q[i]
+		}
+		mean := sum / float64(hi-lo)
+		idx := int((mean - min) / (max - min + 1e-12) * float64(len(blocks)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+// Distribution learning: draw i.i.d. samples from an unknown distribution
+// and recover it with the paper's two-stage learner (Theorem 2.1), showing
+// the O(1/ε²) sample complexity in action — the error floor is opt_k and the
+// sampling error shrinks like 1/√m regardless of the universe size.
+//
+// Run with:
+//
+//	go run ./examples/learning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	histapprox "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The "unknown" distribution: an 8-piece histogram over a universe of
+	// 100k points — far too large to estimate pointwise, tiny to learn as a
+	// histogram.
+	const n = 100_000
+	weights := make([]float64, n)
+	levels := []float64{1, 7, 3, 12, 5, 9, 2, 6}
+	for i := range weights {
+		weights[i] = levels[i*len(levels)/n]
+	}
+	p, err := histapprox.DistributionFromWeights(weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How many samples does ε = 0.001 take? (Independent of n = 100k!)
+	m, err := histapprox.SampleSize(0.001, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("universe size n = %d;   SampleSize(ε=0.001, δ=0.05) = %d\n\n", n, m)
+
+	fmt.Println("    m     pieces   ‖h−p‖₂     support(p̂)")
+	for _, m := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		samples := histapprox.Draw(p, m, uint64(m))
+		h, rep, err := histapprox.Learn(n, samples, len(levels), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// True error against the hidden distribution.
+		var sq float64
+		for i, pm := range p.P {
+			d := pm - h.At(i+1)
+			sq += d * d
+		}
+		fmt.Printf("%8d   %6d   %.6f   %8d\n", m, rep.Pieces, math.Sqrt(sq), rep.Support)
+	}
+
+	fmt.Println("\nThe error falls like 1/√m toward opt_k = 0 (p is exactly an")
+	fmt.Println("8-histogram), and the learner never materializes the 100k-point")
+	fmt.Println("universe — its work is linear in the sample count alone.")
+}

@@ -1,0 +1,56 @@
+// Multiscale learning: Theorem 2.2 end to end. One pass over one sample of
+// an unknown distribution yields hypotheses for EVERY k simultaneously,
+// each with a certified error estimate — so "how many pieces do I actually
+// need?" is answered without re-running anything.
+//
+// Run with:
+//
+//	go run ./examples/multiscale
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	histapprox "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The unknown distribution: the paper's dow' learning target.
+	p := datasets.DowPrime()
+	n := p.N()
+
+	m := 50_000
+	samples := histapprox.Draw(p, m, 2015)
+	hier, rep, err := histapprox.LearnMultiscale(n, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drew %d samples from a hidden distribution over [1, %d] (support seen: %d)\n",
+		m, n, rep.Support)
+	fmt.Printf("one hierarchical construction: %d levels\n\n", hier.NumLevels())
+
+	fmt.Println("   k   pieces   estimate ê     true ‖h−p‖₂   |ê − true|")
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
+		res, err := hier.ForK(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sq float64
+		for i, pm := range p.P {
+			d := pm - res.Histogram.At(i+1)
+			sq += d * d
+		}
+		trueErr := math.Sqrt(sq)
+		fmt.Printf("%4d   %6d   %.6f      %.6f      %.6f\n",
+			k, res.Histogram.NumPieces(), res.Error, trueErr, math.Abs(res.Error-trueErr))
+	}
+
+	fmt.Println("\nThe estimate column ê is computed from the sample alone, yet tracks")
+	fmt.Println("the true error within the ±ε sampling band (Theorem 2.2) — pick the")
+	fmt.Println("smallest k where ê stops improving and pay for no more pieces.")
+}

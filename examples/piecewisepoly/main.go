@@ -1,0 +1,97 @@
+// Piecewise polynomials: the paper's Section 4 generalization. On smooth
+// data, a piecewise degree-d fit is a far more succinct synopsis than a
+// histogram with the same storage budget — this example quantifies the
+// trade-off on a smooth multi-regime signal.
+//
+// Run with:
+//
+//	go run ./examples/piecewisepoly
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	histapprox "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A smooth signal with three regimes: rising parabola, damped
+	// oscillation, and a linear ramp. Noise keeps every fit honest.
+	const n = 6000
+	data := make([]float64, n)
+	state := uint64(7)
+	gauss := func() float64 {
+		next := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state>>11) / (1 << 53)
+		}
+		return math.Sqrt(-2*math.Log(next()+1e-18)) * math.Cos(2*math.Pi*next())
+	}
+	for i := range data {
+		x := float64(i) / n
+		var v float64
+		switch {
+		case x < 0.4:
+			t := x / 0.4
+			v = 40 * t * t
+		case x < 0.7:
+			t := (x - 0.4) / 0.3
+			v = 40 - 25*t + 8*math.Sin(6*math.Pi*t)*math.Exp(-2*t)
+		default:
+			t := (x - 0.7) / 0.3
+			v = 15 + 20*t
+		}
+		data[i] = v + 0.3*gauss()
+	}
+
+	// Storage budget: a histogram piece stores 2 numbers; a degree-d piece
+	// stores d+2. Compare fits at (approximately) equal storage.
+	fmt.Println("degree   pieces  numbers stored   l2 error")
+	type row struct {
+		label   string
+		numbers int
+		err     float64
+	}
+	budgetNumbers := 72
+	var rows []row
+
+	// Plain histogram: budget/2 pieces → k chosen so 2k+1 ≈ budget/2.
+	kHist := (budgetNumbers/2 - 1) / 2
+	paper := histapprox.PaperOptions()
+	h, hErr, err := histapprox.Fit(data, kHist, &paper)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{"0 (histogram)", h.NumPieces() * 2, hErr})
+	fmt.Printf("%-12s %5d   %8d       %10.3f\n", "0 (hist)", h.NumPieces(), h.NumPieces()*2, hErr)
+
+	for _, d := range []int{1, 2, 3} {
+		// Pieces so that pieces·(d+2) ≈ budget; merging outputs 2k+1 pieces.
+		targetPieces := budgetNumbers / (d + 2)
+		k := (targetPieces - 1) / 2
+		if k < 1 {
+			k = 1
+		}
+		f, fErr, err := histapprox.FitPolynomial(data, k, d, &paper)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stored := f.NumPieces() * (d + 2)
+		rows = append(rows, row{fmt.Sprintf("%d", d), stored, fErr})
+		fmt.Printf("%-12d %5d   %8d       %10.3f\n", d, f.NumPieces(), stored, fErr)
+	}
+
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.err < best.err {
+			best = r
+		}
+	}
+	fmt.Printf("\nat ≈%d stored numbers, the best synopsis is degree %s (l2 %.3f vs histogram %.3f)\n",
+		budgetNumbers, best.label, best.err, rows[0].err)
+	fmt.Println("— exactly the Section 4 argument: smooth data rewards higher degree.")
+}

@@ -1,0 +1,67 @@
+// Quickstart: fit a near-optimal histogram to a noisy step signal and
+// compare it against the exact (but much slower) dynamic program.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	histapprox "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A noisy 6-piece step signal over [1, 5000].
+	n := 5000
+	levels := []float64{2, 9, 4, 12, 6, 1}
+	data := make([]float64, n)
+	rngState := uint64(1)
+	gauss := func() float64 {
+		// Tiny inline LCG+Box-Muller so the example is self-contained.
+		next := func() float64 {
+			rngState = rngState*6364136223846793005 + 1442695040888963407
+			return float64(rngState>>11) / (1 << 53)
+		}
+		u, v := next(), next()
+		return math.Sqrt(-2*math.Log(u+1e-18)) * math.Cos(2*math.Pi*v)
+	}
+	for i := range data {
+		data[i] = levels[i*len(levels)/n] + 0.5*gauss()
+	}
+
+	// Near-optimal fit in O(n): with the paper's parameters the histogram
+	// has 2k+1 pieces and error within a small constant of optimal.
+	k := 6
+	opts := histapprox.PaperOptions()
+	start := time.Now()
+	h, l2, err := histapprox.Fit(data, k, &opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitTime := time.Since(start)
+
+	fmt.Printf("merging:  %2d pieces, l2 error %8.3f, %v\n", h.NumPieces(), l2, fitTime)
+
+	// The exact O(n²k) DP for comparison.
+	start = time.Now()
+	_, optErr, err := histapprox.FitExact(data, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactTime := time.Since(start)
+	fmt.Printf("exact DP: %2d pieces, l2 error %8.3f, %v\n", k, optErr, exactTime)
+	fmt.Printf("approximation ratio %.4f, speedup %.0f×\n\n",
+		l2/optErr, float64(exactTime)/float64(fitTime))
+
+	fmt.Println("fitted pieces:")
+	for _, pc := range h.Pieces() {
+		fmt.Printf("  [%4d, %4d]  %7.3f\n", pc.Lo, pc.Hi, pc.Value)
+	}
+}

@@ -1,0 +1,126 @@
+// Streaming maintenance: keep an O(k)-piece histogram of a live update
+// stream (inserts and deletes) with constant amortized cost per update, and
+// merge per-shard summaries the way a parallel aggregation tree would —
+// the maintenance setting of [GMP97, GGI+02] that motivates fast histogram
+// construction.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	histapprox "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const n = 10000 // value domain
+	const k = 8
+
+	// --- Part 1: a single maintained summary under a drifting workload. ---
+	sh, err := histapprox.NewStreamingHistogram(n, k, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := make([]float64, n)
+	state := uint64(2015)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+
+	const updates = 2_000_000
+	start := time.Now()
+	for u := 0; u < updates; u++ {
+		// The hot band drifts across the domain over the stream's life.
+		center := 1000 + int(8000*float64(u)/updates)
+		point := center + int(600*(next()-0.5))
+		if point < 1 {
+			point = 1
+		}
+		if point > n {
+			point = n
+		}
+		w := 1.0
+		if next() < 0.1 {
+			w = -1 // occasional deletions
+		}
+		truth[point-1] += w
+		if err := sh.Add(point, w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	h, err := sh.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, directErr, err := histapprox.Fit(truth, k, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d updates in %v (%.0f ns/update, %d compactions)\n",
+		updates, elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/updates, sh.Compactions())
+	fmt.Printf("summary:   %d pieces, l2 error vs true frequencies %8.1f\n",
+		h.NumPieces(), h.L2DistToDense(truth))
+	fmt.Printf("direct fit: %d pieces, l2 error %8.1f  (batch over the final vector)\n\n",
+		direct.NumPieces(), directErr)
+
+	// --- Part 2: mergeable summaries across shards. ---
+	shards := 4
+	perShard := make([]*histapprox.Histogram, shards)
+	shardTruth := make([]float64, n)
+	for s := 0; s < shards; s++ {
+		m, err := histapprox.NewStreamingHistogram(n, k, 0, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for u := 0; u < 100_000; u++ {
+			point := 1 + int(float64(n)*math.Pow(next(), 2.5)) // skewed
+			if point > n {
+				point = n
+			}
+			shardTruth[point-1]++
+			if err := m.Add(point, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		perShard[s], err = m.Summary()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	combined := perShard[0]
+	for s := 1; s < shards; s++ {
+		combined, err = histapprox.MergeHistograms(combined, perShard[s], k, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("merged %d shard summaries: %d pieces, l2 error vs union %8.1f\n",
+		shards, combined.NumPieces(), combined.L2DistToDense(shardTruth))
+
+	// Quantiles straight from the merged summary.
+	cdf, err := histapprox.NewCDF(combined)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("quantiles from the merged summary: ")
+	for _, p := range []float64{0.25, 0.5, 0.9, 0.99} {
+		x, err := cdf.Quantile(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("p%.0f=%d  ", p*100, x)
+	}
+	fmt.Println()
+}

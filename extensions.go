@@ -1,0 +1,73 @@
+package histapprox
+
+import (
+	"repro/internal/core"
+	"repro/internal/quantile"
+	"repro/internal/stream"
+	"repro/internal/wavelet"
+)
+
+// --- Streaming and mergeable summaries (the maintenance setting of
+// [GMP97, GGI+02] that motivates fast histogram construction). ---
+
+// StreamingHistogram maintains an O(k)-piece histogram summary under a
+// stream of point updates with O(1) amortized update cost: updates are
+// buffered and periodically recompacted through one merging run.
+type StreamingHistogram = stream.Maintainer
+
+// NewStreamingHistogram builds a maintainer over [1, n] targeting k-piece
+// summaries. bufferCap ≤ 0 picks a default proportional to the summary
+// size. Pass nil opts for DefaultOptions.
+func NewStreamingHistogram(n, k, bufferCap int, opts *Options) (*StreamingHistogram, error) {
+	return stream.NewMaintainer(n, k, bufferCap, resolveOpts(opts))
+}
+
+// MergeHistograms combines the summaries of two disjoint data sets over the
+// same domain into one O(k)-piece summary: the pointwise sum is formed
+// exactly on the common refinement of the two partitions, then recompacted
+// with one merging run. Use it as the combiner of a parallel aggregation
+// tree.
+func MergeHistograms(h1, h2 *Histogram, k int, opts *Options) (*Histogram, error) {
+	return stream.Merge(h1, h2, k, resolveOpts(opts))
+}
+
+// --- Quantile queries from a summary. ---
+
+// CDF answers cumulative-distribution and quantile queries from a
+// non-negative histogram summary in O(log pieces) per query.
+type CDF = quantile.CDF
+
+// NewCDF validates h (non-negative pieces, positive mass) and precomputes
+// prefix masses.
+func NewCDF(h *Histogram) (*CDF, error) { return quantile.New(h) }
+
+// --- Wavelet synopsis baseline. ---
+
+// WaveletSynopsis is a B-term Haar wavelet synopsis — the classical ℓ2
+// synopsis alternative to V-optimal histograms, provided for comparison.
+type WaveletSynopsis = wavelet.Synopsis
+
+// NewWaveletSynopsis keeps the B largest-magnitude coefficients of the
+// orthonormal Haar transform of data, the ℓ2-optimal B-term wavelet
+// approximation. Its Error method reports the exact ℓ2 reconstruction error
+// via Parseval.
+func NewWaveletSynopsis(data []float64, b int) (*WaveletSynopsis, error) {
+	return wavelet.NewSynopsis(data, b)
+}
+
+// FitSummary runs the merging algorithm starting from an arbitrary interval
+// summary (a partition of [1, n] with per-interval length/Σ/Σ² statistics)
+// instead of raw data. This is the low-level entry point for building
+// custom summary pipelines; most callers want Fit, NewStreamingHistogram,
+// or MergeHistograms.
+func FitSummary(n int, boundaries []int, sums, sumSqs []float64, k int, opts *Options) (*Histogram, float64, error) {
+	part, stats, err := summaryInput(n, boundaries, sums, sumSqs)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := core.ConstructHistogramFromSummary(n, part, stats, k, resolveOpts(opts))
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Histogram, res.Error, nil
+}

@@ -1,0 +1,163 @@
+package histapprox
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamingHistogramFacade(t *testing.T) {
+	sh, err := NewStreamingHistogram(500, 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := []float64{2, 8, 5, 11}
+	truth := make([]float64, 500)
+	for i := 1; i <= 500; i++ {
+		v := levels[(i-1)*4/500]
+		truth[i-1] = v
+		if err := sh.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := sh.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.L2DistToDense(truth); got > 1e-6 {
+		t.Fatalf("streaming summary error %v", got)
+	}
+}
+
+func TestMergeHistogramsFacade(t *testing.T) {
+	left := make([]float64, 400)
+	right := make([]float64, 400)
+	for i := 0; i < 200; i++ {
+		left[i] = 3
+	}
+	for i := 200; i < 400; i++ {
+		right[i] = 7
+	}
+	hl, _, err := Fit(left, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, _, err := Fit(right, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeHistograms(hl, hr, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := merged.At(100); math.Abs(v-3) > 1e-9 {
+		t.Fatalf("merged left value %v", v)
+	}
+	if v := merged.At(300); math.Abs(v-7) > 1e-9 {
+		t.Fatalf("merged right value %v", v)
+	}
+}
+
+func TestCDFFacade(t *testing.T) {
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = 1
+	}
+	h, _, err := Fit(data, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := NewCDF(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := cdf.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 50 {
+		t.Fatalf("median %d", med)
+	}
+}
+
+func TestWaveletFacadeAndComparison(t *testing.T) {
+	// On noiseless step data with non-dyadic jump positions, a histogram
+	// recovers the signal exactly while a Haar synopsis with the same
+	// number budget cannot: each non-dyadic jump needs ~log n detail
+	// coefficients, more than the shared budget allows. (With additive
+	// noise both sit at the same noise floor and the comparison is a coin
+	// flip, so the test uses clean steps.)
+	n := 1024
+	data := make([]float64, n)
+	for i := range data {
+		switch {
+		case i < 300:
+			data[i] = 2
+		case i < 707:
+			data[i] = 9
+		default:
+			data[i] = 4
+		}
+	}
+	paper := PaperOptions()
+	h, hErr, err := Fit(data, 3, &paper) // 7 pieces = 14 numbers
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hErr > 1e-6 {
+		t.Fatalf("histogram should recover clean steps exactly, err %v", hErr)
+	}
+	b := 2 * h.NumPieces()
+	ws, err := NewWaveletSynopsis(data, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.B() != b {
+		t.Fatalf("stored %d coefficients, want %d", ws.B(), b)
+	}
+	if ws.Error() < 1 {
+		t.Fatalf("wavelet error %v — %d coefficients should not capture two non-dyadic jumps", ws.Error(), b)
+	}
+	// And the wavelet synopsis must still reconstruct with its reported
+	// error.
+	back, err := ws.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != n {
+		t.Fatalf("reconstruction length %d", len(back))
+	}
+}
+
+func TestFitSummary(t *testing.T) {
+	// A two-interval summary of constant data: [1,50] all 4s, [51,100] all
+	// 9s (Σ = 200/450, Σ² = 800/4050).
+	h, errVal, err := FitSummary(100,
+		[]int{50, 100},
+		[]float64{200, 450},
+		[]float64{800, 4050},
+		2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errVal > 1e-9 {
+		t.Fatalf("summary of constant pieces should be exact, err %v", errVal)
+	}
+	if h.At(10) != 4 || h.At(90) != 9 {
+		t.Fatalf("values %v, %v", h.At(10), h.At(90))
+	}
+}
+
+func TestFitSummaryValidation(t *testing.T) {
+	if _, _, err := FitSummary(10, nil, nil, nil, 1, nil); err == nil {
+		t.Fatal("empty summary should error")
+	}
+	if _, _, err := FitSummary(10, []int{10}, []float64{1, 2}, []float64{1}, 1, nil); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+	if _, _, err := FitSummary(10, []int{5}, []float64{1}, []float64{1}, 1, nil); err == nil {
+		t.Fatal("incomplete cover should error")
+	}
+	if _, _, err := FitSummary(10, []int{10}, []float64{1}, []float64{-1}, 1, nil); err == nil {
+		t.Fatal("negative Σq² should error")
+	}
+}

@@ -1,0 +1,312 @@
+package histapprox
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func stepData(r *rng.RNG, n, k int, sigma float64) []float64 {
+	q := make([]float64, n)
+	pieceLen := n / k
+	for p := 0; p < k; p++ {
+		v := r.NormFloat64() * 5
+		for i := p * pieceLen; i < (p+1)*pieceLen && i < n; i++ {
+			q[i] = v + sigma*r.NormFloat64()
+		}
+	}
+	for i := k * pieceLen; i < n; i++ {
+		q[i] = q[k*pieceLen-1]
+	}
+	return q
+}
+
+func TestFitBasic(t *testing.T) {
+	r := rng.New(227)
+	data := stepData(r, 500, 5, 0)
+	h, errVal, err := Fit(data, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errVal > 1e-9 {
+		t.Fatalf("error %v on exact 5-histogram", errVal)
+	}
+	if h.NumPieces() > DefaultOptions().TargetPieces(5) {
+		t.Fatalf("pieces = %d", h.NumPieces())
+	}
+	if h.At(1) != data[0] {
+		t.Fatal("At(1) mismatch")
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, _, err := Fit(nil, 1, nil); err == nil {
+		t.Fatal("empty data should error")
+	}
+	if _, _, err := FitFast(nil, 1, nil); err == nil {
+		t.Fatal("empty data should error")
+	}
+	if _, err := FitMultiscale(nil); err == nil {
+		t.Fatal("empty data should error")
+	}
+	if _, _, err := FitPolynomial(nil, 1, 1, nil); err == nil {
+		t.Fatal("empty data should error")
+	}
+}
+
+func TestFitSparse(t *testing.T) {
+	h, errVal, err := FitSparse(1_000_000, map[int]float64{
+		10: 5, 11: 5, 12: 5, 500_000: 2,
+	}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errVal > 1e-9 {
+		t.Fatalf("error %v — sparse step data should fit exactly", errVal)
+	}
+	if h.At(10) != 5 || h.At(999_999) != 0 {
+		t.Fatal("sparse fit values wrong")
+	}
+	if _, _, err := FitSparse(10, map[int]float64{11: 1}, 1, nil); err == nil {
+		t.Fatal("out-of-range entry should error")
+	}
+}
+
+func TestFitOptionsRespected(t *testing.T) {
+	r := rng.New(229)
+	data := make([]float64, 2000)
+	for i := range data {
+		data[i] = r.NormFloat64()
+	}
+	paper := PaperOptions()
+	h, _, err := Fit(data, 10, &paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumPieces() != 21 {
+		t.Fatalf("paper options should give 2k+1 = 21 pieces, got %d", h.NumPieces())
+	}
+}
+
+func TestFitFastAgreesOnQuality(t *testing.T) {
+	r := rng.New(233)
+	data := stepData(r, 4000, 8, 0.5)
+	_, slowErr, err := Fit(data, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fastErr, err := FitFast(data, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastErr > 2*slowErr+1e-9 {
+		t.Fatalf("fast %v vs slow %v", fastErr, slowErr)
+	}
+}
+
+func TestFitMultiscale(t *testing.T) {
+	r := rng.New(239)
+	data := stepData(r, 1000, 6, 0.2)
+	hier, err := FitMultiscale(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hier.ForK(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram.NumPieces() > 48 {
+		t.Fatalf("pieces = %d > 8k", res.Histogram.NumPieces())
+	}
+	_, opt, err := FitExact(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error > 2*opt+1e-9 {
+		t.Fatalf("multiscale error %v > 2·opt %v", res.Error, opt)
+	}
+}
+
+func TestFitPolynomialBeatsHistogramOnQuadratic(t *testing.T) {
+	data := make([]float64, 600)
+	for i := range data {
+		x := float64(i) / 600
+		data[i] = 100 * x * x
+	}
+	_, polyErr, err := FitPolynomial(data, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, histErr, err := Fit(data, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polyErr >= histErr/10 {
+		t.Fatalf("degree-2 fit on a parabola should crush the histogram: %v vs %v", polyErr, histErr)
+	}
+}
+
+func TestBaselinesConsistent(t *testing.T) {
+	r := rng.New(241)
+	data := make([]float64, 300)
+	for i := range data {
+		data[i] = r.NormFloat64() * 2
+	}
+	_, opt, err := FitExact(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dual, err := FitDual(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gks, err := FitGKS(data, 6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual < opt-1e-9 || gks < opt-1e-9 {
+		t.Fatal("baselines beat the optimum — impossible")
+	}
+	if gks*gks > 1.5*opt*opt+1e-9 {
+		t.Fatalf("GKS outside its guarantee: %v vs opt %v", gks, opt)
+	}
+}
+
+func TestLearnEndToEnd(t *testing.T) {
+	// Build a 4-histogram distribution, sample, learn, and verify O(ε)
+	// recovery through the pure public API.
+	masses := make([]float64, 200)
+	levels := []float64{4, 1, 6, 2}
+	for i := range masses {
+		masses[i] = levels[i/50]
+	}
+	p, err := DistributionFromWeights(masses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := SampleSize(0.05, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := Draw(p, m, 42)
+	h, rep, err := Learn(200, samples, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.M != m {
+		t.Fatalf("report M = %d", rep.M)
+	}
+	var sq float64
+	for i, pm := range p.P {
+		d := pm - h.At(i+1)
+		sq += d * d
+	}
+	if l2 := math.Sqrt(sq); l2 > 0.1 {
+		t.Fatalf("‖h − p‖₂ = %v", l2)
+	}
+	if math.Abs(h.Mass()-1) > 1e-9 {
+		t.Fatalf("hypothesis mass %v", h.Mass())
+	}
+}
+
+func TestLearnMultiscaleEndToEnd(t *testing.T) {
+	p, err := DistributionFromWeights([]float64{1, 1, 1, 1, 5, 5, 5, 5, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := Draw(p, 20000, 7)
+	hier, rep, err := LearnMultiscale(10, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Support == 0 {
+		t.Fatal("empty support")
+	}
+	res, err := hier.ForK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram.NumPieces() > 24 {
+		t.Fatalf("pieces = %d", res.Histogram.NumPieces())
+	}
+}
+
+func TestLearnPolynomialEndToEnd(t *testing.T) {
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = float64(1 + i)
+	}
+	p, err := DistributionFromWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := Draw(p, 30000, 11)
+	f, _, err := LearnPolynomial(100, samples, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sq float64
+	for i, pm := range p.P {
+		d := pm - f.At(i+1)
+		sq += d * d
+	}
+	if l2 := math.Sqrt(sq); l2 > 0.01 {
+		t.Fatalf("piecewise-linear learning error %v", l2)
+	}
+}
+
+func TestSelectivityFacade(t *testing.T) {
+	values := []int{1, 1, 1, 2, 5, 5, 9, 9, 9, 9}
+	freq, err := ColumnFrequencies(values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewSelectivityEstimator(freq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := NewExactCounter(freq)
+	got, err := est.EstimateRange(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := exact.CountRange(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth) > 1e-9 {
+		t.Fatalf("whole-domain estimate %v vs %v", got, truth)
+	}
+	if _, err := NewEquiWidthEstimator(freq, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEquiDepthEstimator(freq, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Full coefficient budget (padded length 16) → exact answers.
+	wv, err := NewWaveletEstimator(freq, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wvEst, err := wv.EstimateRange(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wvEst-truth) > 1e-6 {
+		t.Fatalf("wavelet whole-domain estimate %v vs %v", wvEst, truth)
+	}
+}
+
+func TestNewDistributionValidates(t *testing.T) {
+	if _, err := NewDistribution([]float64{0.5, 0.6}); err == nil {
+		t.Fatal("invalid masses should error")
+	}
+	d, err := NewDistribution([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 {
+		t.Fatal("N wrong")
+	}
+}

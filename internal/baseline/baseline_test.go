@@ -1,0 +1,320 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// bruteForceOpt enumerates all partitions of [1, n] into exactly ≤ k pieces
+// and returns the minimal ℓ2 error. Exponential — tiny n only.
+func bruteForceOpt(q []float64, k int) float64 {
+	n := len(q)
+	pre := numeric.NewPrefixSSE(q)
+	best := math.MaxFloat64
+	// Choose up to k−1 breakpoints out of n−1 positions.
+	var rec func(start, piecesLeft int, acc float64)
+	rec = func(start, piecesLeft int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if piecesLeft == 1 {
+			total := acc + pre.SSE(start, n)
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for end := start; end <= n-piecesLeft+1; end++ {
+			rec(end+1, piecesLeft-1, acc+pre.SSE(start, end))
+		}
+	}
+	rec(1, k, 0)
+	return math.Sqrt(best)
+}
+
+func randomVector(r *rng.RNG, n int) []float64 {
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = r.NormFloat64() * 3
+	}
+	return q
+}
+
+func stepVector(r *rng.RNG, n, k int, sigma float64) []float64 {
+	p := interval.Uniform(n, k)
+	q := make([]float64, n)
+	for _, iv := range p {
+		v := r.NormFloat64() * 5
+		for x := iv.Lo; x <= iv.Hi; x++ {
+			q[x-1] = v + sigma*r.NormFloat64()
+		}
+	}
+	return q
+}
+
+func TestExactDPValidation(t *testing.T) {
+	if _, _, err := ExactDP(nil, 1); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, _, err := ExactDP([]float64{1}, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestExactDPMatchesBruteForce(t *testing.T) {
+	r := rng.New(113)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + r.Intn(9) // n ≤ 12 keeps brute force fast
+		k := 1 + r.Intn(4)
+		q := randomVector(r, n)
+		_, got, err := ExactDP(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceOpt(q, k)
+		if !numeric.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d (n=%d k=%d): DP %v vs brute force %v", trial, n, k, got, want)
+		}
+	}
+}
+
+func TestExactDPHistogramMatchesReportedError(t *testing.T) {
+	r := rng.New(127)
+	q := randomVector(r, 200)
+	for _, k := range []int{1, 2, 7, 50, 200, 500} {
+		h, errVal, err := ExactDP(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Near-zero errors (k >= n) are rounding noise on both sides.
+		if got := h.L2DistToDense(q); !numeric.AlmostEqual(got, errVal, 1e-9) &&
+			(got > 1e-5 || errVal > 1e-5) {
+			t.Fatalf("k=%d: histogram error %v vs reported %v", k, got, errVal)
+		}
+		if h.NumPieces() > k && k <= 200 {
+			t.Fatalf("k=%d: %d pieces", k, h.NumPieces())
+		}
+	}
+}
+
+func TestExactDPExactRecovery(t *testing.T) {
+	r := rng.New(131)
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + r.Intn(100)
+		k := 1 + r.Intn(5)
+		q := stepVector(r, n, k, 0)
+		_, errVal, err := ExactDP(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Prefix-sum cancellation leaves a rounding floor of ~1e-7 in the
+		// reported error on inputs of this scale.
+		if errVal > 1e-5 {
+			t.Fatalf("trial %d: opt_%d = %v on a %d-histogram", trial, k, errVal, k)
+		}
+	}
+}
+
+func TestExactDPKGreaterThanN(t *testing.T) {
+	q := []float64{3, 1, 4}
+	h, errVal, err := ExactDP(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errVal != 0 || h.NumPieces() != 3 {
+		t.Fatalf("k>n: err %v pieces %d", errVal, h.NumPieces())
+	}
+}
+
+func TestExactDPMonotoneInK(t *testing.T) {
+	r := rng.New(137)
+	q := randomVector(r, 64)
+	prev := math.Inf(1)
+	for k := 1; k <= 64; k++ {
+		_, e, err := ExactDP(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prev+1e-9 {
+			t.Fatalf("opt_k increased at k=%d: %v -> %v", k, prev, e)
+		}
+		prev = e
+	}
+	// opt_n is mathematically 0; rounding leaves ~1e-6.
+	if prev > 1e-5 {
+		t.Fatalf("opt_n = %v, want ≈0", prev)
+	}
+}
+
+func TestGreedyDualBudgetRespected(t *testing.T) {
+	r := rng.New(139)
+	q := randomVector(r, 300)
+	pre := numeric.NewPrefixSSE(q)
+	for _, tau := range []float64{0.1, 1, 10, 100} {
+		part := GreedyDual(pre, tau)
+		if err := part.Validate(300); err != nil {
+			t.Fatal(err)
+		}
+		for _, iv := range part {
+			if iv.Len() > 1 && pre.SSE(iv.Lo, iv.Hi) > tau+1e-12 {
+				// Greedy closes a piece *before* the point that would
+				// overflow it, so every multi-point piece obeys the budget.
+				t.Fatalf("tau=%v: piece %v has SSE %v", tau, iv, pre.SSE(iv.Lo, iv.Hi))
+			}
+		}
+	}
+}
+
+func TestGreedyDualZeroBudget(t *testing.T) {
+	q := []float64{1, 1, 2, 2, 2, 3}
+	pre := numeric.NewPrefixSSE(q)
+	part := GreedyDual(pre, 0)
+	// Zero budget groups only equal consecutive values: 3 pieces.
+	if len(part) != 3 {
+		t.Fatalf("pieces = %d, want 3: %v", len(part), part)
+	}
+}
+
+func TestDualPieceCountAndError(t *testing.T) {
+	r := rng.New(149)
+	q := randomVector(r, 500)
+	for _, k := range []int{1, 5, 20} {
+		h, errVal, err := Dual(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.NumPieces() > k {
+			t.Fatalf("k=%d: dual produced %d pieces", k, h.NumPieces())
+		}
+		if got := h.L2DistToDense(q); !numeric.AlmostEqual(got, errVal, 1e-9) {
+			t.Fatalf("reported error %v vs actual %v", errVal, got)
+		}
+		// Dual is suboptimal but must be within a small factor of opt on
+		// random data (the paper measures ≈1.6–2×).
+		_, opt, err := ExactDP(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errVal < opt-1e-9 {
+			t.Fatalf("dual error %v beats optimal %v — impossible", errVal, opt)
+		}
+		if errVal > 3*opt+1e-9 {
+			t.Fatalf("k=%d: dual error %v more than 3× opt %v", k, errVal, opt)
+		}
+	}
+}
+
+func TestDualExactRecovery(t *testing.T) {
+	r := rng.New(151)
+	q := stepVector(r, 120, 4, 0)
+	h, errVal, err := Dual(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errVal > 1e-5 {
+		t.Fatalf("dual error %v on exact 4-histogram", errVal)
+	}
+	if h.NumPieces() > 4 {
+		t.Fatalf("dual pieces %d > 4", h.NumPieces())
+	}
+}
+
+func TestDualValidation(t *testing.T) {
+	if _, _, err := Dual(nil, 1); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, _, err := Dual([]float64{1}, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestGKSApproxGuarantee(t *testing.T) {
+	// Squared error within (1+δ) of optimal.
+	r := rng.New(157)
+	for trial := 0; trial < 15; trial++ {
+		n := 30 + r.Intn(150)
+		k := 1 + r.Intn(6)
+		var q []float64
+		if trial%2 == 0 {
+			q = randomVector(r, n)
+		} else {
+			q = stepVector(r, n, k, 0.4)
+		}
+		_, opt, err := ExactDP(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, delta := range []float64{0.05, 0.5, 1} {
+			h, got, err := GKSApprox(q, k, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.NumPieces() > k {
+				t.Fatalf("GKS produced %d pieces > k=%d", h.NumPieces(), k)
+			}
+			if got*got > (1+delta)*opt*opt+1e-9 {
+				t.Fatalf("trial %d (n=%d k=%d δ=%v): GKS err² %v > (1+δ)·opt² %v",
+					trial, n, k, delta, got*got, (1+delta)*opt*opt)
+			}
+			if got < opt-1e-9 {
+				t.Fatalf("GKS error %v beats optimal %v", got, opt)
+			}
+		}
+	}
+}
+
+func TestGKSApproxValidation(t *testing.T) {
+	if _, _, err := GKSApprox(nil, 1, 0.1); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, _, err := GKSApprox([]float64{1}, 0, 0.1); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, _, err := GKSApprox([]float64{1, 2}, 1, 0); err == nil {
+		t.Fatal("delta=0 should error")
+	}
+	if _, _, err := GKSApprox([]float64{1, 2}, 1, math.NaN()); err == nil {
+		t.Fatal("NaN delta should error")
+	}
+}
+
+func TestGKSExactRecovery(t *testing.T) {
+	r := rng.New(163)
+	q := stepVector(r, 200, 5, 0)
+	_, errVal, err := GKSApprox(q, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errVal > 1e-5 {
+		t.Fatalf("GKS error %v on exact 5-histogram", errVal)
+	}
+}
+
+// Property: for random small inputs the three baselines are ordered
+// opt ≤ GKS ≤ √(1+δ)·opt and opt ≤ dual.
+func TestBaselineOrderingProperty(t *testing.T) {
+	f := func(seed uint32, kRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		n := 20 + r.Intn(60)
+		k := int(kRaw)%5 + 1
+		q := randomVector(r, n)
+		_, opt, err1 := ExactDP(q, k)
+		_, gks, err2 := GKSApprox(q, k, 0.5)
+		_, dual, err3 := Dual(q, k)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		tol := 1e-9 * (1 + opt)
+		return gks >= opt-tol &&
+			gks*gks <= 1.5*opt*opt+tol &&
+			dual >= opt-tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/numeric"
+)
+
+// GKSApprox computes a (1+δ)-approximate V-optimal k-histogram in the style
+// of Guha, Koudas, and Shim [GKS06] (the AHIST family): the dynamic program
+// of [JKM+98], but with the inner minimization restricted to a sparse list
+// of breakpoints at which the previous level's error curve grows by a
+// (1+δ') factor, δ' = δ/(2k).
+//
+// Correctness sketch (following [GKS06]): dp_j(i) is non-decreasing in i,
+// so replacing a true breakpoint b by the largest kept breakpoint b' ≥ b in
+// its (1+δ')-group loses at most a (1+δ') factor on the dp term while only
+// shrinking the new piece (sse(b'+1, i) ≤ sse(b+1, i)). When the group's
+// representative lies at or beyond the queried prefix i, the candidate
+// l = i−1 (always evaluated) belongs to the same group and plays the role of
+// b'. Compounding over k levels gives squared error at most
+// (1+δ')^k ≤ e^{δ/2} ≤ (1+δ) times opt² for δ ≤ 2. Every dp value
+// corresponds to a real partition, so the returned histogram's true squared
+// error equals the dp value.
+//
+// The running time is O(n·k·B) where B is the breakpoint-list size,
+// B = O(log(range)/δ'): sub-quadratic in n for moderate δ, but — as the
+// paper's comparison predicts — far slower than the merging algorithm.
+func GKSApprox(q []float64, k int, delta float64) (*core.Histogram, float64, error) {
+	n := len(q)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("baseline: empty input")
+	}
+	if k < 1 {
+		return nil, 0, fmt.Errorf("baseline: k must be ≥ 1, got %d", k)
+	}
+	if !(delta > 0) || math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return nil, 0, fmt.Errorf("baseline: delta must be positive and finite, got %v", delta)
+	}
+	if k > n {
+		k = n
+	}
+	deltaPrime := delta / (2 * float64(k))
+	pre := numeric.NewPrefixSSE(q)
+	sum := make([]float64, n+1)
+	sumSq := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		sum[i] = pre.Sum(1, i)
+		sumSq[i] = pre.SumSq(1, i)
+	}
+
+	dp := make([]float64, n+1) // level j values at every prefix
+	next := make([]float64, n+1)
+	parent := make([][]int32, k+1)
+	for j := 2; j <= k; j++ {
+		parent[j] = make([]int32, n+1)
+	}
+	for i := 1; i <= n; i++ {
+		s := sum[i]
+		dp[i] = numeric.ClampNonNeg(sumSq[i] - s*s/float64(i))
+	}
+
+	breaks := make([]int32, 0, 256)
+	for j := 2; j <= k; j++ {
+		// Sparsify level j−1: keep, for each (1+δ')-group of dp values, the
+		// rightmost position. Position 0 (empty prefix, dp = 0) is always a
+		// valid breakpoint.
+		breaks = breaks[:0]
+		groupBase := 0.0
+		for i := 0; i < n; i++ {
+			nextV := dp[i+1]
+			exceeds := false
+			if groupBase == 0 {
+				exceeds = nextV > 0
+			} else {
+				exceeds = nextV > (1+deltaPrime)*groupBase
+			}
+			if exceeds {
+				breaks = append(breaks, int32(i))
+				groupBase = nextV
+			}
+		}
+		breaks = append(breaks, int32(n-1)) // rightmost possible breakpoint n−1
+		// De-duplicate trailing repeat.
+		if len(breaks) >= 2 && breaks[len(breaks)-1] == breaks[len(breaks)-2] {
+			breaks = breaks[:len(breaks)-1]
+		}
+
+		par := parent[j]
+		for i := 1; i <= n; i++ {
+			if i <= j {
+				next[i] = 0
+				par[i] = int32(i - 1)
+				continue
+			}
+			si, s2i, fi := sum[i], sumSq[i], float64(i)
+			// Always consider l = i−1: if a group's rightmost representative
+			// lies at or beyond i, position i−1 belongs to that same group
+			// (dp_j is non-decreasing), so it inherits the (1+δ') guarantee.
+			// Without it, prefixes shorter than the first kept breakpoint
+			// would have no candidate at all.
+			best := dp[i-1]
+			bestL := i - 1
+			for _, lb := range breaks {
+				l := int(lb)
+				if l >= i-1 {
+					break
+				}
+				ds := si - sum[l]
+				sse := (s2i - sumSq[l]) - ds*ds/(fi-float64(l))
+				if v := dp[l] + sse; v < best {
+					best = v
+					bestL = l
+				}
+			}
+			next[i] = numeric.ClampNonNeg(best)
+			par[i] = int32(bestL)
+		}
+		dp, next = next, dp
+	}
+
+	// Traceback as in ExactDP.
+	bounds := make([]int, 0, k)
+	i := n
+	for j := k; j >= 2; j-- {
+		l := int(parent[j][i])
+		bounds = append(bounds, i)
+		i = l
+		if i == 0 {
+			break
+		}
+	}
+	if i > 0 {
+		bounds = append(bounds, i)
+	}
+	for a, b := 0, len(bounds)-1; a < b; a, b = a+1, b-1 {
+		bounds[a], bounds[b] = bounds[b], bounds[a]
+	}
+	part, err := interval.FromBoundaries(n, bounds)
+	if err != nil {
+		return nil, 0, fmt.Errorf("baseline: GKS traceback produced invalid partition: %w", err)
+	}
+	values := make([]float64, len(part))
+	var sse float64
+	for pi, iv := range part {
+		values[pi] = pre.Mean(iv.Lo, iv.Hi)
+		sse += pre.SSE(iv.Lo, iv.Hi)
+	}
+	h := core.NewHistogram(n, part, values)
+	return h, math.Sqrt(numeric.ClampNonNeg(sse)), nil
+}

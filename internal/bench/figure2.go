@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dist"
+	"repro/internal/learn"
+	"repro/internal/rng"
+)
+
+// Figure2Point is one (algorithm, m) cell of a Figure 2 plot: the mean and
+// standard deviation of ‖h − p‖₂ over the trials.
+type Figure2Point struct {
+	Dataset   string
+	Algorithm string
+	M         int
+	MeanErr   float64
+	StdErr    float64
+}
+
+// Figure2Series is one data set's worth of Figure 2: the measured points and
+// the opt_k floor of the best k-histogram approximation to the underlying
+// distribution.
+type Figure2Series struct {
+	Dataset string
+	K       int
+	OptK    float64
+	Points  []Figure2Point
+}
+
+// Figure2Config controls the learning experiment.
+type Figure2Config struct {
+	// SampleSizes is the x-axis; the paper sweeps 1000..10000.
+	SampleSizes []int
+	// Trials per point; the paper uses 20.
+	Trials int
+	// Seed makes the whole figure reproducible.
+	Seed uint64
+	// SkipExact omits the exactdp learner (it dominates the running time).
+	SkipExact bool
+	// Progress, if non-nil, is called after each (dataset, m) sweep — the
+	// long runs report liveness through it.
+	Progress func(dataset string, m int)
+}
+
+// DefaultFigure2Config mirrors the paper's setup.
+func DefaultFigure2Config() Figure2Config {
+	ms := make([]int, 0, 10)
+	for m := 1000; m <= 10000; m += 1000 {
+		ms = append(ms, m)
+	}
+	return Figure2Config{SampleSizes: ms, Trials: 20, Seed: 20150531}
+}
+
+// figure2Datasets returns the three learning targets of Section 5.2.
+func figure2Datasets() []struct {
+	Name string
+	P    dist.Dist
+	K    int
+} {
+	return []struct {
+		Name string
+		P    dist.Dist
+		K    int
+	}{
+		{"hist'", datasets.HistPrime(), datasets.HistK},
+		{"poly'", datasets.PolyPrime(), datasets.PolyK},
+		{"dow'", datasets.DowPrime(), datasets.DowK},
+	}
+}
+
+// RunFigure2 regenerates Figure 2: for each data set and sample size, the
+// mean ± std ℓ2 error of the exactdp, merging, and merging2 hypotheses over
+// cfg.Trials independent sample draws, plus the opt_k floor.
+func RunFigure2(cfg Figure2Config) []Figure2Series {
+	r := rng.New(cfg.Seed)
+	var out []Figure2Series
+	for _, ds := range figure2Datasets() {
+		series := Figure2Series{Dataset: ds.Name, K: ds.K}
+		_, optK, err := baseline.ExactDP(ds.P.P, ds.K)
+		must(err)
+		series.OptK = optK
+
+		type algo struct {
+			name string
+			run  func(samples []int) []float64 // returns dense hypothesis
+		}
+		algs := []algo{}
+		if !cfg.SkipExact {
+			algs = append(algs, algo{"exactdp", func(samples []int) []float64 {
+				emp, err := dist.Empirical(ds.P.N(), samples)
+				must(err)
+				h, _, err := baseline.ExactDP(emp.P, ds.K)
+				must(err)
+				return h.ToDense()
+			}})
+		}
+		algs = append(algs,
+			algo{"merging", func(samples []int) []float64 {
+				h, _, err := learn.HistogramFromSamples(ds.P.N(), samples, ds.K, core.PaperOptions())
+				must(err)
+				return h.ToDense()
+			}},
+			algo{"merging2", func(samples []int) []float64 {
+				h, _, err := learn.HistogramFromSamples(ds.P.N(), samples, max1(ds.K/2), core.PaperOptions())
+				must(err)
+				return h.ToDense()
+			}},
+		)
+
+		for _, m := range cfg.SampleSizes {
+			// All algorithms see the same trials' samples, like the paper's
+			// shared-experiment plots.
+			trialSamples := make([][]int, cfg.Trials)
+			for tr := range trialSamples {
+				trialSamples[tr] = dist.Draw(ds.P, m, r)
+			}
+			for _, alg := range algs {
+				errs := make([]float64, cfg.Trials)
+				for tr, samples := range trialSamples {
+					errs[tr] = ds.P.L2DistToVec(alg.run(samples))
+				}
+				mean, std := meanStd(errs)
+				series.Points = append(series.Points, Figure2Point{
+					Dataset: ds.Name, Algorithm: alg.name, M: m,
+					MeanErr: mean, StdErr: std,
+				})
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(ds.Name, m)
+			}
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// WriteFigure2 renders the series as aligned text, one block per data set.
+func WriteFigure2(w io.Writer, series []Figure2Series) error {
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s (k=%d, opt_k = %.5f)\n", s.Dataset, s.K, s.OptK)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "m\talgorithm\tmean l2 err\tstd")
+		for _, p := range s.Points {
+			fmt.Fprintf(tw, "%d\t%s\t%.5f\t%.5f\n", p.M, p.Algorithm, p.MeanErr, p.StdErr)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure1Series returns the three raw data series of Figure 1 for dumping.
+func Figure1Series() map[string][]float64 {
+	return map[string][]float64{
+		"hist": datasets.Hist(),
+		"poly": datasets.Poly(),
+		"dow":  datasets.Dow(),
+	}
+}

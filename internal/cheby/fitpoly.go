@@ -1,0 +1,110 @@
+package cheby
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/sparse"
+)
+
+// Projection is the result of projecting a function restricted to the
+// interval [A, B] (1-based, inclusive) onto the space of polynomials of
+// degree ≤ D: the Gram-basis coefficients and the exact squared projection
+// error, obtained via Parseval without materializing the residual.
+type Projection struct {
+	// A, B are the absolute interval endpoints (1-based, inclusive).
+	A, B int
+	// D is the requested degree; the effective degree is min(D, B−A), since
+	// the polynomial space saturates on short intervals.
+	D int
+	// Coeffs are the coefficients a_r in the orthonormal Gram basis of the
+	// interval, r = 0..effective degree.
+	Coeffs []float64
+	// ErrSq is ‖q_I − proj‖₂² = Σ_{i∈I} q(i)² − Σ_r a_r², clamped at 0.
+	ErrSq float64
+
+	basis *Basis
+}
+
+// Project computes the ℓ2 projection of the entries onto degree-d
+// polynomials over [a, b]. The entries must be the nonzeros of the target
+// function with absolute indices inside [a, b], sorted ascending; points of
+// [a, b] not listed are treated as zeros (they contribute nothing to inner
+// products, which is what makes the oracle run in O(d·s_I) rather than
+// O(d·|I|) — the paper's Theorem 4.2 sparsity trick).
+func Project(entries []sparse.Entry, a, b, d int) (Projection, error) {
+	if a < 1 || a > b {
+		return Projection{}, fmt.Errorf("cheby: invalid interval [%d, %d]", a, b)
+	}
+	if d < 0 {
+		return Projection{}, fmt.Errorf("cheby: negative degree %d", d)
+	}
+	n := b - a + 1
+	dEff := d
+	if dEff > n-1 {
+		dEff = n - 1
+	}
+	basis, err := NewBasis(n, dEff)
+	if err != nil {
+		return Projection{}, err
+	}
+	coeffs := make([]float64, dEff+1)
+	tvals := make([]float64, dEff+1)
+	var sumSq float64
+	for _, e := range entries {
+		if e.Index < a || e.Index > b {
+			return Projection{}, fmt.Errorf("cheby: entry index %d outside [%d, %d]", e.Index, a, b)
+		}
+		basis.Eval(float64(e.Index-a), tvals)
+		for r := range coeffs {
+			coeffs[r] += e.Value * tvals[r]
+		}
+		sumSq += e.Value * e.Value
+	}
+	var coeffSq float64
+	for _, c := range coeffs {
+		coeffSq += c * c
+	}
+	return Projection{
+		A: a, B: b, D: d,
+		Coeffs: coeffs,
+		ErrSq:  numeric.ClampNonNeg(sumSq - coeffSq),
+		basis:  basis,
+	}, nil
+}
+
+// Eval returns the fitted polynomial's value at the absolute index i (which
+// may lie outside [A, B]; the polynomial extrapolates).
+func (p Projection) Eval(i int) float64 { return p.EvalAt(float64(i)) }
+
+// EvalAt evaluates the fitted polynomial at an arbitrary real position in
+// absolute coordinates.
+func (p Projection) EvalAt(x float64) float64 {
+	tvals := make([]float64, len(p.Coeffs))
+	p.basis.Eval(x-float64(p.A), tvals)
+	var v float64
+	for r, c := range p.Coeffs {
+		v += c * tvals[r]
+	}
+	return v
+}
+
+// Err returns the ℓ2 (not squared) projection error.
+func (p Projection) Err() float64 { return math.Sqrt(p.ErrSq) }
+
+// Dense materializes the fitted polynomial on [A, B] as a dense slice of
+// length B−A+1.
+func (p Projection) Dense() []float64 {
+	out := make([]float64, p.B-p.A+1)
+	tvals := make([]float64, len(p.Coeffs))
+	for i := range out {
+		p.basis.Eval(float64(i), tvals)
+		var v float64
+		for r, c := range p.Coeffs {
+			v += c * tvals[r]
+		}
+		out[i] = v
+	}
+	return out
+}

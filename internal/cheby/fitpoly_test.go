@@ -1,0 +1,260 @@
+package cheby
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func denseEntries(q []float64, a int) []sparse.Entry {
+	var es []sparse.Entry
+	for i, v := range q {
+		if v != 0 {
+			es = append(es, sparse.Entry{Index: a + i, Value: v})
+		}
+	}
+	return es
+}
+
+func TestProjectValidation(t *testing.T) {
+	if _, err := Project(nil, 0, 5, 1); err == nil {
+		t.Fatal("a<1 should error")
+	}
+	if _, err := Project(nil, 5, 4, 1); err == nil {
+		t.Fatal("a>b should error")
+	}
+	if _, err := Project(nil, 1, 5, -1); err == nil {
+		t.Fatal("d<0 should error")
+	}
+	if _, err := Project([]sparse.Entry{{Index: 9, Value: 1}}, 1, 5, 1); err == nil {
+		t.Fatal("entry outside interval should error")
+	}
+}
+
+func TestProjectDegreeZeroIsFlattening(t *testing.T) {
+	// Degree-0 projection must equal the interval mean with SSE error —
+	// exactly Definition 3.1's flattening.
+	q := []float64{1, 5, 0, 2}
+	p, err := Project(denseEntries(q, 11), 11, 14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 2.0
+	if !numeric.AlmostEqual(p.Eval(11), mean, 1e-12) {
+		t.Fatalf("degree-0 value = %v, want %v", p.Eval(11), mean)
+	}
+	var sse float64
+	for _, v := range q {
+		sse += (v - mean) * (v - mean)
+	}
+	if !numeric.AlmostEqual(p.ErrSq, sse, 1e-9) {
+		t.Fatalf("ErrSq = %v, want %v", p.ErrSq, sse)
+	}
+}
+
+func TestProjectExactPolynomial(t *testing.T) {
+	// Points on a degree-3 polynomial project with zero error and exact
+	// reconstruction.
+	coef := []float64{2, -1, 0.5, 0.03}
+	a, b := 101, 160
+	q := make([]float64, b-a+1)
+	for i := range q {
+		q[i] = numeric.EvalPoly(coef, float64(i))
+	}
+	p, err := Project(denseEntries(q, a), a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ErrSq = Σq² − Σa² cancels two ≈2e9 quantities, so the residual floor
+	// is ~1e-6 in float64; anything below 1e-4 is an exact fit.
+	if p.ErrSq > 1e-4 {
+		t.Fatalf("ErrSq = %v on exact polynomial", p.ErrSq)
+	}
+	for i := range q {
+		if !numeric.AlmostEqual(p.Eval(a+i), q[i], 1e-7) {
+			t.Fatalf("Eval(%d) = %v, want %v", a+i, p.Eval(a+i), q[i])
+		}
+	}
+}
+
+func TestProjectMatchesLeastSquares(t *testing.T) {
+	// The Gram projection must agree with brute-force normal-equation least
+	// squares on random data.
+	r := rng.New(83)
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + r.Intn(60)
+		d := r.Intn(4)
+		a := 1 + r.Intn(100)
+		q := make([]float64, n)
+		xs := make([]float64, n)
+		for i := range q {
+			q[i] = r.NormFloat64()
+			xs[i] = float64(i) - float64(n-1)/2 // centered for conditioning
+		}
+		p, err := Project(denseEntries(q, a), a, a+n-1, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coef, err := numeric.PolyFitLS(xs, q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lsErrSq float64
+		for i := range q {
+			diff := q[i] - numeric.EvalPoly(coef, xs[i])
+			lsErrSq += diff * diff
+		}
+		if !numeric.AlmostEqual(p.ErrSq, lsErrSq, 1e-6) {
+			t.Fatalf("trial %d (n=%d d=%d): Gram ErrSq %v vs LS %v", trial, n, d, p.ErrSq, lsErrSq)
+		}
+		for i := 0; i < n; i += 1 + n/7 {
+			want := numeric.EvalPoly(coef, xs[i])
+			if !numeric.AlmostEqual(p.Eval(a+i), want, 1e-6) {
+				t.Fatalf("trial %d: Eval(%d) = %v, LS %v", trial, a+i, p.Eval(a+i), want)
+			}
+		}
+	}
+}
+
+func TestProjectSparseZerosCount(t *testing.T) {
+	// Zeros inside the interval are real data points: projecting {5 at one
+	// point, zeros elsewhere} at degree 0 gives the mean 5/n, not 5.
+	p, err := Project([]sparse.Entry{{Index: 3, Value: 5}}, 1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(p.Eval(1), 0.5, 1e-12) {
+		t.Fatalf("mean = %v, want 0.5", p.Eval(1))
+	}
+}
+
+func TestProjectDegreeSaturation(t *testing.T) {
+	// d ≥ |I| − 1 means the space includes interpolation: error 0.
+	q := []float64{3, -1, 4}
+	p, err := Project(denseEntries(q, 5), 5, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ErrSq > 1e-9 {
+		t.Fatalf("saturated degree should interpolate, ErrSq = %v", p.ErrSq)
+	}
+	for i, v := range q {
+		if !numeric.AlmostEqual(p.Eval(5+i), v, 1e-7) {
+			t.Fatalf("interpolation failed at %d: %v vs %v", 5+i, p.Eval(5+i), v)
+		}
+	}
+}
+
+func TestProjectSingletonInterval(t *testing.T) {
+	p, err := Project([]sparse.Entry{{Index: 4, Value: 9}}, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ErrSq != 0 || !numeric.AlmostEqual(p.Eval(4), 9, 1e-12) {
+		t.Fatalf("singleton: err %v value %v", p.ErrSq, p.Eval(4))
+	}
+}
+
+func TestProjectionDense(t *testing.T) {
+	q := []float64{1, 2, 3, 4}
+	p, err := Project(denseEntries(q, 1), 1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Dense()
+	if len(d) != 4 {
+		t.Fatalf("Dense length %d", len(d))
+	}
+	for i := range d {
+		if !numeric.AlmostEqual(d[i], q[i], 1e-9) {
+			t.Fatalf("linear data should fit exactly: %v vs %v", d[i], q[i])
+		}
+	}
+}
+
+func TestProjectErrIsSqrt(t *testing.T) {
+	q := []float64{0, 4}
+	p, err := Project(denseEntries(q, 1), 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean 2, SSE = 4+4 = 8.
+	if !numeric.AlmostEqual(p.ErrSq, 8, 1e-12) || !numeric.AlmostEqual(p.Err(), math.Sqrt(8), 1e-12) {
+		t.Fatalf("ErrSq = %v Err = %v", p.ErrSq, p.Err())
+	}
+}
+
+// Property: the projection error never increases with degree, and is never
+// negative.
+func TestProjectMonotoneInDegreeProperty(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		n := int(nRaw)%40 + 3
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		es := denseEntries(q, 1)
+		prev := math.Inf(1)
+		for d := 0; d <= 5 && d < n; d++ {
+			p, err := Project(es, 1, n, d)
+			if err != nil {
+				return false
+			}
+			if p.ErrSq < 0 || p.ErrSq > prev+1e-9 {
+				return false
+			}
+			prev = p.ErrSq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: projection is a contraction — the fitted polynomial's energy on
+// the interval never exceeds the data's energy (Parseval/Bessel).
+func TestProjectBesselProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		n := 25
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		p, err := Project(denseEntries(q, 1), 1, n, 4)
+		if err != nil {
+			return false
+		}
+		var dataEnergy, fitEnergy float64
+		for i := range q {
+			dataEnergy += q[i] * q[i]
+			v := p.Eval(1 + i)
+			fitEnergy += v * v
+		}
+		return fitEnergy <= dataEnergy+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	r := rng.New(1)
+	q := make([]float64, 1024)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	es := denseEntries(q, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Project(es, 1, 1024, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

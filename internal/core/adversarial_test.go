@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/interval"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// timeAfter gives the livelock regression a generous-but-finite deadline.
+func timeAfter() <-chan time.Time { return time.After(30 * time.Second) }
+
+// Adversarial input patterns for the merging algorithms: heavy ties (the
+// selection threshold logic), alternating spikes, geometric decay, and
+// pathological shapes for the pairing parity.
+
+func fitAll(t *testing.T, q []float64, k int) []Result {
+	t.Helper()
+	sf := sparse.FromDense(q)
+	var out []Result
+	for _, o := range []Options{DefaultOptions(), PaperOptions()} {
+		r1, err := ConstructHistogram(sf, k, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := ConstructHistogramFast(sf, k, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r1, r2)
+	}
+	return out
+}
+
+func TestAdversarialAllEqual(t *testing.T) {
+	q := make([]float64, 4096)
+	for i := range q {
+		q[i] = 3.75
+	}
+	for _, res := range fitAll(t, q, 3) {
+		if res.Error != 0 {
+			t.Fatalf("constant input error %v", res.Error)
+		}
+	}
+}
+
+func TestAdversarialAlternating(t *testing.T) {
+	// The worst case for histogram compression: ±1 alternation has opt_k ≈
+	// ‖q‖ for any small k. Errors must still never exceed the flattening of
+	// the whole domain (the 1-piece error).
+	n := 2048
+	q := make([]float64, n)
+	for i := range q {
+		if i%2 == 0 {
+			q[i] = 1
+		} else {
+			q[i] = -1
+		}
+	}
+	whole := sparse.FromDense(q)
+	onePiece := whole.FlattenError(interval.Partition{interval.New(1, n)})
+	for _, res := range fitAll(t, q, 4) {
+		if res.Error > onePiece+1e-9 {
+			t.Fatalf("error %v exceeds 1-piece flattening %v", res.Error, onePiece)
+		}
+	}
+}
+
+func TestAdversarialSingleSpike(t *testing.T) {
+	// One huge spike in a sea of zeros: exactly representable with 3 pieces.
+	n := 100000
+	q := make([]float64, n)
+	q[56789] = 1e9
+	for _, res := range fitAll(t, q, 3) {
+		if res.Error > 1e-3 {
+			t.Fatalf("spike not isolated: error %v", res.Error)
+		}
+	}
+}
+
+func TestAdversarialGeometricDecay(t *testing.T) {
+	// Geometrically decaying values stress the error-threshold ties: every
+	// pair error differs by orders of magnitude.
+	n := 1024
+	q := make([]float64, n)
+	v := 1e12
+	for i := range q {
+		q[i] = v
+		v *= 0.97
+	}
+	for _, res := range fitAll(t, q, 8) {
+		if math.IsNaN(res.Error) || math.IsInf(res.Error, 0) {
+			t.Fatalf("non-finite error %v", res.Error)
+		}
+		if err := res.Partition.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAdversarialPrimeLengths(t *testing.T) {
+	// Odd/prime interval counts exercise the unpaired-trailing-interval
+	// path every round.
+	r := rng.New(317)
+	for _, n := range []int{2, 3, 5, 7, 11, 13, 17, 97, 997} {
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		sf := sparse.FromDense(q)
+		res, err := ConstructHistogram(sf, 1, DefaultOptions())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := res.Partition.Validate(n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		fast, err := ConstructHistogramFast(sf, 1, DefaultOptions())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := fast.Partition.Validate(n); err != nil {
+			t.Fatalf("n=%d fast: %v", n, err)
+		}
+	}
+}
+
+func TestAdversarialManyTiedErrors(t *testing.T) {
+	// Periodic data where every candidate merge has the identical error:
+	// the tie-budget logic must keep exactly the budgeted number split and
+	// still terminate.
+	n := 4096
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = float64(i % 2)
+	}
+	sf := sparse.FromDense(q)
+	for _, k := range []int{1, 2, 16} {
+		res, err := ConstructHistogram(sf, k, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, max := res.Histogram.NumPieces(), DefaultOptions().TargetPieces(k); got > max {
+			t.Fatalf("k=%d: %d pieces > %d under total ties", k, got, max)
+		}
+	}
+}
+
+func TestRegressionTieLivelock(t *testing.T) {
+	// Regression for a livelock: with pair errors like [0,0,0,192,392] and
+	// keep budget 3, the old tie logic let the three zero ties consume the
+	// whole budget and the two strictly-greater pairs split anyway — every
+	// pair split, no merge, infinite loop. Dense step data with small k and
+	// the paper's δ=1000 reproduces it deterministically.
+	freq := make([]float64, 100)
+	for i := range freq {
+		switch {
+		case i < 30:
+			freq[i] = 5
+		case i < 70:
+			freq[i] = 1
+		default:
+			freq[i] = 8
+		}
+	}
+	done := make(chan Result, 1)
+	go func() {
+		res, err := ConstructHistogram(sparse.FromDense(freq), 3, PaperOptions())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	select {
+	case res := <-done:
+		if res.Error > 1e-9 {
+			t.Fatalf("step data must be recovered exactly, error %v", res.Error)
+		}
+		if res.Histogram.NumPieces() > PaperOptions().TargetPieces(3) {
+			t.Fatalf("pieces = %d", res.Histogram.NumPieces())
+		}
+	case <-timeAfter():
+		t.Fatal("ConstructHistogram livelocked on tied merge errors")
+	}
+
+	// Same input through the fast and generalized variants.
+	fast, err := ConstructHistogramFast(sparse.FromDense(freq), 3, PaperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Error > 1e-9 {
+		t.Fatalf("fastmerge error %v", fast.Error)
+	}
+}
+
+func TestAdversarialHugeDynamicRange(t *testing.T) {
+	// Mixing 1e-300 and 1e300 scale values must not overflow interval
+	// statistics into Inf (Σq² stays ≤ ~1e301·len < MaxFloat64).
+	q := []float64{1e-300, 1e-300, 1e150, 1e150, -1e150, 5, 5, 5}
+	sf := sparse.FromDense(q)
+	res, err := ConstructHistogram(sf, 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Error) || math.IsInf(res.Error, 0) {
+		t.Fatalf("error = %v", res.Error)
+	}
+}

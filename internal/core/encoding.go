@@ -1,0 +1,55 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/interval"
+)
+
+// histogramJSON is the interchange form of a Histogram: the domain size and
+// the pieces as (hi, value) pairs — the canonical O(k)-number synopsis
+// representation (piece lows are implied by the previous piece's hi).
+type histogramJSON struct {
+	N      int             `json:"n"`
+	Ends   []int           `json:"ends"`
+	Values []float64       `json:"values"`
+	_      json.RawMessage `json:"-"`
+}
+
+// MarshalJSON encodes the histogram as {"n":…, "ends":[…], "values":[…]}.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	enc := histogramJSON{
+		N:      h.n,
+		Ends:   make([]int, len(h.pieces)),
+		Values: make([]float64, len(h.pieces)),
+	}
+	for i, pc := range h.pieces {
+		enc.Ends[i] = pc.Hi
+		enc.Values[i] = pc.Value
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes and validates a histogram produced by MarshalJSON.
+// Malformed partitions (gaps, overlaps, wrong final end) are rejected.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var enc histogramJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return fmt.Errorf("core: decoding histogram: %w", err)
+	}
+	if len(enc.Ends) != len(enc.Values) {
+		return fmt.Errorf("core: %d ends but %d values", len(enc.Ends), len(enc.Values))
+	}
+	part, err := interval.FromBoundaries(enc.N, enc.Ends)
+	if err != nil {
+		return fmt.Errorf("core: decoding histogram: %w", err)
+	}
+	pieces := make([]Piece, len(part))
+	for i, iv := range part {
+		pieces[i] = Piece{Interval: iv, Value: enc.Values[i]}
+	}
+	h.n = enc.N
+	h.pieces = pieces
+	return nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	r := rng.New(337)
+	q := make([]float64, 300)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	res, err := ConstructHistogram(sparse.FromDense(q), 5, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res.Histogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 300 || back.NumPieces() != res.Histogram.NumPieces() {
+		t.Fatalf("round trip shape: n=%d pieces=%d", back.N(), back.NumPieces())
+	}
+	for i := 1; i <= 300; i++ {
+		if back.At(i) != res.Histogram.At(i) {
+			t.Fatalf("value differs at %d", i)
+		}
+	}
+}
+
+func TestHistogramJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"gap":             `{"n":10,"ends":[3,10],"values":[1]}`,
+		"short cover":     `{"n":10,"ends":[5],"values":[1]}`,
+		"non-monotone":    `{"n":10,"ends":[7,3,10],"values":[1,2,3]}`,
+		"empty":           `{"n":10,"ends":[],"values":[]}`,
+		"not json":        `{`,
+		"past end":        `{"n":10,"ends":[12],"values":[1]}`,
+		"length mismatch": `{"n":10,"ends":[5,10],"values":[1]}`,
+	}
+	for name, blob := range cases {
+		var h Histogram
+		if err := json.Unmarshal([]byte(blob), &h); err == nil {
+			t.Errorf("%s: should fail to decode", name)
+		}
+	}
+}
+
+func TestHistogramJSONIsCompact(t *testing.T) {
+	// The synopsis promise: a k-piece histogram of a huge domain serializes
+	// to O(k) bytes, not O(n).
+	q := make([]float64, 100000)
+	for i := range q {
+		q[i] = float64(i / 25000)
+	}
+	res, err := ConstructHistogram(sparse.FromDense(q), 4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res.Histogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) > 2048 {
+		t.Fatalf("synopsis blob is %d bytes for %d pieces", len(blob), res.Histogram.NumPieces())
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/selection"
+	"repro/internal/sparse"
+)
+
+// ConstructHistogramFast is the paper's "fastmerging" variant (Section 5,
+// footnote 3): instead of always pairing, early rounds merge larger groups
+// of consecutive intervals, so the number of rounds drops from O(log s) to
+// O(log log s) while the total running time stays O(s) — the first round
+// still dominates.
+//
+// Group sizing: with s live intervals and a keep budget K, round group size
+// is g = max(2, ⌊√(s/(K+1))⌋) capped so at least K+2 groups exist. Each
+// round keeps the K groups with the largest merge errors split (into their
+// component intervals) and merges every other group into a single interval,
+// giving s' ≈ K·g + s/g ≈ 2√(s·(K+1)) — the live count roughly square-roots
+// per round until the pairing regime takes over.
+//
+// The approximation guarantee is the same as Algorithm 1's: a group is only
+// merged when its error is not among the K largest, which is exactly the
+// property the proof of Theorem 3.3 (case ii) uses, so the output still
+// satisfies error ≤ √(1+δ)·opt_k with at most (2+2/δ)k + γ pieces.
+func ConstructHistogramFast(q *sparse.Func, k int, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("core: k must be ≥ 1, got %d", k)
+	}
+	m := newMergeState(q)
+	target := opts.TargetPieces(k)
+	keep := opts.KeepBudget(k)
+	rounds := 0
+	for m.len() > target {
+		g := groupSize(m.len(), keep)
+		if g <= 2 {
+			m.pairRound(keep)
+		} else {
+			m.groupRound(g, keep)
+		}
+		rounds++
+	}
+	return m.finish(q.N(), rounds), nil
+}
+
+// groupSize picks the merge-group size for a round with s live intervals and
+// keep budget K: ⌊√(s/(K+1))⌋, at least 2, capped so that at least K+2
+// groups exist (otherwise no group would be merged and the round could not
+// make progress).
+func groupSize(s, keep int) int {
+	g := int(math.Sqrt(float64(s) / float64(keep+1)))
+	if g < 2 {
+		return 2
+	}
+	if maxG := s / (keep + 2); g > maxG {
+		g = maxG
+	}
+	if g < 2 {
+		return 2
+	}
+	return g
+}
+
+// groupRound merges consecutive groups of g intervals, keeping the `keep`
+// groups with the largest merge errors split into their components. The
+// trailing group of fewer than g intervals participates like any other.
+func (m *mergeState) groupRound(g, keep int) int {
+	s := len(m.ivs)
+	numGroups := (s + g - 1) / g
+	if keep >= numGroups {
+		keep = numGroups - 1
+	}
+	if keep < 0 {
+		keep = 0
+	}
+
+	m.errs = m.errs[:0]
+	for u := 0; u < numGroups; u++ {
+		lo := u * g
+		hi := lo + g
+		if hi > s {
+			hi = s
+		}
+		st := m.stats[lo]
+		for i := lo + 1; i < hi; i++ {
+			st = st.Add(m.stats[i])
+		}
+		m.errs = append(m.errs, st.SSE())
+	}
+
+	// Tie handling mirrors pairRound: strictly-greater groups always split
+	// (at most keep−1 of them); ties get only the leftover budget so no
+	// round can split every group and stall.
+	var cut float64
+	if keep > 0 {
+		cut = selection.Threshold(m.errs, keep)
+	} else {
+		cut = math.Inf(1)
+	}
+	greater := 0
+	for _, e := range m.errs {
+		if e > cut {
+			greater++
+		}
+	}
+	tieLeft := keep - greater
+	if tieLeft < 0 {
+		tieLeft = 0
+	}
+
+	m.nextIvs = m.nextIvs[:0]
+	m.nextStats = m.nextStats[:0]
+	for u := 0; u < numGroups; u++ {
+		lo := u * g
+		hi := lo + g
+		if hi > s {
+			hi = s
+		}
+		e := m.errs[u]
+		tie := e == cut && tieLeft > 0
+		split := e > cut || tie
+		if split || hi-lo == 1 {
+			if tie {
+				tieLeft--
+			}
+			m.nextIvs = append(m.nextIvs, m.ivs[lo:hi]...)
+			m.nextStats = append(m.nextStats, m.stats[lo:hi]...)
+		} else {
+			iv := m.ivs[lo]
+			st := m.stats[lo]
+			for i := lo + 1; i < hi; i++ {
+				iv = iv.Union(m.ivs[i])
+				st = st.Add(m.stats[i])
+			}
+			m.nextIvs = append(m.nextIvs, iv)
+			m.nextStats = append(m.nextStats, st)
+		}
+	}
+	m.ivs, m.nextIvs = m.nextIvs, m.ivs
+	m.stats, m.nextStats = m.nextStats, m.stats
+	return len(m.ivs)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func TestFastMergePieceBound(t *testing.T) {
+	r := rng.New(31)
+	for _, n := range []int{100, 1000, 16384} {
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		sf := sparse.FromDense(q)
+		for _, k := range []int{1, 5, 25} {
+			for _, o := range []Options{DefaultOptions(), PaperOptions()} {
+				res, err := ConstructHistogramFast(sf, k, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, max := res.Histogram.NumPieces(), o.TargetPieces(k); got > max {
+					t.Fatalf("n=%d k=%d: %d pieces > %d", n, k, got, max)
+				}
+				if err := res.Partition.Validate(n); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestFastMergeExactRecovery(t *testing.T) {
+	r := rng.New(37)
+	for trial := 0; trial < 15; trial++ {
+		n := 64 + r.Intn(1000)
+		k := 1 + r.Intn(8)
+		q := randomKHistogram(r, n, k, 0)
+		sf := sparse.FromDense(q)
+		res, err := ConstructHistogramFast(sf, k, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// See TestConstructHistogramExactRecovery: phantom ~1e-16 SSEs on
+		// merged equal-value groups accumulate to ~1e-6.
+		if res.Error > 1e-4 {
+			t.Fatalf("trial %d (n=%d k=%d): error %v on exact k-histogram", trial, n, k, res.Error)
+		}
+	}
+}
+
+func TestFastMergeApproximationGuarantee(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 20; trial++ {
+		n := 40 + r.Intn(100)
+		k := 1 + r.Intn(4)
+		q := randomKHistogram(r, n, k, 0.4)
+		opt := optK(q, k)
+		sf := sparse.FromDense(q)
+		res, err := ConstructHistogramFast(sf, k, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Error > math.Sqrt2*opt+1e-9 {
+			t.Fatalf("trial %d: error %v > √2·opt = %v", trial, res.Error, math.Sqrt2*opt)
+		}
+	}
+}
+
+func TestFastMergeFewerRounds(t *testing.T) {
+	// The whole point of fastmerging: far fewer rounds than binary merging
+	// on large inputs.
+	r := rng.New(43)
+	n := 1 << 16
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	sf := sparse.FromDense(q)
+	slow, err := ConstructHistogram(sf, 10, PaperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ConstructHistogramFast(sf, 10, PaperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Rounds >= slow.Rounds {
+		t.Fatalf("fast rounds %d not fewer than binary rounds %d", fast.Rounds, slow.Rounds)
+	}
+	t.Logf("rounds: binary=%d fast=%d", slow.Rounds, fast.Rounds)
+}
+
+func TestFastMergeValidatesInput(t *testing.T) {
+	sf := sparse.FromDense([]float64{1, 2})
+	if _, err := ConstructHistogramFast(sf, 0, DefaultOptions()); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := ConstructHistogramFast(sf, 1, Options{Delta: -1, Gamma: 1}); err == nil {
+		t.Fatal("bad options should error")
+	}
+}
+
+func TestGroupSize(t *testing.T) {
+	// g ≥ 2 always; at least keep+2 groups.
+	for _, c := range []struct{ s, keep int }{
+		{10, 3}, {100, 3}, {100000, 11}, {8, 100}, {2, 1},
+	} {
+		g := groupSize(c.s, c.keep)
+		if g < 2 {
+			t.Fatalf("s=%d keep=%d: g=%d < 2", c.s, c.keep, g)
+		}
+		if g > 2 {
+			numGroups := (c.s + g - 1) / g
+			if numGroups < c.keep+2 {
+				t.Fatalf("s=%d keep=%d g=%d: only %d groups", c.s, c.keep, g, numGroups)
+			}
+		}
+	}
+}
+
+func TestFastMergeDeterminism(t *testing.T) {
+	r := rng.New(47)
+	q := make([]float64, 2048)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	sf := sparse.FromDense(q)
+	a, _ := ConstructHistogramFast(sf, 7, PaperOptions())
+	b, _ := ConstructHistogramFast(sf, 7, PaperOptions())
+	if a.Error != b.Error || len(a.Partition) != len(b.Partition) {
+		t.Fatal("fastmerge runs differ")
+	}
+}
+
+func TestFastMergeAgreesWithBinaryOnQuality(t *testing.T) {
+	// Fastmerging is allowed to produce a different partition but must stay
+	// in the same quality class: within a factor ~2 of binary merging's
+	// error on smooth data (both are ≤ √(1+δ)·opt).
+	r := rng.New(53)
+	n := 4096
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = math.Sin(float64(i)/100)*10 + r.NormFloat64()
+	}
+	sf := sparse.FromDense(q)
+	slow, _ := ConstructHistogram(sf, 10, PaperOptions())
+	fast, _ := ConstructHistogramFast(sf, 10, PaperOptions())
+	if fast.Error > 2*slow.Error+1e-9 {
+		t.Fatalf("fast error %v more than 2× binary error %v", fast.Error, slow.Error)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	p := interval.Partition{interval.New(1, 2), interval.New(3, 5)}
+	h := NewHistogram(5, p, []float64{1, 2})
+	if h.N() != 5 || h.NumPieces() != 2 {
+		t.Fatal("basic accessors wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched values length should panic")
+		}
+	}()
+	NewHistogram(5, p, []float64{1})
+}
+
+func TestHistogramAtAndToDense(t *testing.T) {
+	p := interval.Partition{interval.New(1, 3), interval.New(4, 4), interval.New(5, 8)}
+	h := NewHistogram(8, p, []float64{1.5, -2, 0.25})
+	want := []float64{1.5, 1.5, 1.5, -2, 0.25, 0.25, 0.25, 0.25}
+	dense := h.ToDense()
+	for i, w := range want {
+		if dense[i] != w {
+			t.Fatalf("ToDense[%d] = %v, want %v", i, dense[i], w)
+		}
+		if h.At(i+1) != w {
+			t.Fatalf("At(%d) = %v, want %v", i+1, h.At(i+1), w)
+		}
+	}
+}
+
+func TestHistogramAtPanics(t *testing.T) {
+	h := NewHistogram(3, interval.Partition{interval.New(1, 3)}, []float64{1})
+	for _, i := range []int{0, 4} {
+		func(i int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) should panic", i)
+				}
+			}()
+			h.At(i)
+		}(i)
+	}
+}
+
+func TestHistogramMass(t *testing.T) {
+	p := interval.Partition{interval.New(1, 2), interval.New(3, 6)}
+	h := NewHistogram(6, p, []float64{0.25, 0.125})
+	if got := h.Mass(); got != 1 {
+		t.Fatalf("Mass = %v, want 1", got)
+	}
+}
+
+func TestHistogramPartitionRoundTrip(t *testing.T) {
+	p := interval.Partition{interval.New(1, 4), interval.New(5, 9)}
+	h := NewHistogram(9, p, []float64{1, 2})
+	got := h.Partition()
+	if len(got) != 2 || got[0] != p[0] || got[1] != p[1] {
+		t.Fatalf("Partition = %v", got)
+	}
+}
+
+func TestL2DistConsistency(t *testing.T) {
+	r := rng.New(3)
+	q := make([]float64, 200)
+	for i := range q {
+		if r.Float64() < 0.4 {
+			q[i] = r.NormFloat64()
+		}
+	}
+	sf := sparse.FromDense(q)
+	p := interval.Uniform(200, 13)
+	h := FlattenHistogram(sf, p)
+
+	dense := h.L2DistToDense(q)
+	sparseDist := h.L2DistToSparse(sf)
+	naive := numeric.L2Dist(h.ToDense(), q)
+	flatErr := sf.FlattenError(p)
+
+	for name, got := range map[string]float64{
+		"L2DistToDense":  dense,
+		"L2DistToSparse": sparseDist,
+		"FlattenError":   flatErr,
+	} {
+		if !numeric.AlmostEqual(got, naive, 1e-9) {
+			t.Fatalf("%s = %v, naive = %v", name, got, naive)
+		}
+	}
+}
+
+func TestFlattenHistogramIsOptimalOnPartition(t *testing.T) {
+	// The flattening minimizes ℓ2 error among all histograms on the same
+	// partition; compare against a perturbed histogram.
+	q := []float64{1, 2, 3, 10, 11, 12}
+	sf := sparse.FromDense(q)
+	p := interval.Partition{interval.New(1, 3), interval.New(4, 6)}
+	h := FlattenHistogram(sf, p)
+	if h.At(1) != 2 || h.At(6) != 11 {
+		t.Fatalf("flattening means wrong: %v, %v", h.At(1), h.At(6))
+	}
+	base := h.L2DistToDense(q)
+	worse := NewHistogram(6, p, []float64{2.1, 11})
+	if worse.L2DistToDense(q) < base {
+		t.Fatal("perturbed histogram beat the flattening")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(4, interval.Partition{interval.New(1, 4)}, []float64{1})
+	if got := h.String(); got != "Histogram{n=4, 1 pieces}" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interval"
+	"repro/internal/selection"
+	"repro/internal/sparse"
+)
+
+// Options are the trade-off parameters of Algorithm 1.
+//
+// Delta (δ) controls the trade-off between the approximation ratio and the
+// number of output pieces: the output has at most (2 + 2/δ)k + γ pieces and
+// error at most √(1+δ)·opt_k (Theorem 3.3). Small δ means a tighter error
+// ratio but more pieces; the paper's experiments use δ = 1000 so that the
+// output has ≈ 2k pieces.
+//
+// Gamma (γ) controls the trade-off between running time and pieces: with
+// γ = c·(2 + 2/δ)k the algorithm runs in O(s) for every k (Corollary 3.1);
+// with γ = 1 it runs in O(s + k(1+1/δ)·log((1+1/δ)k)).
+type Options struct {
+	Delta float64
+	Gamma float64
+}
+
+// DefaultOptions returns δ = 1, γ = 1: at most 4k+1 pieces with error at
+// most √2·opt_k.
+func DefaultOptions() Options { return Options{Delta: 1, Gamma: 1} }
+
+// PaperOptions returns the parameters used in the paper's experimental
+// section (Section 5): δ = 1000, γ = 1, so the output histogram has 2k+1
+// pieces.
+func PaperOptions() Options { return Options{Delta: 1000, Gamma: 1} }
+
+func (o Options) validate() error {
+	if !(o.Delta > 0) || math.IsInf(o.Delta, 0) || math.IsNaN(o.Delta) {
+		return fmt.Errorf("core: Delta must be a positive finite number, got %v", o.Delta)
+	}
+	if !(o.Gamma >= 1) || math.IsInf(o.Gamma, 0) || math.IsNaN(o.Gamma) {
+		return fmt.Errorf("core: Gamma must be ≥ 1, got %v", o.Gamma)
+	}
+	return nil
+}
+
+// TargetPieces returns the loop exit threshold ⌊(2 + 2/δ)k + γ⌋: the
+// algorithm stops once at most this many intervals remain, so the output has
+// at most that many pieces.
+func (o Options) TargetPieces(k int) int {
+	return int((2+2/o.Delta)*float64(k) + o.Gamma)
+}
+
+// KeepBudget returns ⌊(1 + 1/δ)k⌋ (at least 1), the per-round number of
+// candidate merges with the largest errors that are kept split (Algorithm 1,
+// line 16). Floor semantics match the paper's experimental parameterization:
+// with δ = 1000, k = 10 the target of 21 pieces is only reachable if the
+// keep budget rounds down to 10 in the final rounds.
+func (o Options) KeepBudget(k int) int {
+	b := int((1 + 1/o.Delta) * float64(k))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Result is the output of a merging run.
+type Result struct {
+	// Partition is the final interval partition I.
+	Partition interval.Partition
+	// Histogram is the flattening q̄_I of the input over Partition — the
+	// ℓ2-optimal histogram on that partition.
+	Histogram *Histogram
+	// Error is ‖q̄_I − q‖₂, computed exactly from the interval statistics.
+	// In the learning setting this is the error estimate e_t of Theorem 2.2.
+	Error float64
+	// Rounds is the number of merging iterations performed.
+	Rounds int
+}
+
+// mergeState carries the live intervals and their statistics across rounds.
+// A merge adds the Stats of the two (or more) constituent intervals, keeping
+// every round linear in the number of live intervals.
+type mergeState struct {
+	ivs   []interval.Interval
+	stats []sparse.Stat
+	// Scratch buffers reused across rounds.
+	errs      []float64
+	nextIvs   []interval.Interval
+	nextStats []sparse.Stat
+}
+
+func newMergeState(q *sparse.Func) *mergeState {
+	p := q.InitialPartition()
+	return &mergeState{ivs: p, stats: q.StatsFor(p)}
+}
+
+func (m *mergeState) len() int { return len(m.ivs) }
+
+// finish flattens the summarized input over the final partition and
+// assembles the Result. n is the domain size.
+func (m *mergeState) finish(n, rounds int) Result {
+	p := make(interval.Partition, len(m.ivs))
+	copy(p, m.ivs)
+	values := make([]float64, len(m.stats))
+	var sse float64
+	for i, st := range m.stats {
+		values[i] = st.Mean()
+		sse += st.SSE()
+	}
+	return Result{
+		Partition: p,
+		Histogram: NewHistogram(n, p, values),
+		Error:     math.Sqrt(sse),
+		Rounds:    rounds,
+	}
+}
+
+// pairRound performs one iteration of Algorithm 1's loop: pair up the
+// current intervals, keep the `keep` pairs with the largest merge errors
+// split, and merge every other pair. An unpaired trailing interval is
+// carried over. It reports the number of live intervals after the round.
+func (m *mergeState) pairRound(keep int) int {
+	s := len(m.ivs)
+	pairs := s / 2
+	if keep >= pairs {
+		keep = pairs - 1 // guarantee progress: at least one pair merges
+	}
+	if keep < 0 {
+		keep = 0
+	}
+
+	m.errs = m.errs[:0]
+	for u := 0; u < pairs; u++ {
+		merged := m.stats[2*u].Add(m.stats[2*u+1])
+		m.errs = append(m.errs, merged.SSE())
+	}
+
+	// Cut value: the keep-th largest pair error. Pairs strictly above the
+	// cut always stay split (there are at most keep−1 of them); ties at the
+	// cut stay split only until the remaining budget is exhausted, so
+	// exactly `keep` pairs stay split. The tie budget must be computed
+	// up front — handing ties the full budget in index order would let
+	// early ties plus later strictly-greater errors split more than `keep`
+	// pairs, and a round where every pair splits makes no progress.
+	var cut float64
+	if keep > 0 {
+		cut = selection.Threshold(m.errs, keep)
+	} else {
+		cut = math.Inf(1)
+	}
+	greater := 0
+	for _, e := range m.errs {
+		if e > cut {
+			greater++
+		}
+	}
+	tieLeft := keep - greater
+	if tieLeft < 0 {
+		tieLeft = 0
+	}
+
+	m.nextIvs = m.nextIvs[:0]
+	m.nextStats = m.nextStats[:0]
+	for u := 0; u < pairs; u++ {
+		e := m.errs[u]
+		tie := e == cut && tieLeft > 0
+		split := e > cut || tie
+		if split {
+			if tie {
+				tieLeft--
+			}
+			m.nextIvs = append(m.nextIvs, m.ivs[2*u], m.ivs[2*u+1])
+			m.nextStats = append(m.nextStats, m.stats[2*u], m.stats[2*u+1])
+		} else {
+			m.nextIvs = append(m.nextIvs, m.ivs[2*u].Union(m.ivs[2*u+1]))
+			m.nextStats = append(m.nextStats, m.stats[2*u].Add(m.stats[2*u+1]))
+		}
+	}
+	if s%2 == 1 { // trailing unpaired interval
+		m.nextIvs = append(m.nextIvs, m.ivs[s-1])
+		m.nextStats = append(m.nextStats, m.stats[s-1])
+	}
+	m.ivs, m.nextIvs = m.nextIvs, m.ivs
+	m.stats, m.nextStats = m.nextStats, m.stats
+	return len(m.ivs)
+}
+
+// ConstructHistogram is Algorithm 1: it approximates the s-sparse function q
+// with a histogram of at most (2 + 2/δ)k + γ pieces whose ℓ2 error is at
+// most √(1+δ)·opt_k, where opt_k is the error of the best k-histogram
+// (Theorem 3.3). With γ = Θ(k/δ) the running time is O(s) (Corollary 3.1).
+func ConstructHistogram(q *sparse.Func, k int, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("core: k must be ≥ 1, got %d", k)
+	}
+	m := newMergeState(q)
+	target := opts.TargetPieces(k)
+	keep := opts.KeepBudget(k)
+	rounds := 0
+	for m.len() > target {
+		m.pairRound(keep)
+		rounds++
+	}
+	return m.finish(q.N(), rounds), nil
+}
+
+// ConstructHistogramFromSummary runs the merging loop starting from an
+// arbitrary interval summary instead of a sparse function: a partition of
+// [1, n] with the per-interval statistics (length, Σq, Σq²) of the data each
+// interval summarizes. This is the entry point for mergeable and streaming
+// summaries (internal/stream), where the "input" is itself a previously
+// built histogram plus buffered updates. The partition and stats slices are
+// not retained or modified.
+func ConstructHistogramFromSummary(n int, p interval.Partition, stats []sparse.Stat, k int, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("core: k must be ≥ 1, got %d", k)
+	}
+	if err := p.Validate(n); err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	if len(stats) != len(p) {
+		return Result{}, fmt.Errorf("core: %d stats for %d intervals", len(stats), len(p))
+	}
+	m := &mergeState{
+		ivs:   append([]interval.Interval(nil), p...),
+		stats: append([]sparse.Stat(nil), stats...),
+	}
+	target := opts.TargetPieces(k)
+	keep := opts.KeepBudget(k)
+	rounds := 0
+	for m.len() > target {
+		m.pairRound(keep)
+		rounds++
+	}
+	return m.finish(n, rounds), nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func TestConstructHistogramFromSummaryMatchesDirect(t *testing.T) {
+	// Starting from the exact initial partition + stats must reproduce the
+	// direct ConstructHistogram run bit for bit.
+	r := rng.New(331)
+	q := make([]float64, 700)
+	for i := range q {
+		q[i] = r.NormFloat64() * 4
+	}
+	sf := sparse.FromDense(q)
+	p := sf.InitialPartition()
+	stats := sf.StatsFor(p)
+	direct, err := ConstructHistogram(sf, 6, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSummary, err := ConstructHistogramFromSummary(700, p, stats, 6, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Error != viaSummary.Error || direct.Rounds != viaSummary.Rounds {
+		t.Fatalf("direct (%v, %d rounds) vs summary (%v, %d rounds)",
+			direct.Error, direct.Rounds, viaSummary.Error, viaSummary.Rounds)
+	}
+	p1, p2 := direct.Partition, viaSummary.Partition
+	if len(p1) != len(p2) {
+		t.Fatal("partition sizes differ")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("partitions differ at %d", i)
+		}
+	}
+}
+
+func TestConstructHistogramFromSummaryValidation(t *testing.T) {
+	part := interval.Partition{interval.New(1, 10)}
+	stats := []sparse.Stat{{Len: 10, Sum: 5, SumSq: 3}}
+	if _, err := ConstructHistogramFromSummary(10, part, stats, 0, DefaultOptions()); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := ConstructHistogramFromSummary(10, part, nil, 1, DefaultOptions()); err == nil {
+		t.Fatal("stats length mismatch should error")
+	}
+	if _, err := ConstructHistogramFromSummary(11, part, stats, 1, DefaultOptions()); err == nil {
+		t.Fatal("partition not covering domain should error")
+	}
+	if _, err := ConstructHistogramFromSummary(10, part, stats, 1, Options{Delta: 0, Gamma: 1}); err == nil {
+		t.Fatal("bad options should error")
+	}
+}
+
+func TestConstructHistogramFromSummaryDoesNotMutateInput(t *testing.T) {
+	part := interval.Partition{}
+	stats := []sparse.Stat{}
+	for i := 0; i < 64; i++ {
+		part = append(part, interval.New(i*4+1, i*4+4))
+		stats = append(stats, sparse.Stat{Len: 4, Sum: float64(i % 7), SumSq: float64(i % 7)})
+	}
+	partCopy := append(interval.Partition(nil), part...)
+	statsCopy := append([]sparse.Stat(nil), stats...)
+	if _, err := ConstructHistogramFromSummary(256, part, stats, 3, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range part {
+		if part[i] != partCopy[i] || stats[i] != statsCopy[i] {
+			t.Fatal("inputs were mutated")
+		}
+	}
+}
+
+func TestConstructHistogramFromSummaryCoarseSummary(t *testing.T) {
+	// A summary whose intervals already aggregate many points: merging must
+	// respect the summary's intervals as atoms (it can only merge, never
+	// split), and the flattening error must combine the summary's internal
+	// SSE with the merge SSE.
+	part := interval.Partition{interval.New(1, 50), interval.New(51, 100)}
+	// Interval 1 summarizes constant 2s (SSE 0); interval 2 constant 8s.
+	stats := []sparse.Stat{
+		{Len: 50, Sum: 100, SumSq: 200},
+		{Len: 50, Sum: 400, SumSq: 3200},
+	}
+	res, err := ConstructHistogramFromSummary(100, part, stats, 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target for k=1, δ=1, γ=1 is 5 ≥ 2 pieces: nothing merges, exact.
+	if res.Error != 0 {
+		t.Fatalf("error %v, want 0", res.Error)
+	}
+	if res.Histogram.At(1) != 2 || res.Histogram.At(100) != 8 {
+		t.Fatal("summary values wrong")
+	}
+	// Force a merge with a tighter target: one piece, mean 5, SSE = 50·9+50·9.
+	res2, err := ConstructHistogramFromSummary(100, part, stats, 1, Options{Delta: 1000, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res2 // target (2+2/1000)·1+1 = 3 ≥ 2: still no merge
+	if res2.Histogram.NumPieces() != 2 {
+		t.Fatalf("pieces = %d", res2.Histogram.NumPieces())
+	}
+}
+
+func TestSummaryMergeArithmetic(t *testing.T) {
+	// When a merge does happen, the merged value is the stat-weighted mean
+	// and the error is the exact SSE of the combined stats.
+	part := interval.Partition{
+		interval.New(1, 2), interval.New(3, 4), interval.New(5, 6), interval.New(7, 8),
+		interval.New(9, 10), interval.New(11, 12), interval.New(13, 14), interval.New(15, 16),
+	}
+	stats := make([]sparse.Stat, 8)
+	vals := []float64{1, 1, 1, 1, 9, 9, 9, 9}
+	for i := range stats {
+		stats[i] = sparse.Stat{Len: 2, Sum: 2 * vals[i], SumSq: 2 * vals[i] * vals[i]}
+	}
+	res, err := ConstructHistogramFromSummary(16, part, stats, 1, Options{Delta: 1000, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target 3 pieces; the two constant halves merge without error; only a
+	// forced cross-jump merge would add error, and with 3 target pieces the
+	// split budget protects the jump: error 0.
+	if res.Error > 1e-9 {
+		t.Fatalf("error %v", res.Error)
+	}
+	if got := res.Histogram.At(1); !numeric.AlmostEqual(got, 1, 1e-12) {
+		t.Fatalf("left value %v", got)
+	}
+	if got := res.Histogram.At(16); !numeric.AlmostEqual(got, 9, 1e-12) {
+		t.Fatalf("right value %v", got)
+	}
+}

@@ -1,0 +1,217 @@
+// Package datasets generates the three data sets of the paper's experimental
+// section (Figure 1) and their normalized, subsampled variants used in the
+// learning experiments (Figure 2).
+//
+//   - Hist: a 10-piece histogram contaminated with Gaussian noise, n = 1000.
+//   - Poly: a degree-5 polynomial contaminated with Gaussian noise, n = 4000.
+//   - Dow: the paper uses n = 16384 daily closing values of the Dow Jones
+//     Industrial Average. That exact series is not redistributable here, so
+//     we *simulate* it with a geometric random walk whose drift and
+//     volatility are calibrated to give the same qualitative shape (a long,
+//     locally smooth, non-stationary positive series spanning roughly
+//     [40, 400] like the paper's plot). See DESIGN.md §3 for why this
+//     preserves the experimental comparison.
+//
+// All generators are deterministic: fixed seeds, identical output on every
+// call.
+package datasets
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// Sizes and piece counts used in the paper's experiments (Section 5).
+const (
+	HistN = 1000
+	PolyN = 4000
+	DowN  = 16384
+
+	// HistK, PolyK, DowK are the histogram sizes used for each data set in
+	// Table 1 and Figure 2.
+	HistK = 10
+	PolyK = 10
+	DowK  = 50
+
+	// Subsampling factors producing the Figure 2 learning data sets with
+	// support ≈ 1000.
+	PolySubsample = 4
+	DowSubsample  = 16
+)
+
+// Fixed generator seeds; changing these changes every experiment, so don't.
+const (
+	histSeed = 0x485153542031 // "HIST 1"
+	polySeed = 0x504f4c592031 // "POLY 1"
+	dowSeed  = 0x444f572031   // "DOW 1"
+)
+
+// Hist returns the "hist" data set: a 10-piece histogram with levels drawn
+// in [1, 9] and additive N(0, 0.5²) noise, n = 1000 (Figure 1, left).
+func Hist() []float64 {
+	r := rng.New(histSeed)
+	const n = HistN
+	const pieces = 10
+	q := make([]float64, n)
+	// Random piece boundaries: 9 cut points, at least 20 apart so every
+	// piece is visible at plot scale.
+	bounds := randomBoundaries(r, n, pieces, 20)
+	lo := 0
+	prev := math.Inf(1)
+	for _, hi := range bounds {
+		level := 1 + 8*r.Float64()
+		// Avoid adjacent levels closer than the noise floor, so the data is
+		// genuinely a 10-piece histogram at signal scale.
+		for math.Abs(level-prev) < 1.5 {
+			level = 1 + 8*r.Float64()
+		}
+		prev = level
+		for i := lo; i < hi; i++ {
+			q[i] = level + 0.5*r.NormFloat64()
+		}
+		lo = hi
+	}
+	return q
+}
+
+// Poly returns the "poly" data set: a degree-5 polynomial scaled to roughly
+// [0, 30] with additive N(0, 1) noise, n = 4000 (Figure 1, middle).
+func Poly() []float64 {
+	r := rng.New(polySeed)
+	const n = PolyN
+	// A degree-5 polynomial with visible wiggles on [0, 1]:
+	// p(x) = 30·x·(1−x)·(x−0.25)·(x−0.6)·(x−0.9) rescaled.
+	q := make([]float64, n)
+	raw := make([]float64, n)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for i := range raw {
+		x := float64(i) / float64(n-1)
+		v := x * (1 - x) * (x - 0.25) * (x - 0.6) * (x - 0.9)
+		raw[i] = v
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	for i := range q {
+		scaled := 2 + 26*(raw[i]-minV)/(maxV-minV)
+		q[i] = scaled + r.NormFloat64()
+	}
+	return q
+}
+
+// Dow returns the simulated Dow Jones data set: a geometric random walk with
+// daily drift 8.5e-5 and volatility 1.1% starting at 60, n = 16384
+// (Figure 1, right). The parameters give a series that, like the paper's,
+// rises non-monotonically by roughly an order of magnitude with sustained
+// drawdowns.
+func Dow() []float64 {
+	r := rng.New(dowSeed)
+	const n = DowN
+	q := make([]float64, n)
+	v := 60.0
+	for i := range q {
+		q[i] = v
+		v *= math.Exp(8.5e-5 + 0.011*r.NormFloat64())
+	}
+	return q
+}
+
+// randomBoundaries returns `pieces−1` sorted cut points in (minGap, n) with
+// pairwise (and boundary) gaps of at least minGap, then appends n.
+func randomBoundaries(r *rng.RNG, n, pieces, minGap int) []int {
+	cuts := make([]int, 0, pieces)
+	for len(cuts) < pieces-1 {
+		c := minGap + r.Intn(n-2*minGap)
+		ok := true
+		for _, existing := range cuts {
+			if abs(existing-c) < minGap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cuts = append(cuts, c)
+		}
+	}
+	// Insertion sort: tiny slice.
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	return append(cuts, n)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Subsample keeps every factor-th point of q starting at index 0, the
+// uniformly-spaced subsampling the paper applies to poly and dow for the
+// learning experiments.
+func Subsample(q []float64, factor int) []float64 {
+	if factor < 1 {
+		panic("datasets: subsample factor must be ≥ 1")
+	}
+	out := make([]float64, 0, (len(q)+factor-1)/factor)
+	for i := 0; i < len(q); i += factor {
+		out = append(out, q[i])
+	}
+	return out
+}
+
+// Normalize converts a raw data set into a probability distribution by
+// clamping negatives to zero and dividing by the total mass — how the paper
+// turns the Figure 1 data sets into the Figure 2 learning targets.
+func Normalize(q []float64) dist.Dist {
+	d, err := dist.FromWeights(q)
+	if err != nil {
+		panic("datasets: normalization failed: " + err.Error())
+	}
+	return d
+}
+
+// HistPrime returns the hist' learning target: Hist normalized
+// (support 1000).
+func HistPrime() dist.Dist { return Normalize(Hist()) }
+
+// PolyPrime returns the poly' learning target: Poly subsampled ×4 and
+// normalized (support 1000).
+func PolyPrime() dist.Dist { return Normalize(Subsample(Poly(), PolySubsample)) }
+
+// DowPrime returns the dow' learning target: Dow subsampled ×16 and
+// normalized (support 1024).
+func DowPrime() dist.Dist { return Normalize(Subsample(Dow(), DowSubsample)) }
+
+// Stats summarizes a data set for documentation and sanity tests.
+type Stats struct {
+	N          int
+	Min, Max   float64
+	Mean       float64
+	TotalSumSq float64
+}
+
+// Describe computes summary statistics of q.
+func Describe(q []float64) Stats {
+	s := Stats{N: len(q), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range q {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = numeric.Mean(q)
+	s.TotalSumSq = numeric.SumSq(q)
+	return s
+}

@@ -1,0 +1,176 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+func TestSizes(t *testing.T) {
+	if got := len(Hist()); got != HistN {
+		t.Fatalf("|hist| = %d, want %d", got, HistN)
+	}
+	if got := len(Poly()); got != PolyN {
+		t.Fatalf("|poly| = %d, want %d", got, PolyN)
+	}
+	if got := len(Dow()); got != DowN {
+		t.Fatalf("|dow| = %d, want %d", got, DowN)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for name, gen := range map[string]func() []float64{
+		"hist": Hist, "poly": Poly, "dow": Dow,
+	} {
+		a, b := gen(), gen()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: differs at %d between calls", name, i)
+			}
+		}
+	}
+}
+
+func TestHistIsNearlyTenPieces(t *testing.T) {
+	// The signal is a 10-piece histogram: opt_10 should capture essentially
+	// all structure, i.e., the optimal 10-histogram error should be close to
+	// the pure-noise floor σ√n and far below opt_1.
+	q := Hist()
+	_, opt10, err := baseline.ExactDP(q, HistK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt1, err := baseline.ExactDP(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noiseFloor := 0.5 * math.Sqrt(float64(HistN))
+	if opt10 > 1.15*noiseFloor {
+		t.Fatalf("opt_10 = %v, noise floor %v — structure not captured", opt10, noiseFloor)
+	}
+	if opt1 < 3*opt10 {
+		t.Fatalf("opt_1 = %v vs opt_10 = %v — data not histogram-like", opt1, opt10)
+	}
+}
+
+func TestPolyRangeLooksLikeFigure(t *testing.T) {
+	s := Describe(Poly())
+	if s.Min < -5 || s.Max > 35 {
+		t.Fatalf("poly range [%v, %v] out of Figure-1 scale", s.Min, s.Max)
+	}
+	if s.Max < 20 {
+		t.Fatalf("poly max %v too small", s.Max)
+	}
+}
+
+func TestDowLooksLikeAnIndex(t *testing.T) {
+	q := Dow()
+	s := Describe(q)
+	if s.Min <= 0 {
+		t.Fatalf("dow min %v ≤ 0 — a price series must stay positive", s.Min)
+	}
+	// Order-of-magnitude growth with drawdowns, like the DJIA series.
+	if q[len(q)-1] < 3*q[0] {
+		t.Fatalf("dow grew only from %v to %v", q[0], q[len(q)-1])
+	}
+	maxDrawdown := 0.0
+	peak := q[0]
+	for _, v := range q {
+		if v > peak {
+			peak = v
+		}
+		if dd := (peak - v) / peak; dd > maxDrawdown {
+			maxDrawdown = dd
+		}
+	}
+	if maxDrawdown < 0.15 {
+		t.Fatalf("max drawdown %v — too smooth to be an index", maxDrawdown)
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	q := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := Subsample(q, 3)
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if got := Subsample(q, 1); len(got) != len(q) {
+		t.Fatal("factor 1 must be identity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor 0 should panic")
+		}
+	}()
+	Subsample(q, 0)
+}
+
+func TestPrimeVariants(t *testing.T) {
+	if got := HistPrime().N(); got != 1000 {
+		t.Fatalf("hist' support %d", got)
+	}
+	if got := PolyPrime().N(); got != 1000 {
+		t.Fatalf("poly' support %d", got)
+	}
+	if got := DowPrime().N(); got != 1024 {
+		t.Fatalf("dow' support %d", got)
+	}
+	// FromWeights already validates; re-check the mass sums to 1.
+	for name, masses := range map[string][]float64{
+		"hist'": HistPrime().P,
+		"poly'": PolyPrime().P,
+		"dow'":  DowPrime().P,
+	} {
+		var sum float64
+		for _, p := range masses {
+			if p < 0 {
+				t.Fatalf("%s: negative mass", name)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: total mass %v", name, sum)
+		}
+	}
+}
+
+func TestMergingWorksOnAllDatasets(t *testing.T) {
+	// Smoke test tying datasets to the core algorithm with the paper's
+	// parameters.
+	for name, c := range map[string]struct {
+		q []float64
+		k int
+	}{
+		"hist": {Hist(), HistK},
+		"poly": {Poly(), PolyK},
+		"dow":  {Dow(), DowK},
+	} {
+		sf := sparse.FromDense(c.q)
+		res, err := core.ConstructHistogram(sf, c.k, core.PaperOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Histogram.NumPieces() != 2*c.k+1 {
+			t.Fatalf("%s: %d pieces, want 2k+1 = %d", name, res.Histogram.NumPieces(), 2*c.k+1)
+		}
+		if res.Error <= 0 {
+			t.Fatalf("%s: zero error is implausible on noisy data", name)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 || s.TotalSumSq != 14 {
+		t.Fatalf("Describe = %+v", s)
+	}
+}

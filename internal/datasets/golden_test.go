@@ -1,0 +1,52 @@
+package datasets
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// hashSeries fingerprints a float series bit-exactly.
+func hashSeries(q []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range q {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Golden fingerprints pin the generated data sets: every experiment in
+// EXPERIMENTS.md is reproducible only if these never change. If you
+// intentionally change a generator, update the fingerprint AND rerun all
+// recorded experiments.
+func TestGoldenFingerprints(t *testing.T) {
+	got := map[string]uint64{
+		"hist": hashSeries(Hist()),
+		"poly": hashSeries(Poly()),
+		"dow":  hashSeries(Dow()),
+	}
+	// On first run these log the values to pin; the constants below were
+	// produced by this very test and must stay stable across platforms
+	// (pure float64 arithmetic, no math/rand).
+	want := map[string]uint64{
+		"hist": goldenHist,
+		"poly": goldenPoly,
+		"dow":  goldenDow,
+	}
+	for name, g := range got {
+		if w := want[name]; g != w {
+			t.Errorf("%s fingerprint = %#x, want %#x — generator changed; "+
+				"update the golden value and rerun EXPERIMENTS.md", name, g, w)
+		}
+	}
+}
+
+// Golden values — see TestGoldenFingerprints.
+const (
+	goldenHist = 0x9539ecaaa02b4372
+	goldenPoly = 0x1b9d7777808b988f
+	goldenDow  = 0x84fb68b3bae1843b
+)

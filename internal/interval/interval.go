@@ -1,0 +1,180 @@
+// Package interval defines intervals over the discrete universe
+// [n] = {1, …, n} and partitions of [n] into consecutive intervals, the
+// combinatorial objects underlying every histogram in the repository.
+//
+// Conventions follow the paper: an interval J = [a, b] is the set
+// {a, a+1, …, b} with 1 ≤ a ≤ b ≤ n, and |J| = b − a + 1.
+package interval
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interval is a non-empty closed interval [Lo, Hi] of integers, 1-based.
+type Interval struct {
+	Lo, Hi int
+}
+
+// New returns the interval [lo, hi]. It panics if lo > hi or lo < 1; callers
+// construct intervals from already-validated positions on hot paths.
+func New(lo, hi int) Interval {
+	if lo < 1 || lo > hi {
+		panic(fmt.Sprintf("interval: invalid [%d, %d]", lo, hi))
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Len returns |I| = Hi − Lo + 1.
+func (iv Interval) Len() int { return iv.Hi - iv.Lo + 1 }
+
+// Contains reports whether x ∈ [Lo, Hi].
+func (iv Interval) Contains(x int) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// ContainsInterval reports whether other ⊆ iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Union returns the smallest interval containing both iv and other; it
+// panics unless the two are adjacent or overlapping (the merging algorithms
+// only ever union consecutive intervals).
+func (iv Interval) Union(other Interval) Interval {
+	if other.Lo > iv.Hi+1 || iv.Lo > other.Hi+1 {
+		panic(fmt.Sprintf("interval: union of non-adjacent %v and %v", iv, other))
+	}
+	lo, hi := iv.Lo, iv.Hi
+	if other.Lo < lo {
+		lo = other.Lo
+	}
+	if other.Hi > hi {
+		hi = other.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// String renders the interval as "[lo,hi]".
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi) }
+
+// Partition is an ordered list of disjoint consecutive intervals covering
+// [1, n] exactly: p[0].Lo = 1, p[i+1].Lo = p[i].Hi + 1, p[last].Hi = n.
+type Partition []Interval
+
+// Validate checks the partition covers [1, n] contiguously.
+func (p Partition) Validate(n int) error {
+	if len(p) == 0 {
+		return errors.New("interval: empty partition")
+	}
+	if p[0].Lo != 1 {
+		return fmt.Errorf("interval: partition starts at %d, want 1", p[0].Lo)
+	}
+	for i, iv := range p {
+		if iv.Lo > iv.Hi {
+			return fmt.Errorf("interval: piece %d is empty: %v", i, iv)
+		}
+		if i > 0 && iv.Lo != p[i-1].Hi+1 {
+			return fmt.Errorf("interval: gap or overlap between %v and %v", p[i-1], iv)
+		}
+	}
+	if last := p[len(p)-1].Hi; last != n {
+		return fmt.Errorf("interval: partition ends at %d, want %d", last, n)
+	}
+	return nil
+}
+
+// N returns the domain size covered by the partition (the Hi of the last
+// piece), or 0 for an empty partition.
+func (p Partition) N() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[len(p)-1].Hi
+}
+
+// Find returns the index of the piece containing x using binary search, or
+// -1 if x is outside [1, N()].
+func (p Partition) Find(x int) int {
+	lo, hi := 0, len(p)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case x < p[mid].Lo:
+			hi = mid - 1
+		case x > p[mid].Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// Boundaries returns the sorted right endpoints of all pieces; two
+// partitions are equal iff their boundaries (and N) are equal.
+func (p Partition) Boundaries() []int {
+	bs := make([]int, len(p))
+	for i, iv := range p {
+		bs[i] = iv.Hi
+	}
+	return bs
+}
+
+// Refines reports whether p refines q: every piece of p lies inside a single
+// piece of q. Both must cover the same domain.
+func (p Partition) Refines(q Partition) bool {
+	if p.N() != q.N() {
+		return false
+	}
+	j := 0
+	for _, iv := range p {
+		for j < len(q) && q[j].Hi < iv.Hi {
+			j++
+		}
+		if j == len(q) || !q[j].ContainsInterval(iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Uniform returns the partition of [1, n] into k pieces of near-equal length
+// (the first n mod k pieces are one longer). It panics if k < 1 or k > n.
+func Uniform(n, k int) Partition {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("interval: Uniform(%d, %d) invalid", n, k))
+	}
+	p := make(Partition, 0, k)
+	base := n / k
+	extra := n % k
+	lo := 1
+	for i := 0; i < k; i++ {
+		length := base
+		if i < extra {
+			length++
+		}
+		p = append(p, Interval{Lo: lo, Hi: lo + length - 1})
+		lo += length
+	}
+	return p
+}
+
+// FromBoundaries builds a partition of [1, n] whose pieces end at the given
+// strictly increasing right endpoints; the final endpoint must be n.
+func FromBoundaries(n int, ends []int) (Partition, error) {
+	if len(ends) == 0 {
+		return nil, errors.New("interval: no boundaries")
+	}
+	p := make(Partition, 0, len(ends))
+	lo := 1
+	for i, e := range ends {
+		if e < lo || e > n {
+			return nil, fmt.Errorf("interval: boundary %d at position %d out of order", e, i)
+		}
+		p = append(p, Interval{Lo: lo, Hi: e})
+		lo = e + 1
+	}
+	if p[len(p)-1].Hi != n {
+		return nil, fmt.Errorf("interval: last boundary %d ≠ n = %d", p[len(p)-1].Hi, n)
+	}
+	return p, nil
+}

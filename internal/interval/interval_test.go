@@ -1,0 +1,215 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := New(3, 7)
+	if iv.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", iv.Len())
+	}
+	if !iv.Contains(3) || !iv.Contains(7) || iv.Contains(2) || iv.Contains(8) {
+		t.Fatal("Contains boundary behaviour wrong")
+	}
+	if iv.String() != "[3,7]" {
+		t.Fatalf("String = %q", iv.String())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range [][2]int{{0, 5}, {5, 4}, {-1, -1}} {
+		func(lo, hi int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", lo, hi)
+				}
+			}()
+			New(lo, hi)
+		}(c[0], c[1])
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	outer := New(2, 10)
+	if !outer.ContainsInterval(New(2, 10)) {
+		t.Fatal("interval must contain itself")
+	}
+	if !outer.ContainsInterval(New(3, 9)) {
+		t.Fatal("strict sub-interval")
+	}
+	if outer.ContainsInterval(New(1, 5)) || outer.ContainsInterval(New(5, 11)) {
+		t.Fatal("overhanging intervals are not contained")
+	}
+}
+
+func TestUnionAdjacent(t *testing.T) {
+	a, b := New(1, 3), New(4, 8)
+	u := a.Union(b)
+	if u.Lo != 1 || u.Hi != 8 {
+		t.Fatalf("Union = %v", u)
+	}
+	// Union is symmetric.
+	u2 := b.Union(a)
+	if u2 != u {
+		t.Fatalf("Union not symmetric: %v vs %v", u, u2)
+	}
+}
+
+func TestUnionNonAdjacentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("union of [1,2] and [5,6] should panic")
+		}
+	}()
+	New(1, 2).Union(New(5, 6))
+}
+
+func TestPartitionValidate(t *testing.T) {
+	good := Partition{New(1, 3), New(4, 4), New(5, 10)}
+	if err := good.Validate(10); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    Partition
+		n    int
+	}{
+		{"empty", Partition{}, 5},
+		{"starts late", Partition{New(2, 5)}, 5},
+		{"gap", Partition{New(1, 2), New(4, 5)}, 5},
+		{"overlap", Partition{New(1, 3), New(3, 5)}, 5},
+		{"short", Partition{New(1, 4)}, 5},
+		{"long", Partition{New(1, 6)}, 5},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(c.n); err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+		}
+	}
+}
+
+func TestPartitionFind(t *testing.T) {
+	p := Partition{New(1, 3), New(4, 4), New(5, 10)}
+	cases := map[int]int{1: 0, 3: 0, 4: 1, 5: 2, 10: 2}
+	for x, want := range cases {
+		if got := p.Find(x); got != want {
+			t.Errorf("Find(%d) = %d, want %d", x, got, want)
+		}
+	}
+	if p.Find(0) != -1 || p.Find(11) != -1 {
+		t.Error("Find outside domain should return -1")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	p := Uniform(10, 3)
+	if err := p.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 {
+		t.Fatalf("pieces = %d, want 3", len(p))
+	}
+	// 10 = 4 + 3 + 3.
+	if p[0].Len() != 4 || p[1].Len() != 3 || p[2].Len() != 3 {
+		t.Fatalf("lengths = %d,%d,%d", p[0].Len(), p[1].Len(), p[2].Len())
+	}
+	one := Uniform(5, 5)
+	for i, iv := range one {
+		if iv.Len() != 1 || iv.Lo != i+1 {
+			t.Fatalf("Uniform(5,5)[%d] = %v", i, iv)
+		}
+	}
+}
+
+func TestFromBoundaries(t *testing.T) {
+	p, err := FromBoundaries(10, []int{3, 4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[1] != New(4, 4) {
+		t.Fatalf("p = %v", p)
+	}
+	if _, err := FromBoundaries(10, []int{3, 3}); err == nil {
+		t.Fatal("repeated boundary should error")
+	}
+	if _, err := FromBoundaries(10, []int{5}); err == nil {
+		t.Fatal("incomplete cover should error")
+	}
+	if _, err := FromBoundaries(10, nil); err == nil {
+		t.Fatal("empty boundaries should error")
+	}
+}
+
+func TestRefines(t *testing.T) {
+	fine := Partition{New(1, 2), New(3, 3), New(4, 6), New(7, 10)}
+	coarse := Partition{New(1, 3), New(4, 10)}
+	if !fine.Refines(coarse) {
+		t.Fatal("fine should refine coarse")
+	}
+	if coarse.Refines(fine) {
+		t.Fatal("coarse should not refine fine")
+	}
+	// Every partition refines itself.
+	if !fine.Refines(fine) {
+		t.Fatal("partition must refine itself")
+	}
+	// Crossing boundaries do not refine.
+	cross := Partition{New(1, 5), New(6, 10)}
+	other := Partition{New(1, 4), New(5, 10)}
+	if cross.Refines(other) || other.Refines(cross) {
+		t.Fatal("crossing partitions must not refine each other")
+	}
+}
+
+// Property: Uniform always validates and has exactly k pieces whose lengths
+// differ by at most 1.
+func TestUniformProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		k := int(kRaw)%n + 1
+		p := Uniform(n, k)
+		if p.Validate(n) != nil || len(p) != k {
+			return false
+		}
+		minLen, maxLen := n, 0
+		for _, iv := range p {
+			if iv.Len() < minLen {
+				minLen = iv.Len()
+			}
+			if iv.Len() > maxLen {
+				maxLen = iv.Len()
+			}
+		}
+		return maxLen-minLen <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Boundaries round-trips through FromBoundaries.
+func TestBoundariesRoundTripProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		k := int(kRaw)%n + 1
+		p := Uniform(n, k)
+		q, err := FromBoundaries(n, p.Boundaries())
+		if err != nil || len(q) != len(p) {
+			return false
+		}
+		for i := range p {
+			if p[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

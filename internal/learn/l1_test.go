@@ -1,0 +1,65 @@
+package learn
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// The paper's footnote 1: the sampling/optimization decoupling works for ℓ2
+// because ‖p̂_m − p‖₂ concentrates at 1/√m *independent of n*; for ℓ1 it
+// fails — ‖p̂_m − p‖₁ stays Θ(1) whenever the support is much larger than
+// the sample. This test demonstrates the contrast quantitatively.
+func TestDecouplingFailsForL1(t *testing.T) {
+	r := rng.New(347)
+	n := 50000
+	m := 500 // m ≪ n
+	p := dist.Uniform(n)
+	emp, err := dist.Empirical(n, dist.Draw(p, m, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := p.L2(emp)
+	l1 := p.L1(emp)
+	// ℓ2: ≈ 1/√m regardless of n (Lemma 3.1). Allow 3× slack.
+	if l2 > 3.0/22.3 { // 1/√500 ≈ 0.0447
+		t.Fatalf("‖p̂−p‖₂ = %v, want ≈ 1/√m", l2)
+	}
+	// ℓ1: nearly total — the empirical distribution misses almost all of the
+	// support, so ‖p̂ − p‖₁ ≈ 2(1 − m/n) ≈ 2.
+	if l1 < 1.5 {
+		t.Fatalf("‖p̂−p‖₁ = %v, expected ≈ 2 for m ≪ n — the footnote-1 "+
+			"decoupling failure did not manifest", l1)
+	}
+}
+
+// And the flip side: with the SAME m ≪ n samples, the ℓ2 merging pipeline
+// still learns a histogram-structured distribution to small ℓ2 error —
+// that is exactly what Theorem 2.1's n-independence buys.
+func TestL2LearningUnaffectedBySupportSize(t *testing.T) {
+	r := rng.New(349)
+	n := 50000
+	m := 2000
+	// 2-histogram distribution over the huge domain.
+	w := make([]float64, n)
+	for i := range w {
+		if i < n/2 {
+			w[i] = 3
+		} else {
+			w[i] = 1
+		}
+	}
+	p, err := dist.FromWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := Histogram(p, 2, m, core.DefaultOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.L2DistToVec(h.ToDense()); got > 3.0/44.7 { // 3/√2000
+		t.Fatalf("‖h−p‖₂ = %v with m=%d over n=%d", got, m, n)
+	}
+}

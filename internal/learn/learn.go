@@ -1,0 +1,208 @@
+// Package learn implements the paper's two-stage agnostic learning framework
+// (Theorems 2.1–2.3, Section 3.1): draw m = O(ε⁻²·log 1/δ) i.i.d. samples
+// from an unknown distribution p over [n], form the empirical distribution
+// p̂_m (which is ε-close to p in ℓ2 with probability 1−δ, Lemma 3.1), and
+// post-process p̂_m with the input-sparsity-time merging algorithms of
+// internal/core. The output histogram h then satisfies
+// ‖h − p‖₂ ≤ √(1+δ_alg)·opt_k + O(ε).
+//
+// The package also provides the multi-scale learner (Theorem 2.2), the
+// piecewise-polynomial learner (Theorem 2.3), and the hypothesis-testing
+// pair behind the Ω(ε⁻²·log 1/δ) lower bound (Theorem 3.2).
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/piecewise"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// SampleSize returns the number of samples m sufficient for
+// ‖p̂_m − p‖₂ ≤ ε with probability at least 1 − δ, following the constants in
+// the proof of Lemma 3.1: E[‖p̂_m − p‖₂] < 1/√m ≤ ε/4 requires m ≥ 16/ε², and
+// McDiarmid with deviation η = 3ε/4 requires exp(−η²m/2) ≤ δ, i.e.
+// m ≥ (32/9)·ln(1/δ)/ε².
+func SampleSize(eps, delta float64) (int, error) {
+	if !(eps > 0 && eps < 1) {
+		return 0, fmt.Errorf("learn: eps must be in (0,1), got %v", eps)
+	}
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("learn: delta must be in (0,1), got %v", delta)
+	}
+	mMean := 16 / (eps * eps)
+	mConc := 32.0 / 9.0 * math.Log(1/delta) / (eps * eps)
+	m := math.Ceil(math.Max(mMean, mConc))
+	return int(m), nil
+}
+
+// EmpiricalFunc converts a sample over [n] into the empirical distribution
+// represented as a sparse function — the input format the merging algorithms
+// consume. The sparsity is at most min(n, len(samples)).
+func EmpiricalFunc(n int, samples []int) (*sparse.Func, error) {
+	emp, err := dist.Empirical(n, samples)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]sparse.Entry, 0, len(samples))
+	for i, p := range emp.P {
+		if p != 0 {
+			entries = append(entries, sparse.Entry{Index: i + 1, Value: p})
+		}
+	}
+	return sparse.New(n, entries)
+}
+
+// Report carries the provenance of a learned hypothesis.
+type Report struct {
+	// M is the number of samples used.
+	M int
+	// Support is the number of distinct sample values (the sparsity s the
+	// merging stage ran on).
+	Support int
+	// EmpiricalError is ‖h − p̂_m‖₂, the exact distance between hypothesis
+	// and empirical distribution — the observable proxy for ‖h − p‖₂
+	// (within ±ε of it, by Lemma 3.1 and the triangle inequality).
+	EmpiricalError float64
+	// Pieces is the number of intervals in the hypothesis.
+	Pieces int
+	// Rounds is the number of merging rounds used by the second stage.
+	Rounds int
+}
+
+// Histogram draws m samples from p and learns an O(k)-histogram hypothesis
+// (Theorem 2.1). With opts = core.DefaultOptions() and
+// m = SampleSize(ε/2, δ), the result has ≤ 4k+1 pieces and satisfies
+// ‖h − p‖₂ ≤ √2·opt_k + ε with probability ≥ 1 − δ.
+func Histogram(p dist.Dist, k, m int, opts core.Options, r *rng.RNG) (*core.Histogram, Report, error) {
+	if m < 1 {
+		return nil, Report{}, fmt.Errorf("learn: sample size %d < 1", m)
+	}
+	samples := dist.Draw(p, m, r)
+	return HistogramFromSamples(p.N(), samples, k, opts)
+}
+
+// HistogramFromSamples learns an O(k)-histogram from an already-drawn sample
+// (the second stage alone). This is the entry point when samples come from a
+// table scan rather than a known distribution.
+func HistogramFromSamples(n int, samples []int, k int, opts core.Options) (*core.Histogram, Report, error) {
+	emp, err := EmpiricalFunc(n, samples)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	res, err := core.ConstructHistogram(emp, k, opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return res.Histogram, Report{
+		M:              len(samples),
+		Support:        emp.Sparsity(),
+		EmpiricalError: res.Error,
+		Pieces:         res.Histogram.NumPieces(),
+		Rounds:         res.Rounds,
+	}, nil
+}
+
+// Multiscale draws m samples from p and builds the hierarchical histogram of
+// Theorem 2.2: for every k, ForK(k) yields a ≤ 8k-piece hypothesis with
+// ‖h_t − p‖₂ ≤ 2·opt_k + ε, and its Error field estimates ‖h_t − p‖₂ within
+// ±ε.
+func Multiscale(p dist.Dist, m int, r *rng.RNG) (*core.Hierarchy, Report, error) {
+	if m < 1 {
+		return nil, Report{}, fmt.Errorf("learn: sample size %d < 1", m)
+	}
+	samples := dist.Draw(p, m, r)
+	return MultiscaleFromSamples(p.N(), samples)
+}
+
+// MultiscaleFromSamples is the sample-supplied variant of Multiscale.
+func MultiscaleFromSamples(n int, samples []int) (*core.Hierarchy, Report, error) {
+	emp, err := EmpiricalFunc(n, samples)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	h := core.ConstructHierarchicalHistogram(emp)
+	return h, Report{
+		M:       len(samples),
+		Support: emp.Sparsity(),
+		Rounds:  h.NumLevels() - 1,
+	}, nil
+}
+
+// PiecewisePoly draws m samples from p and learns a (O(k), d)-piecewise
+// polynomial hypothesis (Theorem 2.3): ≤ (2+2/δ_alg)k+γ pieces with
+// ‖f − p‖₂ ≤ √(1+δ_alg)·opt_{k,d} + O(ε).
+func PiecewisePoly(p dist.Dist, k, d, m int, opts core.Options, r *rng.RNG) (*piecewise.PiecewiseFunc, Report, error) {
+	if m < 1 {
+		return nil, Report{}, fmt.Errorf("learn: sample size %d < 1", m)
+	}
+	samples := dist.Draw(p, m, r)
+	return PiecewisePolyFromSamples(p.N(), samples, k, d, opts)
+}
+
+// PiecewisePolyFromSamples is the sample-supplied variant of PiecewisePoly.
+func PiecewisePolyFromSamples(n int, samples []int, k, d int, opts core.Options) (*piecewise.PiecewiseFunc, Report, error) {
+	emp, err := EmpiricalFunc(n, samples)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	res, err := piecewise.FitPiecewisePoly(emp, k, d, opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return res.Func, Report{
+		M:              len(samples),
+		Support:        emp.Sparsity(),
+		EmpiricalError: res.Error,
+		Pieces:         res.Func.NumPieces(),
+		Rounds:         res.Rounds,
+	}, nil
+}
+
+// ToDistribution converts a learned histogram into a proper distribution.
+// Flattening an empirical distribution already preserves total mass 1 and
+// non-negativity, so this only renormalizes away accumulated float rounding.
+func ToDistribution(h *core.Histogram) (dist.Dist, error) {
+	return dist.FromWeights(h.ToDense())
+}
+
+// LowerBoundPair returns the two 2-histogram distributions over [n] from the
+// proof of Theorem 3.2: p1 = (1/2+ε, 1/2−ε, 0, …), p2 with the first two
+// masses swapped. Any algorithm that learns to ℓ2 distance ε with
+// probability 1−δ distinguishes them, which requires
+// Ω(ε⁻²·log 1/δ) samples since h²(p1, p2) ≤ 3ε².
+func LowerBoundPair(n int, eps float64) (dist.Dist, dist.Dist, error) {
+	if n < 2 {
+		return dist.Dist{}, dist.Dist{}, fmt.Errorf("learn: need n ≥ 2, got %d", n)
+	}
+	if !(eps > 0 && eps < 0.5) {
+		return dist.Dist{}, dist.Dist{}, fmt.Errorf("learn: eps must be in (0, 1/2), got %v", eps)
+	}
+	p1 := make([]float64, n)
+	p2 := make([]float64, n)
+	p1[0], p1[1] = 0.5+eps, 0.5-eps
+	p2[0], p2[1] = 0.5-eps, 0.5+eps
+	d1, err := dist.New(p1)
+	if err != nil {
+		return dist.Dist{}, dist.Dist{}, err
+	}
+	d2, err := dist.New(p2)
+	if err != nil {
+		return dist.Dist{}, dist.Dist{}, err
+	}
+	return d1, d2, nil
+}
+
+// DistinguishLowerBoundPair implements the tester from the proof of
+// Theorem 3.2(a): given a hypothesis q (as a dense vector over [n]), it
+// returns 1 if q is ℓ2-closer to p1 and 2 otherwise.
+func DistinguishLowerBoundPair(p1, p2 dist.Dist, q []float64) int {
+	if p1.L2DistToVec(q) < p2.L2DistToVec(q) {
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,330 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/interval"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// khistDist builds a k-histogram distribution over [n] with random piece
+// masses.
+func khistDist(r *rng.RNG, n, k int) dist.Dist {
+	p := interval.Uniform(n, k)
+	w := make([]float64, n)
+	for _, iv := range p {
+		v := r.Float64() + 0.05
+		for x := iv.Lo; x <= iv.Hi; x++ {
+			w[x-1] = v
+		}
+	}
+	d, err := dist.FromWeights(w)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestSampleSizeValidation(t *testing.T) {
+	for _, c := range [][2]float64{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}, {-1, 0.5}} {
+		if _, err := SampleSize(c[0], c[1]); err == nil {
+			t.Errorf("SampleSize(%v, %v) should error", c[0], c[1])
+		}
+	}
+}
+
+func TestSampleSizeScaling(t *testing.T) {
+	m1, err := SampleSize(0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := SampleSize(0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halving ε quadruples m.
+	if m2 < 4*m1-4 || m2 > 4*m1+4 {
+		t.Fatalf("m(ε/2) = %d, want ≈ 4·m(ε) = %d", m2, 4*m1)
+	}
+	// Decreasing δ increases m only logarithmically.
+	m3, err := SampleSize(0.1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 < m1 {
+		t.Fatal("smaller δ must not decrease m")
+	}
+	if float64(m3) > 10*float64(m1) {
+		t.Fatalf("δ dependence too strong: %d vs %d", m3, m1)
+	}
+}
+
+func TestEmpiricalFunc(t *testing.T) {
+	f, err := EmpiricalFunc(5, []int{1, 1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 5 || f.Sparsity() != 3 {
+		t.Fatalf("N=%d s=%d", f.N(), f.Sparsity())
+	}
+	if f.At(1) != 0.5 || f.At(3) != 0.25 || f.At(2) != 0 {
+		t.Fatal("empirical masses wrong")
+	}
+	if _, err := EmpiricalFunc(5, nil); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := EmpiricalFunc(5, []int{9}); err == nil {
+		t.Fatal("out-of-range sample should error")
+	}
+}
+
+func TestHistogramLearnsKHistogramDistribution(t *testing.T) {
+	// opt_k = 0 for a k-histogram distribution, so the learned error must be
+	// O(ε) with m = SampleSize(ε, δ) samples (Theorem 2.1 with opt = 0).
+	r := rng.New(167)
+	n, k := 200, 5
+	p := khistDist(r, n, k)
+	eps := 0.05
+	m, err := SampleSize(eps, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, rep, err := Histogram(p, k, m, core.DefaultOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.M != m || rep.Pieces != h.NumPieces() {
+		t.Fatalf("report inconsistent: %+v", rep)
+	}
+	got := p.L2DistToVec(h.ToDense())
+	// Theory: ≤ √2·opt + O(ε) = O(ε). Allow 2ε slack for the triangle
+	// inequality through the empirical distribution.
+	if got > 2*eps {
+		t.Fatalf("‖h − p‖₂ = %v > 2ε = %v", got, 2*eps)
+	}
+	if h.NumPieces() > core.DefaultOptions().TargetPieces(k) {
+		t.Fatalf("pieces = %d", h.NumPieces())
+	}
+}
+
+func TestHistogramHypothesisIsDistribution(t *testing.T) {
+	r := rng.New(173)
+	p := khistDist(r, 100, 4)
+	h, _, err := Histogram(p, 4, 5000, core.DefaultOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Mass()-1) > 1e-9 {
+		t.Fatalf("hypothesis mass = %v, want 1 (flattening preserves mass)", h.Mass())
+	}
+	d, err := ToDistribution(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 100 {
+		t.Fatal("distribution conversion wrong universe")
+	}
+}
+
+func TestHistogramErrorDecreasesWithSamples(t *testing.T) {
+	r := rng.New(179)
+	p := khistDist(r, 300, 8)
+	var prev float64 = math.Inf(1)
+	for _, m := range []int{100, 10000} {
+		var total float64
+		const trials = 5
+		for tr := 0; tr < trials; tr++ {
+			h, _, err := Histogram(p, 8, m, core.DefaultOptions(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += p.L2DistToVec(h.ToDense())
+		}
+		mean := total / trials
+		if mean > prev {
+			t.Fatalf("mean error increased with more samples: %v -> %v", prev, mean)
+		}
+		prev = mean
+	}
+}
+
+func TestHistogramFromSamplesMatchesReport(t *testing.T) {
+	r := rng.New(181)
+	p := khistDist(r, 150, 3)
+	samples := dist.Draw(p, 2000, r)
+	h, rep, err := HistogramFromSamples(150, samples, 3, core.PaperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := dist.Empirical(150, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := emp.L2DistToVec(h.ToDense()); !numeric.AlmostEqual(got, rep.EmpiricalError, 1e-9) {
+		t.Fatalf("EmpiricalError %v, actual %v", rep.EmpiricalError, got)
+	}
+	if rep.Support != emp.Support() {
+		t.Fatalf("Support %d vs %d", rep.Support, emp.Support())
+	}
+}
+
+func TestMultiscaleTheorem22(t *testing.T) {
+	// One hierarchy must serve every k with ≤ 8k pieces, error ≤ 2·opt_k + ε,
+	// and an error estimate within ±ε of the true distance to p.
+	r := rng.New(191)
+	n := 200
+	p := khistDist(r, n, 6)
+	eps := 0.05
+	m, err := SampleSize(eps, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, _, err := Multiscale(p, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := make([]float64, n)
+	copy(dense, p.P)
+	for _, k := range []int{1, 2, 4, 6, 10} {
+		res, err := hier.ForK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Histogram.NumPieces() > 8*k {
+			t.Fatalf("k=%d: %d pieces > 8k", k, res.Histogram.NumPieces())
+		}
+		_, opt, err := baseline.ExactDP(dense, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueErr := p.L2DistToVec(res.Histogram.ToDense())
+		if trueErr > 2*opt+2*eps {
+			t.Fatalf("k=%d: ‖h−p‖ = %v > 2·opt + 2ε = %v", k, trueErr, 2*opt+2*eps)
+		}
+		// e_t within ±2ε of the true error.
+		if math.Abs(res.Error-trueErr) > 2*eps {
+			t.Fatalf("k=%d: estimate %v vs true %v", k, res.Error, trueErr)
+		}
+	}
+}
+
+func TestPiecewisePolyLearning(t *testing.T) {
+	// A linear-density distribution is a (1, 1)-piecewise polynomial:
+	// opt_{1,1} = 0, so the learned error must be O(ε).
+	r := rng.New(193)
+	n := 200
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	p, err := dist.FromWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, rep, err := PiecewisePoly(p, 1, 1, 20000, core.DefaultOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.L2DistToVec(f.ToDense())
+	if got > 0.05 {
+		t.Fatalf("‖f − p‖₂ = %v on a linear density", got)
+	}
+	if rep.Pieces != f.NumPieces() {
+		t.Fatalf("report pieces mismatch")
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	r := rng.New(197)
+	p := dist.Uniform(10)
+	if _, _, err := Histogram(p, 1, 0, core.DefaultOptions(), r); err == nil {
+		t.Fatal("m=0 should error")
+	}
+	if _, _, err := Multiscale(p, 0, r); err == nil {
+		t.Fatal("m=0 should error")
+	}
+	if _, _, err := PiecewisePoly(p, 1, 0, 0, core.DefaultOptions(), r); err == nil {
+		t.Fatal("m=0 should error")
+	}
+}
+
+func TestLowerBoundPair(t *testing.T) {
+	p1, p2, err := LowerBoundPair(10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ‖p1 − p2‖₂ = 2√2·ε? The paper states 2√2ε but the two distributions
+	// differ by 2ε at two points: √(2·(2ε)²) = 2√2·ε.
+	want := 2 * math.Sqrt2 * 0.1
+	if got := p1.L2(p2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("‖p1−p2‖₂ = %v, want %v", got, want)
+	}
+	// Both are 2-histogram distributions with support {1, 2}.
+	if p1.Support() != 2 || p2.Support() != 2 {
+		t.Fatal("supports wrong")
+	}
+	if _, _, err := LowerBoundPair(1, 0.1); err == nil {
+		t.Fatal("n=1 should error")
+	}
+	if _, _, err := LowerBoundPair(10, 0.6); err == nil {
+		t.Fatal("eps ≥ 1/2 should error")
+	}
+}
+
+func TestDistinguishLowerBoundPair(t *testing.T) {
+	p1, p2, err := LowerBoundPair(4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DistinguishLowerBoundPair(p1, p2, p1.P); got != 1 {
+		t.Fatalf("q=p1 classified as %d", got)
+	}
+	if got := DistinguishLowerBoundPair(p1, p2, p2.P); got != 2 {
+		t.Fatalf("q=p2 classified as %d", got)
+	}
+}
+
+func TestLowerBoundEmpirically(t *testing.T) {
+	// With m ≫ 1/ε² samples the learn-then-test pipeline distinguishes the
+	// pair with high probability; with m ≪ 1/ε² it cannot do much better
+	// than chance. This demonstrates the Θ(1/ε²) transition of Theorem 3.2.
+	r := rng.New(199)
+	eps := 0.1
+	p1, p2, err := LowerBoundPair(4, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(m, trials int) int {
+		correct := 0
+		for tr := 0; tr < trials; tr++ {
+			truth := p1
+			want := 1
+			if tr%2 == 1 {
+				truth = p2
+				want = 2
+			}
+			emp, err := dist.Empirical(4, dist.Draw(truth, m, r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if DistinguishLowerBoundPair(p1, p2, emp.P) == want {
+				correct++
+			}
+		}
+		return correct
+	}
+	const trials = 200
+	rich := run(40*int(1/(eps*eps)), trials) // m = 4000 ≫ 1/ε²
+	poor := run(2, trials)                   // m = 2 ≪ 1/ε² = 100
+	if rich < trials*95/100 {
+		t.Fatalf("with many samples only %d/%d correct", rich, trials)
+	}
+	if poor > trials*80/100 {
+		t.Fatalf("with 2 samples %d/%d correct — too good, pair too easy", poor, trials)
+	}
+}

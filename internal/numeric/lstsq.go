@@ -1,0 +1,125 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned by SolveLinear and PolyFitLS when the system matrix
+// is numerically singular.
+var ErrSingular = errors.New("numeric: singular matrix")
+
+// SolveLinear solves the square linear system A·x = b in place using Gaussian
+// elimination with partial pivoting. A is given row-major as a slice of rows;
+// A and b are overwritten. It returns ErrSingular when a pivot is smaller
+// than ~1e3 ULPs of the largest matrix entry.
+//
+// The merging algorithms never call this; it exists as a brute-force oracle
+// against which the Gram-polynomial projection (internal/cheby) is tested,
+// and for the small Vandermonde solves in the data-set generators.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("numeric: SolveLinear shape mismatch")
+	}
+	var maxEntry float64
+	for _, row := range a {
+		if len(row) != n {
+			return nil, errors.New("numeric: SolveLinear non-square matrix")
+		}
+		for _, v := range row {
+			if av := math.Abs(v); av > maxEntry {
+				maxEntry = av
+			}
+		}
+	}
+	tiny := maxEntry * 1e-13
+	if tiny == 0 {
+		tiny = 1e-300
+	}
+
+	for col := 0; col < n; col++ {
+		// Partial pivoting: swap in the row with the largest entry in col.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < tiny {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// PolyFitLS fits a degree-d polynomial to the points (xs[i], ys[i]) by
+// ordinary least squares via the normal equations. It returns the monomial
+// coefficients c[0..d] of c0 + c1·x + ... + cd·x^d.
+//
+// This is O(d²·len + d³) and numerically fragile for large x ranges — it is
+// the *test oracle* for cheby.FitPoly, not a production path. Callers should
+// center xs before fitting when the range is large.
+func PolyFitLS(xs, ys []float64, d int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("numeric: PolyFitLS length mismatch")
+	}
+	if d < 0 {
+		return nil, errors.New("numeric: PolyFitLS negative degree")
+	}
+	m := d + 1
+	// Normal equations: (VᵀV)c = Vᵀy with V the Vandermonde matrix.
+	ata := make([][]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m)
+	}
+	atb := make([]float64, m)
+	pow := make([]float64, 2*d+1)
+	for i, x := range xs {
+		pow[0] = 1
+		for p := 1; p <= 2*d; p++ {
+			pow[p] = pow[p-1] * x
+		}
+		for r := 0; r < m; r++ {
+			for c := 0; c < m; c++ {
+				ata[r][c] += pow[r+c]
+			}
+			atb[r] += pow[r] * ys[i]
+		}
+	}
+	return SolveLinear(ata, atb)
+}
+
+// EvalPoly evaluates the polynomial with monomial coefficients c at x using
+// Horner's rule.
+func EvalPoly(c []float64, x float64) float64 {
+	var y float64
+	for i := len(c) - 1; i >= 0; i-- {
+		y = y*x + c[i]
+	}
+	return y
+}

@@ -1,0 +1,119 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolveLinearIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, -4}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != -4 {
+		t.Fatalf("x = %v, want [3 -4]", x)
+	}
+}
+
+func TestSolveLinear3x3(t *testing.T) {
+	// x + y + z = 6; 2y + 5z = -4; 2x + 5y - z = 27 → x=5, y=3, z=-2.
+	a := [][]float64{{1, 1, 1}, {0, 2, 5}, {2, 5, -1}}
+	b := []float64{6, -4, 27}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, -2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero pivot in position (0,0) requires row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Fatal("empty system should error")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("non-square matrix should error")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched b should error")
+	}
+}
+
+func TestPolyFitLSExact(t *testing.T) {
+	// Points on 2 - 3x + 0.5x² must be recovered exactly (up to rounding).
+	coef := []float64{2, -3, 0.5}
+	var xs, ys []float64
+	for i := 0; i < 20; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, EvalPoly(coef, x))
+	}
+	got, err := PolyFitLS(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coef {
+		if math.Abs(got[i]-coef[i]) > 1e-8 {
+			t.Fatalf("coef = %v, want %v", got, coef)
+		}
+	}
+}
+
+func TestPolyFitLSDegreeZero(t *testing.T) {
+	// Degree-0 fit is the mean.
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7}
+	got, err := PolyFitLS(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-4) > 1e-12 {
+		t.Fatalf("degree-0 coef = %v, want 4", got[0])
+	}
+}
+
+func TestPolyFitLSErrors(t *testing.T) {
+	if _, err := PolyFitLS([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := PolyFitLS([]float64{1}, []float64{1}, -1); err == nil {
+		t.Fatal("negative degree should error")
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	// 1 + 2x + 3x² at x=2 → 1 + 4 + 12 = 17.
+	if got := EvalPoly([]float64{1, 2, 3}, 2); got != 17 {
+		t.Fatalf("EvalPoly = %v, want 17", got)
+	}
+	if got := EvalPoly(nil, 5); got != 0 {
+		t.Fatalf("EvalPoly(nil) = %v, want 0", got)
+	}
+}

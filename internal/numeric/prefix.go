@@ -1,0 +1,77 @@
+package numeric
+
+// PrefixSSE holds prefix sums of a dense vector q and of its squares,
+// supporting O(1) queries for the sum, mean, and sum-of-squared-error of any
+// interval. Indices are 1-based and inclusive, matching the paper's
+// convention for intervals over [n].
+//
+// This is the dense analogue of the paper's precomputed partial sums r_j and
+// t_j (Algorithm 1, lines 6-7). The merging algorithms themselves carry
+// per-interval statistics instead, but the dynamic-programming baselines and
+// the synopsis layer need arbitrary-interval queries and use this table.
+type PrefixSSE struct {
+	// sum[i] = q[1] + ... + q[i]; sum[0] = 0.
+	sum []float64
+	// sumSq[i] = q[1]² + ... + q[i]²; sumSq[0] = 0.
+	sumSq []float64
+}
+
+// NewPrefixSSE builds the prefix table for q, where q[0] is the value of
+// point 1. Construction is O(len(q)).
+func NewPrefixSSE(q []float64) *PrefixSSE {
+	n := len(q)
+	p := &PrefixSSE{
+		sum:   make([]float64, n+1),
+		sumSq: make([]float64, n+1),
+	}
+	var s, sc, s2, s2c float64 // Kahan-compensated running sums.
+	for i, x := range q {
+		y := x - sc
+		t := s + y
+		sc = (t - s) - y
+		s = t
+
+		y2 := x*x - s2c
+		t2 := s2 + y2
+		s2c = (t2 - s2) - y2
+		s2 = t2
+
+		p.sum[i+1] = s
+		p.sumSq[i+1] = s2
+	}
+	return p
+}
+
+// N returns the domain size n the table was built for.
+func (p *PrefixSSE) N() int { return len(p.sum) - 1 }
+
+// Sum returns q[a] + ... + q[b] for 1 ≤ a ≤ b ≤ n.
+func (p *PrefixSSE) Sum(a, b int) float64 {
+	p.check(a, b)
+	return p.sum[b] - p.sum[a-1]
+}
+
+// SumSq returns q[a]² + ... + q[b]².
+func (p *PrefixSSE) SumSq(a, b int) float64 {
+	p.check(a, b)
+	return p.sumSq[b] - p.sumSq[a-1]
+}
+
+// Mean returns the mean of q over [a, b] — the value of the best
+// 1-histogram approximation on that interval (Definition 3.1).
+func (p *PrefixSSE) Mean(a, b int) float64 {
+	return p.Sum(a, b) / float64(b-a+1)
+}
+
+// SSE returns err_q([a,b]) = Σ_{i∈[a,b]} (q(i) − μ)², the squared ℓ2 error of
+// flattening q on [a, b] (Definition 3.1). The result is clamped at 0.
+func (p *PrefixSSE) SSE(a, b int) float64 {
+	s := p.Sum(a, b)
+	return ClampNonNeg(p.SumSq(a, b) - s*s/float64(b-a+1))
+}
+
+func (p *PrefixSSE) check(a, b int) {
+	if a < 1 || b > p.N() || a > b {
+		panic("numeric: PrefixSSE interval out of range")
+	}
+}

@@ -1,0 +1,129 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func naiveSSE(q []float64, a, b int) float64 {
+	seg := q[a-1 : b]
+	mu := Mean(seg)
+	var s float64
+	for _, x := range seg {
+		s += (x - mu) * (x - mu)
+	}
+	return s
+}
+
+func TestPrefixSSEBasic(t *testing.T) {
+	q := []float64{1, 2, 3, 4, 5}
+	p := NewPrefixSSE(q)
+	if p.N() != 5 {
+		t.Fatalf("N = %d, want 5", p.N())
+	}
+	if got := p.Sum(1, 5); got != 15 {
+		t.Fatalf("Sum(1,5) = %v, want 15", got)
+	}
+	if got := p.Sum(2, 4); got != 9 {
+		t.Fatalf("Sum(2,4) = %v, want 9", got)
+	}
+	if got := p.SumSq(1, 5); got != 55 {
+		t.Fatalf("SumSq(1,5) = %v, want 55", got)
+	}
+	if got := p.Mean(2, 4); got != 3 {
+		t.Fatalf("Mean(2,4) = %v, want 3", got)
+	}
+	// SSE of 1..5 around mean 3 is 4+1+0+1+4 = 10.
+	if got := p.SSE(1, 5); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("SSE(1,5) = %v, want 10", got)
+	}
+}
+
+func TestPrefixSSESinglePoint(t *testing.T) {
+	p := NewPrefixSSE([]float64{7, -3})
+	if got := p.SSE(1, 1); got != 0 {
+		t.Fatalf("SSE of single point = %v, want 0", got)
+	}
+	if got := p.SSE(2, 2); got != 0 {
+		t.Fatalf("SSE of single point = %v, want 0", got)
+	}
+}
+
+func TestPrefixSSEConstantInterval(t *testing.T) {
+	q := make([]float64, 100)
+	for i := range q {
+		q[i] = 3.25
+	}
+	p := NewPrefixSSE(q)
+	if got := p.SSE(1, 100); got != 0 {
+		t.Fatalf("SSE of constant vector = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestPrefixSSEOutOfRangePanics(t *testing.T) {
+	p := NewPrefixSSE([]float64{1, 2, 3})
+	for _, c := range [][2]int{{0, 1}, {1, 4}, {3, 2}} {
+		func(a, b int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sum(%d,%d) should panic", a, b)
+				}
+			}()
+			p.Sum(a, b)
+		}(c[0], c[1])
+	}
+}
+
+// Property: prefix SSE matches the naive two-pass computation on random
+// vectors and random intervals.
+func TestPrefixSSEMatchesNaiveProperty(t *testing.T) {
+	f := func(raw []float64, ai, bi uint8) bool {
+		var q []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				q = append(q, x)
+			}
+		}
+		if len(q) == 0 {
+			return true
+		}
+		a := int(ai)%len(q) + 1
+		b := int(bi)%len(q) + 1
+		if a > b {
+			a, b = b, a
+		}
+		p := NewPrefixSSE(q)
+		got := p.SSE(a, b)
+		want := naiveSSE(q, a, b)
+		return AlmostEqual(got, want, 1e-6) || math.Abs(got-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SSE is superadditive under splitting — splitting an interval
+// never increases total SSE (flattening finer is never worse).
+func TestPrefixSSESplitProperty(t *testing.T) {
+	f := func(raw []float64, mi uint8) bool {
+		var q []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				q = append(q, x)
+			}
+		}
+		if len(q) < 2 {
+			return true
+		}
+		p := NewPrefixSSE(q)
+		n := len(q)
+		m := int(mi)%(n-1) + 1 // split point in [1, n-1]
+		whole := p.SSE(1, n)
+		split := p.SSE(1, m) + p.SSE(m+1, n)
+		return split <= whole+1e-9*(1+whole)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

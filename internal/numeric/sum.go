@@ -1,0 +1,150 @@
+// Package numeric provides the low-level numerical building blocks shared by
+// the histogram algorithms: compensated summation, prefix-sum tables with
+// O(1) interval sum-of-squared-error queries, a small dense least-squares
+// solver (used as a test oracle for the polynomial projection), and float
+// comparison helpers.
+//
+// Everything in this package is allocation-conscious: the merging algorithms
+// call into it on their hot paths.
+package numeric
+
+import "math"
+
+// Sum returns the sum of xs using Kahan (compensated) summation.
+//
+// The histogram algorithms repeatedly subtract large, nearly equal partial
+// sums; compensated summation keeps the interval statistics accurate enough
+// that the greedy merge order matches exact arithmetic on all the data sets
+// we generate.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// SumSq returns the sum of squares of xs using Kahan summation.
+func SumSq(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x*x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by len, not
+// len-1), or 0 for an empty slice. It uses the two-pass algorithm for
+// stability.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	var sum, comp float64
+	for _, x := range xs {
+		d := x - mu
+		y := d*d - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Dot returns the inner product of a and b. It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: Dot length mismatch")
+	}
+	var sum, comp float64
+	for i, x := range a {
+		y := x*b[i] - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// L2Norm returns sqrt(Σ xs[i]²).
+func L2Norm(xs []float64) float64 { return math.Sqrt(SumSq(xs)) }
+
+// L2Dist returns the Euclidean distance between a and b. It panics if the
+// lengths differ.
+func L2Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: L2Dist length mismatch")
+	}
+	var sum, comp float64
+	for i, x := range a {
+		d := x - b[i]
+		y := d*d - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return math.Sqrt(sum)
+}
+
+// L1Dist returns the ℓ1 distance between a and b. It panics if the lengths
+// differ.
+func L1Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: L1Dist length mismatch")
+	}
+	var sum, comp float64
+	for i, x := range a {
+		y := math.Abs(x-b[i]) - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// ClampNonNeg returns x if x > 0 and 0 otherwise. Interval SSE values are
+// mathematically non-negative but can round slightly below zero; every
+// err computation in the repository clamps through this helper so that
+// downstream square roots never produce NaN.
+func ClampNonNeg(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// AlmostEqual reports whether a and b are equal to within tol, either
+// absolutely or relative to the larger magnitude. It treats NaN as unequal to
+// everything.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

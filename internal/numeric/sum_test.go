@@ -1,0 +1,173 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+	if got := SumSq(nil); got != 0 {
+		t.Fatalf("SumSq(nil) = %v, want 0", got)
+	}
+}
+
+func TestSumSimple(t *testing.T) {
+	xs := []float64{1, 2, 3, 4.5}
+	if got := Sum(xs); got != 10.5 {
+		t.Fatalf("Sum = %v, want 10.5", got)
+	}
+	if got, want := SumSq(xs), 1.0+4+9+20.25; got != want {
+		t.Fatalf("SumSq = %v, want %v", got, want)
+	}
+}
+
+func TestSumCompensation(t *testing.T) {
+	// 1 + 1e-16 repeated: naive float64 summation loses every tiny term;
+	// Kahan keeps them.
+	xs := make([]float64, 0, 2_000_001)
+	xs = append(xs, 1)
+	for i := 0; i < 2_000_000; i++ {
+		xs = append(xs, 1e-16)
+	}
+	got := Sum(xs)
+	want := 1 + 2_000_000*1e-16
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Sum = %.18f, want %.18f", got, want)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMeanVarianceEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("Mean/Variance of empty slice should be 0")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths should panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestL2Dist(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := L2Dist(a, b); got != 5 {
+		t.Fatalf("L2Dist = %v, want 5", got)
+	}
+	if got := L2Norm(b); got != 5 {
+		t.Fatalf("L2Norm = %v, want 5", got)
+	}
+}
+
+func TestL1Dist(t *testing.T) {
+	a := []float64{1, -2, 3}
+	b := []float64{0, 0, 0}
+	if got := L1Dist(a, b); got != 6 {
+		t.Fatalf("L1Dist = %v, want 6", got)
+	}
+}
+
+func TestClampNonNeg(t *testing.T) {
+	if ClampNonNeg(-1e-18) != 0 {
+		t.Fatal("negative values must clamp to 0")
+	}
+	if ClampNonNeg(2.5) != 2.5 {
+		t.Fatal("positive values must pass through")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 2, 1e-9, false},
+		{1e18, 1e18 * (1 + 1e-12), 1e-9, true},
+		{math.NaN(), 1, 1, false},
+		{1, math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+// Property: Sum agrees with naive summation to high relative accuracy on
+// random moderate-magnitude inputs.
+func TestSumMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		var naive float64
+		for _, x := range clean {
+			naive += x
+		}
+		return AlmostEqual(Sum(clean), naive, 1e-6) || math.Abs(naive) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: L2Dist is a metric on random vectors — symmetry and triangle
+// inequality.
+func TestL2DistMetricProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		n := len(xs) / 3
+		if n == 0 {
+			return true
+		}
+		a, b, c := xs[:n], xs[n:2*n], xs[2*n:3*n]
+		dab, dba := L2Dist(a, b), L2Dist(b, a)
+		dac, dcb := L2Dist(a, c), L2Dist(c, b)
+		if dab != dba {
+			return false
+		}
+		return dab <= dac+dcb+1e-9*(1+dac+dcb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

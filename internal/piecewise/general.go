@@ -1,0 +1,199 @@
+package piecewise
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/selection"
+	"repro/internal/sparse"
+)
+
+// FittedPiece is one interval of a piecewise F-function with its fit and the
+// fit's squared error against the input.
+type FittedPiece struct {
+	interval.Interval
+	Fit   Evaluator
+	ErrSq float64
+}
+
+// PiecewiseFunc is a k-piecewise F-function (Definition 4.2): a partition of
+// [1, n] with a member of F fitted on each piece.
+type PiecewiseFunc struct {
+	n      int
+	pieces []FittedPiece
+}
+
+// N returns the domain size.
+func (f *PiecewiseFunc) N() int { return f.n }
+
+// NumPieces returns the number of interval pieces.
+func (f *PiecewiseFunc) NumPieces() int { return len(f.pieces) }
+
+// Pieces returns the fitted pieces in domain order.
+func (f *PiecewiseFunc) Pieces() []FittedPiece { return f.pieces }
+
+// Partition returns the underlying interval partition.
+func (f *PiecewiseFunc) Partition() interval.Partition {
+	p := make(interval.Partition, len(f.pieces))
+	for i, pc := range f.pieces {
+		p[i] = pc.Interval
+	}
+	return p
+}
+
+// At returns f(i) for i ∈ [1, n].
+func (f *PiecewiseFunc) At(i int) float64 {
+	if i < 1 || i > f.n {
+		panic(fmt.Sprintf("piecewise: At(%d) out of [1, %d]", i, f.n))
+	}
+	lo, hi := 0, len(f.pieces)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.pieces[mid].Hi < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return f.pieces[lo].Fit.Eval(i)
+}
+
+// ToDense materializes f on [1, n].
+func (f *PiecewiseFunc) ToDense() []float64 {
+	out := make([]float64, f.n)
+	for _, pc := range f.pieces {
+		for x := pc.Lo; x <= pc.Hi; x++ {
+			out[x-1] = pc.Fit.Eval(x)
+		}
+	}
+	return out
+}
+
+// Error returns ‖f − q‖₂ = sqrt(Σ per-piece ErrSq), exact by construction
+// since each piece's fit error is computed by the oracle.
+func (f *PiecewiseFunc) Error() float64 {
+	var sum float64
+	for _, pc := range f.pieces {
+		sum += pc.ErrSq
+	}
+	return math.Sqrt(sum)
+}
+
+// Result is the output of ConstructGeneralHistogram.
+type Result struct {
+	// Func is the fitted piecewise F-function.
+	Func *PiecewiseFunc
+	// Error is ‖f − q‖₂.
+	Error float64
+	// Rounds is the number of merging iterations performed.
+	Rounds int
+}
+
+// ConstructGeneralHistogram is the paper's generalized merging algorithm
+// (Section 4.1): identical control flow to Algorithm 1, but candidate merge
+// errors come from the projection oracle O for the function class F instead
+// of the flattening statistics. By Theorem 4.1 the output has at most
+// (2 + 2/δ)k + γ pieces and error at most √(1+δ) times the best k-piecewise
+// F-function's error.
+func ConstructGeneralHistogram(q *sparse.Func, k int, opts core.Options, oracle Oracle) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("piecewise: k must be ≥ 1, got %d", k)
+	}
+	if oracle == nil {
+		return Result{}, fmt.Errorf("piecewise: nil oracle")
+	}
+	// Reuse core's parameter validation by querying the derived quantities.
+	if opts.Delta <= 0 || math.IsNaN(opts.Delta) || math.IsInf(opts.Delta, 0) {
+		return Result{}, fmt.Errorf("piecewise: Delta must be positive and finite, got %v", opts.Delta)
+	}
+	if opts.Gamma < 1 || math.IsNaN(opts.Gamma) || math.IsInf(opts.Gamma, 0) {
+		return Result{}, fmt.Errorf("piecewise: Gamma must be ≥ 1, got %v", opts.Gamma)
+	}
+
+	ivs := []interval.Interval(q.InitialPartition())
+	target := opts.TargetPieces(k)
+	keep := opts.KeepBudget(k)
+	rounds := 0
+
+	errs := make([]float64, 0, len(ivs)/2)
+	next := make([]interval.Interval, 0, len(ivs))
+	for len(ivs) > target {
+		s := len(ivs)
+		pairs := s / 2
+		kp := keep
+		if kp >= pairs {
+			kp = pairs - 1
+		}
+		if kp < 0 {
+			kp = 0
+		}
+
+		errs = errs[:0]
+		for u := 0; u < pairs; u++ {
+			errs = append(errs, oracle.ErrSq(ivs[2*u].Lo, ivs[2*u+1].Hi))
+		}
+		// Tie handling mirrors core's pairRound: strictly-greater pairs
+		// always split (at most kp−1 of them); ties get only the leftover
+		// budget so no round can split every pair and stall.
+		var cut float64
+		if kp > 0 {
+			cut = selection.Threshold(errs, kp)
+		} else {
+			cut = math.Inf(1)
+		}
+		greater := 0
+		for _, e := range errs {
+			if e > cut {
+				greater++
+			}
+		}
+		tieLeft := kp - greater
+		if tieLeft < 0 {
+			tieLeft = 0
+		}
+
+		next = next[:0]
+		for u := 0; u < pairs; u++ {
+			e := errs[u]
+			tie := e == cut && tieLeft > 0
+			if e > cut || tie {
+				if tie {
+					tieLeft--
+				}
+				next = append(next, ivs[2*u], ivs[2*u+1])
+			} else {
+				next = append(next, ivs[2*u].Union(ivs[2*u+1]))
+			}
+		}
+		if s%2 == 1 {
+			next = append(next, ivs[s-1])
+		}
+		ivs, next = next, ivs
+		rounds++
+	}
+
+	pieces := make([]FittedPiece, len(ivs))
+	var sumErrSq float64
+	for i, iv := range ivs {
+		fit := oracle.Fit(iv.Lo, iv.Hi)
+		errSq := oracle.ErrSq(iv.Lo, iv.Hi)
+		pieces[i] = FittedPiece{Interval: iv, Fit: fit, ErrSq: errSq}
+		sumErrSq += errSq
+	}
+	f := &PiecewiseFunc{n: q.N(), pieces: pieces}
+	return Result{Func: f, Error: math.Sqrt(sumErrSq), Rounds: rounds}, nil
+}
+
+// FitPiecewisePoly runs ConstructGeneralHistogram with the degree-d
+// polynomial oracle — the paper's Corollary 4.1. The output is a
+// ((2+2/δ)k+γ)-piecewise degree-d polynomial with error at most
+// √(1+δ)·opt_{k,d}.
+func FitPiecewisePoly(q *sparse.Func, k, d int, opts core.Options) (Result, error) {
+	oracle, err := NewPolyOracle(q, d)
+	if err != nil {
+		return Result{}, err
+	}
+	return ConstructGeneralHistogram(q, k, opts, oracle)
+}

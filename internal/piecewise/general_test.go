@@ -1,0 +1,289 @@
+package piecewise
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cheby"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// optKD computes the exact optimal (k,d)-piecewise polynomial error via
+// dynamic programming with projection errors from the Gram oracle. O(n²·k)
+// oracle calls — tiny inputs only.
+func optKD(q []float64, k, d int) float64 {
+	n := len(q)
+	sf := sparse.FromDense(q)
+	oracle, err := NewPolyOracle(sf, d)
+	if err != nil {
+		panic(err)
+	}
+	// errSq[a][b] cache.
+	errSq := func(a, b int) float64 { return oracle.ErrSq(a, b) }
+	const inf = math.MaxFloat64
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		prev[i] = errSq(1, i)
+	}
+	for j := 2; j <= k; j++ {
+		for i := 1; i <= n; i++ {
+			best := inf
+			for l := j - 1; l < i; l++ {
+				if v := prev[l] + errSq(l+1, i); v < best {
+					best = v
+				}
+			}
+			cur[i] = best
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(numeric.ClampNonNeg(prev[n]))
+}
+
+// piecewisePolyData builds a dense vector that is exactly a k-piecewise
+// degree-d polynomial plus optional noise.
+func piecewisePolyData(r *rng.RNG, n, k, d int, sigma float64) []float64 {
+	p := interval.Uniform(n, k)
+	q := make([]float64, n)
+	for _, iv := range p {
+		coef := make([]float64, d+1)
+		for c := range coef {
+			coef[c] = r.NormFloat64() / math.Pow(float64(iv.Len()), float64(c))
+		}
+		for x := iv.Lo; x <= iv.Hi; x++ {
+			t := float64(x - iv.Lo)
+			q[x-1] = numeric.EvalPoly(coef, t)*5 + sigma*r.NormFloat64()
+		}
+	}
+	return q
+}
+
+func TestPolyOracleDegreeZeroMatchesHistOracle(t *testing.T) {
+	r := rng.New(89)
+	q := make([]float64, 150)
+	for i := range q {
+		if r.Float64() < 0.5 {
+			q[i] = r.NormFloat64()
+		}
+	}
+	sf := sparse.FromDense(q)
+	po, err := NewPolyOracle(sf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ho := NewHistOracle(sf)
+	for _, c := range [][2]int{{1, 150}, {1, 1}, {10, 20}, {149, 150}, {37, 111}} {
+		a, b := c[0], c[1]
+		if !numeric.AlmostEqual(po.ErrSq(a, b), ho.ErrSq(a, b), 1e-9) {
+			t.Fatalf("[%d,%d]: poly %v vs hist %v", a, b, po.ErrSq(a, b), ho.ErrSq(a, b))
+		}
+		if !numeric.AlmostEqual(po.Fit(a, b).Eval(a), ho.Fit(a, b).Eval(a), 1e-9) {
+			t.Fatalf("[%d,%d]: fitted values differ", a, b)
+		}
+	}
+}
+
+func TestNewPolyOracleValidation(t *testing.T) {
+	sf := sparse.FromDense([]float64{1})
+	if _, err := NewPolyOracle(sf, -1); err == nil {
+		t.Fatal("negative degree should error")
+	}
+}
+
+func TestGeneralHistogramWithHistOracleMatchesAlg1(t *testing.T) {
+	// Section 4.1: with the flattening oracle, the generalized algorithm is
+	// Algorithm 1 — same partitions, same error.
+	r := rng.New(97)
+	q := make([]float64, 600)
+	for i := range q {
+		q[i] = r.NormFloat64() * float64(1+i/100)
+	}
+	sf := sparse.FromDense(q)
+	for _, k := range []int{2, 5, 11} {
+		alg1, err := core.ConstructHistogram(sf, k, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := ConstructGeneralHistogram(sf, k, core.DefaultOptions(), NewHistOracle(sf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(alg1.Error, gen.Error, 1e-9) {
+			t.Fatalf("k=%d: Alg1 error %v vs general %v", k, alg1.Error, gen.Error)
+		}
+		p1, p2 := alg1.Partition, gen.Func.Partition()
+		if len(p1) != len(p2) {
+			t.Fatalf("k=%d: partition sizes differ: %d vs %d", k, len(p1), len(p2))
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("k=%d: partitions diverge at %d: %v vs %v", k, i, p1[i], p2[i])
+			}
+		}
+	}
+}
+
+func TestFitPiecewisePolyExactRecovery(t *testing.T) {
+	// opt_{k,d} = 0 for data that is exactly a k-piecewise degree-d
+	// polynomial, so by Theorem 4.1 the output error must be ~0.
+	r := rng.New(101)
+	for trial := 0; trial < 10; trial++ {
+		n := 100 + r.Intn(200)
+		k := 1 + r.Intn(3)
+		d := r.Intn(3)
+		q := piecewisePolyData(r, n, k, d, 0)
+		sf := sparse.FromDense(q)
+		res, err := FitPiecewisePoly(sf, k, d, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := numeric.L2Norm(q)
+		if res.Error > 1e-6*(1+scale) {
+			t.Fatalf("trial %d (n=%d k=%d d=%d): error %v on exact data",
+				trial, n, k, d, res.Error)
+		}
+	}
+}
+
+func TestFitPiecewisePolyGuarantee(t *testing.T) {
+	// Theorem 4.1 / Corollary 4.1: error ≤ √(1+δ)·opt_{k,d} and pieces ≤
+	// (2+2/δ)k + γ, against the exact DP.
+	r := rng.New(103)
+	for trial := 0; trial < 8; trial++ {
+		n := 30 + r.Intn(40)
+		k := 1 + r.Intn(3)
+		d := r.Intn(3)
+		q := piecewisePolyData(r, n, k, d, 0.5)
+		opt := optKD(q, k, d)
+		sf := sparse.FromDense(q)
+		res, err := FitPiecewisePoly(sf, k, d, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, max := res.Func.NumPieces(), core.DefaultOptions().TargetPieces(k); got > max {
+			t.Fatalf("trial %d: %d pieces > %d", trial, got, max)
+		}
+		bound := math.Sqrt2*opt + 1e-6*(1+numeric.L2Norm(q))
+		if res.Error > bound {
+			t.Fatalf("trial %d (n=%d k=%d d=%d): error %v > √2·opt = %v",
+				trial, n, k, d, res.Error, bound)
+		}
+	}
+}
+
+func TestFitPiecewisePolyBeatsHistogramOnSmoothData(t *testing.T) {
+	// A degree-2 fit with few pieces should beat a histogram with the same
+	// piece budget on smooth polynomial data — the paper's motivation for
+	// piecewise polynomials as a more succinct synopsis.
+	r := rng.New(107)
+	n := 500
+	q := make([]float64, n)
+	for i := range q {
+		x := float64(i) / float64(n)
+		q[i] = 30*x*x - 20*x + 5 + 0.1*r.NormFloat64()
+	}
+	sf := sparse.FromDense(q)
+	hist, err := core.ConstructHistogram(sf, 4, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := FitPiecewisePoly(sf, 4, 2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Error >= hist.Error {
+		t.Fatalf("poly error %v should beat histogram error %v", poly.Error, hist.Error)
+	}
+}
+
+func TestPiecewiseFuncAccessors(t *testing.T) {
+	q := []float64{1, 2, 3, 4, 5, 6}
+	sf := sparse.FromDense(q)
+	res, err := FitPiecewisePoly(sf, 1, 1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Func
+	if f.N() != 6 {
+		t.Fatalf("N = %d", f.N())
+	}
+	dense := f.ToDense()
+	for i := range q {
+		if !numeric.AlmostEqual(dense[i], q[i], 1e-9) {
+			t.Fatalf("linear data should fit exactly: %v vs %v", dense[i], q[i])
+		}
+		if !numeric.AlmostEqual(f.At(i+1), q[i], 1e-9) {
+			t.Fatalf("At(%d) = %v, want %v", i+1, f.At(i+1), q[i])
+		}
+	}
+	if err := f.Partition().Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(f.Error(), res.Error, 1e-12) {
+		t.Fatalf("Error() %v vs result %v", f.Error(), res.Error)
+	}
+}
+
+func TestPiecewiseFuncAtPanics(t *testing.T) {
+	sf := sparse.FromDense([]float64{1, 2})
+	res, _ := FitPiecewisePoly(sf, 1, 0, core.DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(0) should panic")
+		}
+	}()
+	res.Func.At(0)
+}
+
+func TestConstructGeneralHistogramValidation(t *testing.T) {
+	sf := sparse.FromDense([]float64{1, 2, 3})
+	o := NewHistOracle(sf)
+	if _, err := ConstructGeneralHistogram(sf, 0, core.DefaultOptions(), o); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := ConstructGeneralHistogram(sf, 1, core.DefaultOptions(), nil); err == nil {
+		t.Fatal("nil oracle should error")
+	}
+	if _, err := ConstructGeneralHistogram(sf, 1, core.Options{Delta: -1, Gamma: 1}, o); err == nil {
+		t.Fatal("bad delta should error")
+	}
+	if _, err := ConstructGeneralHistogram(sf, 1, core.Options{Delta: 1, Gamma: 0}, o); err == nil {
+		t.Fatal("bad gamma should error")
+	}
+}
+
+func TestProjectionOracleConsistency(t *testing.T) {
+	// Projection used inside the oracle must agree with calling cheby
+	// directly.
+	r := rng.New(109)
+	q := make([]float64, 80)
+	for i := range q {
+		if r.Float64() < 0.6 {
+			q[i] = r.NormFloat64()
+		}
+	}
+	sf := sparse.FromDense(q)
+	oracle, err := NewPolyOracle(sf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := sf.Entries()
+	var in []sparse.Entry
+	for _, e := range es {
+		if e.Index >= 11 && e.Index <= 60 {
+			in = append(in, e)
+		}
+	}
+	direct, err := cheby.Project(in, 11, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(oracle.ErrSq(11, 60), direct.ErrSq, 1e-12) {
+		t.Fatalf("oracle %v vs direct %v", oracle.ErrSq(11, 60), direct.ErrSq)
+	}
+}

@@ -1,0 +1,124 @@
+// Package piecewise implements Section 4 of the paper: the generalized
+// merging algorithm ConstructGeneralHistogram, which fits k-piecewise
+// F-functions for any function class F equipped with a projection oracle
+// (Definition 4.1), and its specialization to piecewise degree-d polynomials
+// via the Gram polynomial oracle (Theorem 4.2 / Corollary 4.1).
+package piecewise
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cheby"
+	"repro/internal/sparse"
+)
+
+// Evaluator is a fitted member of the function class F on some interval.
+type Evaluator interface {
+	// Eval returns the fitted function's value at absolute index i.
+	Eval(i int) float64
+}
+
+// Oracle is the paper's projection oracle (Definition 4.1) for a function
+// class F over a fixed s-sparse input q: given an interval [a, b] it returns
+// the squared ℓ2 error of the best fit g ∈ F to q on [a, b], and the fit
+// itself.
+type Oracle interface {
+	// ErrSq returns min_{g∈F} ‖g_I − q_I‖₂² for I = [a, b].
+	ErrSq(a, b int) float64
+	// Fit returns the minimizing g restricted to [a, b].
+	Fit(a, b int) Evaluator
+}
+
+// PolyOracle projects onto degree-d polynomials using the discrete Chebyshev
+// basis (the paper's FitPolyd). Each query costs O(d·s_I + log s) where s_I
+// is the number of nonzeros inside the queried interval.
+type PolyOracle struct {
+	q *sparse.Func
+	d int
+}
+
+// NewPolyOracle returns the degree-d polynomial projection oracle for q.
+func NewPolyOracle(q *sparse.Func, d int) (*PolyOracle, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("piecewise: negative degree %d", d)
+	}
+	return &PolyOracle{q: q, d: d}, nil
+}
+
+// Degree returns the oracle's polynomial degree d.
+func (o *PolyOracle) Degree() int { return o.d }
+
+// entriesIn returns the nonzeros of q with indices in [a, b] via binary
+// search over the sorted entries.
+func (o *PolyOracle) entriesIn(a, b int) []sparse.Entry {
+	es := o.q.Entries()
+	lo := sort.Search(len(es), func(i int) bool { return es[i].Index >= a })
+	hi := sort.Search(len(es), func(i int) bool { return es[i].Index > b })
+	return es[lo:hi]
+}
+
+// ErrSq implements Oracle.
+func (o *PolyOracle) ErrSq(a, b int) float64 {
+	p, err := cheby.Project(o.entriesIn(a, b), a, b, o.d)
+	if err != nil {
+		panic(fmt.Sprintf("piecewise: projection failed on validated interval: %v", err))
+	}
+	return p.ErrSq
+}
+
+// Fit implements Oracle.
+func (o *PolyOracle) Fit(a, b int) Evaluator {
+	p, err := cheby.Project(o.entriesIn(a, b), a, b, o.d)
+	if err != nil {
+		panic(fmt.Sprintf("piecewise: projection failed on validated interval: %v", err))
+	}
+	return p
+}
+
+// HistOracle is the constant-function oracle: projecting onto degree-0
+// polynomials is exactly the flattening of Definition 3.1. It exists to
+// demonstrate (and test) that ConstructGeneralHistogram with this oracle is
+// Algorithm 1, as Section 4.1 observes. It answers queries in O(log s) using
+// prefix sums over the nonzeros.
+type HistOracle struct {
+	q *sparse.Func
+	// cumSum[i], cumSumSq[i]: sums over the first i entries.
+	cumSum, cumSumSq []float64
+}
+
+// NewHistOracle builds the flattening oracle for q.
+func NewHistOracle(q *sparse.Func) *HistOracle {
+	es := q.Entries()
+	o := &HistOracle{
+		q:        q,
+		cumSum:   make([]float64, len(es)+1),
+		cumSumSq: make([]float64, len(es)+1),
+	}
+	for i, e := range es {
+		o.cumSum[i+1] = o.cumSum[i] + e.Value
+		o.cumSumSq[i+1] = o.cumSumSq[i] + e.Value*e.Value
+	}
+	return o
+}
+
+func (o *HistOracle) stat(a, b int) sparse.Stat {
+	es := o.q.Entries()
+	lo := sort.Search(len(es), func(i int) bool { return es[i].Index >= a })
+	hi := sort.Search(len(es), func(i int) bool { return es[i].Index > b })
+	return sparse.Stat{
+		Len:   b - a + 1,
+		Sum:   o.cumSum[hi] - o.cumSum[lo],
+		SumSq: o.cumSumSq[hi] - o.cumSumSq[lo],
+	}
+}
+
+// ErrSq implements Oracle: err_q([a,b]).
+func (o *HistOracle) ErrSq(a, b int) float64 { return o.stat(a, b).SSE() }
+
+// Fit implements Oracle: the constant μ_q([a,b]).
+func (o *HistOracle) Fit(a, b int) Evaluator { return constEval(o.stat(a, b).Mean()) }
+
+type constEval float64
+
+func (c constEval) Eval(int) float64 { return float64(c) }

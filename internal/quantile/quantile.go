@@ -1,0 +1,116 @@
+// Package quantile answers cumulative-distribution and quantile queries from
+// a histogram summary — the other half of the database-synopsis story:
+// once a column's distribution is compressed to O(k) pieces, medians,
+// percentiles, and CDF probes come from the summary in O(log k) without
+// touching the data again.
+//
+// Queries interpret the histogram as a mass function over [1, n] with the
+// standard continuous-uniform spread inside each piece. Negative piece
+// values (possible for summaries of signed data) are rejected at
+// construction: quantiles are only meaningful for non-negative mass.
+package quantile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// CDF answers cumulative and inverse-cumulative queries from a histogram.
+type CDF struct {
+	h *core.Histogram
+	// cum[i] = total mass of pieces 0..i-1; cum[len(pieces)] = total mass.
+	cum   []float64
+	total float64
+}
+
+// New validates the histogram (non-negative pieces, positive total mass) and
+// precomputes piece prefix masses in O(pieces).
+func New(h *core.Histogram) (*CDF, error) {
+	pieces := h.Pieces()
+	cum := make([]float64, len(pieces)+1)
+	for i, pc := range pieces {
+		if pc.Value < 0 {
+			return nil, fmt.Errorf("quantile: piece %d has negative value %v", i, pc.Value)
+		}
+		cum[i+1] = cum[i] + pc.Value*float64(pc.Len())
+	}
+	total := cum[len(pieces)]
+	if total <= 0 {
+		return nil, fmt.Errorf("quantile: total mass %v is not positive", total)
+	}
+	return &CDF{h: h, cum: cum, total: total}, nil
+}
+
+// Total returns the histogram's total mass.
+func (c *CDF) Total() float64 { return c.total }
+
+// At returns F(x) = (mass of [1, x]) / total for x ∈ [0, n]; At(0) = 0.
+func (c *CDF) At(x int) (float64, error) {
+	if x < 0 || x > c.h.N() {
+		return 0, fmt.Errorf("quantile: x = %d out of [0, %d]", x, c.h.N())
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	pieces := c.h.Pieces()
+	// First piece whose Hi ≥ x.
+	i := sort.Search(len(pieces), func(j int) bool { return pieces[j].Hi >= x })
+	mass := c.cum[i] + pieces[i].Value*float64(x-pieces[i].Lo+1)
+	return mass / c.total, nil
+}
+
+// Quantile returns the smallest x ∈ [1, n] with F(x) ≥ p, for p ∈ (0, 1].
+func (c *CDF) Quantile(p float64) (int, error) {
+	if !(p > 0 && p <= 1) {
+		return 0, fmt.Errorf("quantile: p = %v out of (0, 1]", p)
+	}
+	targetMass := p * c.total
+	pieces := c.h.Pieces()
+	// First piece whose cumulative end-mass reaches the target.
+	i := sort.Search(len(pieces), func(j int) bool { return c.cum[j+1] >= targetMass })
+	if i == len(pieces) {
+		return c.h.N(), nil
+	}
+	pc := pieces[i]
+	if pc.Value <= 0 {
+		// Zero-mass piece reached only when targetMass == cum[i]; the
+		// quantile is the end of the previous mass.
+		return pc.Lo, nil
+	}
+	// Points needed inside the piece: ceil((targetMass − cum[i]) / value).
+	need := (targetMass - c.cum[i]) / pc.Value
+	offset := int(need)
+	if float64(offset) < need {
+		offset++
+	}
+	if offset < 1 {
+		offset = 1
+	}
+	x := pc.Lo + offset - 1
+	if x > pc.Hi {
+		x = pc.Hi
+	}
+	return x, nil
+}
+
+// Median returns Quantile(0.5).
+func (c *CDF) Median() (int, error) { return c.Quantile(0.5) }
+
+// Summary returns the q-quantile sketch: Quantile(i/q) for i = 1..q (the
+// final entry is the maximum-mass point n or earlier).
+func (c *CDF) Summary(q int) ([]int, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("quantile: q must be ≥ 1, got %d", q)
+	}
+	out := make([]int, q)
+	for i := 1; i <= q; i++ {
+		x, err := c.Quantile(float64(i) / float64(q))
+		if err != nil {
+			return nil, err
+		}
+		out[i-1] = x
+	}
+	return out, nil
+}

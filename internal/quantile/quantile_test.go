@@ -1,0 +1,247 @@
+package quantile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func histFrom(values []float64) *core.Histogram {
+	sf := sparse.FromDense(values)
+	p := sf.InitialPartition()
+	return core.FlattenHistogram(sf, p)
+}
+
+func uniformHist(n int) *core.Histogram {
+	return core.NewHistogram(n, interval.Partition{interval.New(1, n)}, []float64{1})
+}
+
+func TestNewValidation(t *testing.T) {
+	neg := core.NewHistogram(2, interval.Partition{interval.New(1, 2)}, []float64{-1})
+	if _, err := New(neg); err == nil {
+		t.Fatal("negative pieces should error")
+	}
+	zero := core.NewHistogram(2, interval.Partition{interval.New(1, 2)}, []float64{0})
+	if _, err := New(zero); err == nil {
+		t.Fatal("zero mass should error")
+	}
+}
+
+func TestCDFUniform(t *testing.T) {
+	c, err := New(uniformHist(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 100 {
+		t.Fatalf("total %v", c.Total())
+	}
+	for _, x := range []int{1, 25, 50, 100} {
+		f, err := c.At(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f-float64(x)/100) > 1e-12 {
+			t.Fatalf("F(%d) = %v", x, f)
+		}
+	}
+	if f, _ := c.At(0); f != 0 {
+		t.Fatal("F(0) must be 0")
+	}
+	if _, err := c.At(101); err == nil {
+		t.Fatal("out of range should error")
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	c, err := New(uniformHist(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := c.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 50 {
+		t.Fatalf("median %d, want 50", med)
+	}
+	q1, _ := c.Quantile(0.25)
+	q3, _ := c.Quantile(0.75)
+	if q1 != 25 || q3 != 75 {
+		t.Fatalf("quartiles %d, %d", q1, q3)
+	}
+	if x, _ := c.Quantile(1); x != 100 {
+		t.Fatalf("Quantile(1) = %d", x)
+	}
+	if _, err := c.Quantile(0); err == nil {
+		t.Fatal("p=0 should error")
+	}
+	if _, err := c.Quantile(1.1); err == nil {
+		t.Fatal("p>1 should error")
+	}
+}
+
+func TestQuantilePointMass(t *testing.T) {
+	// All mass at point 7.
+	values := make([]float64, 20)
+	values[6] = 5
+	c, err := New(histFrom(values))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.01, 0.5, 1} {
+		x, err := c.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != 7 {
+			t.Fatalf("Quantile(%v) = %d, want 7", p, x)
+		}
+	}
+}
+
+func TestQuantileInverseOfCDF(t *testing.T) {
+	// Galois connection: Quantile(p) = min{x : F(x) ≥ p}.
+	r := rng.New(307)
+	values := make([]float64, 200)
+	for i := range values {
+		if r.Float64() < 0.7 {
+			values[i] = r.Float64() * 10
+		}
+	}
+	c, err := New(histFrom(values))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.001, 0.1, 0.25, 0.5, 0.77, 0.99, 1} {
+		x, err := c.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx, err := c.At(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fx < p-1e-9 {
+			t.Fatalf("F(Quantile(%v)) = %v < p", p, fx)
+		}
+		if x > 1 {
+			fprev, err := c.At(x - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fprev >= p+1e-9 {
+				t.Fatalf("Quantile(%v) = %d not minimal: F(%d) = %v", p, x, x-1, fprev)
+			}
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c, err := New(uniformHist(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Summary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{25, 50, 75, 100}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("summary %v, want %v", s, want)
+		}
+	}
+	if _, err := c.Summary(0); err == nil {
+		t.Fatal("q=0 should error")
+	}
+}
+
+// Property: quantiles are monotone in p and CDF is monotone in x.
+func TestMonotoneProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		values := make([]float64, 64)
+		any := false
+		for i := range values {
+			if r.Float64() < 0.5 {
+				values[i] = r.Float64() * 5
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		c, err := New(histFrom(values))
+		if err != nil {
+			return false
+		}
+		prevQ := 0
+		for p := 0.1; p <= 1.0001; p += 0.1 {
+			pp := math.Min(p, 1)
+			x, err := c.Quantile(pp)
+			if err != nil || x < prevQ {
+				return false
+			}
+			prevQ = x
+		}
+		prevF := 0.0
+		for x := 1; x <= 64; x++ {
+			fx, err := c.At(x)
+			if err != nil || fx < prevF-1e-12 {
+				return false
+			}
+			prevF = fx
+		}
+		return math.Abs(prevF-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Quantiles from a compressed summary track quantiles of the raw data.
+func TestQuantilesSurviveCompression(t *testing.T) {
+	r := rng.New(311)
+	n := 5000
+	values := make([]float64, n)
+	for i := range values {
+		// Bimodal mass.
+		if i < n/3 {
+			values[i] = 3 + r.Float64()
+		} else if i > 2*n/3 {
+			values[i] = 1 + r.Float64()
+		}
+	}
+	exactC, err := New(histFrom(values))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ConstructHistogram(sparse.FromDense(values), 10, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamp tiny negative flattening values (none expected for non-negative
+	// data, but be safe).
+	sumC, err := New(res.Histogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		xe, err := exactC.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, err := sumC.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(xe-xs)) > float64(n)/50 {
+			t.Fatalf("p=%v: exact %d vs summary %d", p, xe, xs)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical outputs for different seeds", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	x := r.Uint64()
+	y := r.Uint64()
+	if x == 0 && y == 0 {
+		t.Fatal("seed 0 produced a stuck stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(13)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Chi-square-ish uniformity check: each bucket within 10% of expectation.
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/100 {
+			t.Fatalf("bucket %d has %d draws, want ≈%d", i, c, n/10)
+		}
+	}
+}
+
+func TestIntnOne(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Intn(1) != 0 {
+			t.Fatal("Intn(1) must always return 0")
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestNormFloat64Tails(t *testing.T) {
+	// P(|Z| > 3) ≈ 0.0027; check we see some but not too many.
+	r := New(19)
+	const n = 100000
+	tail := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(r.NormFloat64()) > 3 {
+			tail++
+		}
+	}
+	if tail < 100 || tail > 600 {
+		t.Fatalf("|Z|>3 count = %d, want ≈270", tail)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(23)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(29)
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := append([]float64(nil), xs...)
+	r.Shuffle(ys)
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	if sx != sy {
+		t.Fatalf("shuffle changed contents: %v -> %v", xs, ys)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(31)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collide: %d/100", same)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var x uint64
+	for i := 0; i < b.N; i++ {
+		x = r.Uint64()
+	}
+	_ = x
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var x float64
+	for i := 0; i < b.N; i++ {
+		x = r.NormFloat64()
+	}
+	_ = x
+}

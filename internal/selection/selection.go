@@ -1,0 +1,143 @@
+// Package selection provides expected-linear-time order statistics.
+//
+// Algorithm 1 needs, in every merging round, the (1 + 1/δ)k-th largest merge
+// error among the current pair errors (line 16). Sorting would cost
+// O(s log s) in the first round and break the O(s) total running time of
+// Theorem 3.4; quickselect keeps every round linear.
+//
+// The implementation is quickselect with a median-of-three-medians ("ninther")
+// pivot and an insertion-sort base case. The ninther pivot makes adversarial
+// inputs astronomically unlikely while staying deterministic, so experiment
+// runs remain reproducible.
+package selection
+
+import "math"
+
+// KthLargest returns the k-th largest value of xs (k = 1 is the maximum).
+// It partially reorders xs in place. It panics if k is out of [1, len(xs)].
+func KthLargest(xs []float64, k int) float64 {
+	if k < 1 || k > len(xs) {
+		panic("selection: k out of range")
+	}
+	// k-th largest is the (len-k)-th smallest (0-based rank).
+	return kthSmallest(xs, len(xs)-k)
+}
+
+// KthSmallest returns the k-th smallest value of xs (k = 1 is the minimum).
+// It partially reorders xs in place. It panics if k is out of [1, len(xs)].
+func KthSmallest(xs []float64, k int) float64 {
+	if k < 1 || k > len(xs) {
+		panic("selection: k out of range")
+	}
+	return kthSmallest(xs, k-1)
+}
+
+// kthSmallest selects the element of rank r (0-based) in xs.
+func kthSmallest(xs []float64, r int) float64 {
+	lo, hi := 0, len(xs)-1
+	for {
+		if hi-lo < 12 {
+			insertionSort(xs[lo : hi+1])
+			return xs[r]
+		}
+		p := ninther(xs, lo, hi)
+		// Three-way partition around the pivot value to handle runs of ties
+		// (merge errors are frequently exactly zero) in one pass.
+		lt, gt := partition3(xs, lo, hi, p)
+		switch {
+		case r < lt:
+			hi = lt - 1
+		case r > gt:
+			lo = gt + 1
+		default:
+			return xs[r]
+		}
+	}
+}
+
+// ninther returns the median of three medians-of-three sampled across
+// [lo, hi], a deterministic pivot that is good on sorted, reversed, organ-pipe
+// and constant inputs.
+func ninther(xs []float64, lo, hi int) float64 {
+	n := hi - lo + 1
+	step := n / 8
+	m1 := median3(xs[lo], xs[lo+step], xs[lo+2*step])
+	mid := lo + n/2
+	m2 := median3(xs[mid-step], xs[mid], xs[mid+step])
+	m3 := median3(xs[hi-2*step], xs[hi-step], xs[hi])
+	return median3(m1, m2, m3)
+}
+
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// partition3 partitions xs[lo..hi] into < p, == p, > p regions and returns
+// the index range [lt, gt] occupied by values equal to p.
+func partition3(xs []float64, lo, hi int, p float64) (lt, gt int) {
+	lt, gt = lo, hi
+	i := lo
+	for i <= gt {
+		switch {
+		case xs[i] < p:
+			xs[i], xs[lt] = xs[lt], xs[i]
+			lt++
+			i++
+		case xs[i] > p:
+			xs[i], xs[gt] = xs[gt], xs[i]
+			gt--
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// Threshold returns the k-th largest element of xs, the cut value t such
+// that at least k elements are ≥ t. If k ≥ len(xs) it returns the minimum
+// (everything passes a ≥ test); if k ≤ 0 it returns +Inf (nothing passes).
+// xs is copied, not reordered.
+//
+// The merging algorithms use CountAbove together with this to keep exactly
+// the budgeted number of pairs split even when many errors tie at t.
+func Threshold(xs []float64, k int) float64 {
+	if len(xs) == 0 {
+		panic("selection: Threshold of empty slice")
+	}
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	if k >= len(xs) {
+		min := xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+		}
+		return min
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	return KthLargest(cp, k)
+}

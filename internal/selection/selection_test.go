@@ -1,0 +1,186 @@
+package selection
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestKthLargestSmall(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	// Sorted descending: 9 6 5 4 3 2 1 1.
+	want := []float64{9, 6, 5, 4, 3, 2, 1, 1}
+	for k := 1; k <= len(xs); k++ {
+		cp := append([]float64(nil), xs...)
+		if got := KthLargest(cp, k); got != want[k-1] {
+			t.Fatalf("KthLargest(k=%d) = %v, want %v", k, got, want[k-1])
+		}
+	}
+}
+
+func TestKthSmallestSmall(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	want := []float64{1, 1, 3, 4, 5}
+	for k := 1; k <= len(xs); k++ {
+		cp := append([]float64(nil), xs...)
+		if got := KthSmallest(cp, k); got != want[k-1] {
+			t.Fatalf("KthSmallest(k=%d) = %v, want %v", k, got, want[k-1])
+		}
+	}
+}
+
+func TestPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{0, 4} {
+		func(k int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d should panic", k)
+				}
+			}()
+			KthLargest([]float64{1, 2, 3}, k)
+		}(k)
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	if KthLargest([]float64{42}, 1) != 42 {
+		t.Fatal("single element")
+	}
+}
+
+func TestAllEqual(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 7
+	}
+	for _, k := range []int{1, 500, 1000} {
+		cp := append([]float64(nil), xs...)
+		if got := KthLargest(cp, k); got != 7 {
+			t.Fatalf("all-equal KthLargest(k=%d) = %v", k, got)
+		}
+	}
+}
+
+func TestAdversarialPatterns(t *testing.T) {
+	const n = 4096
+	patterns := map[string]func(i int) float64{
+		"sorted":    func(i int) float64 { return float64(i) },
+		"reversed":  func(i int) float64 { return float64(n - i) },
+		"organpipe": func(i int) float64 { return math.Min(float64(i), float64(n-i)) },
+		"sawtooth":  func(i int) float64 { return float64(i % 17) },
+		"zeros":     func(i int) float64 { return 0 },
+	}
+	for name, gen := range patterns {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = gen(i)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, k := range []int{1, 2, n / 3, n / 2, n - 1, n} {
+			cp := append([]float64(nil), xs...)
+			got := KthLargest(cp, k)
+			want := sorted[n-k]
+			if got != want {
+				t.Fatalf("%s: KthLargest(k=%d) = %v, want %v", name, k, got, want)
+			}
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	xs := []float64{5, 1, 3, 3, 2}
+	if got := Threshold(xs, 2); got != 3 {
+		t.Fatalf("Threshold(2) = %v, want 3", got)
+	}
+	if got := Threshold(xs, 10); got != 1 {
+		t.Fatalf("Threshold(k≥len) = %v, want min = 1", got)
+	}
+	if got := Threshold(xs, 0); !math.IsInf(got, 1) {
+		t.Fatalf("Threshold(0) = %v, want +Inf", got)
+	}
+	// Threshold must not reorder its input.
+	if xs[0] != 5 || xs[4] != 2 {
+		t.Fatalf("Threshold reordered input: %v", xs)
+	}
+}
+
+func TestThresholdEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Threshold of empty slice should panic")
+		}
+	}()
+	Threshold(nil, 1)
+}
+
+// Property: KthLargest agrees with sorting on random inputs of random sizes.
+func TestKthLargestMatchesSortProperty(t *testing.T) {
+	f := func(seed uint32, nRaw uint16, kRaw uint16) bool {
+		r := rng.New(uint64(seed))
+		n := int(nRaw)%500 + 1
+		k := int(kRaw)%n + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			// Mix of continuous values and heavy ties.
+			if r.Float64() < 0.5 {
+				xs[i] = float64(r.Intn(5))
+			} else {
+				xs[i] = r.NormFloat64()
+			}
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		got := KthLargest(xs, k)
+		return got == sorted[n-k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after Threshold with cut t, the number of elements ≥ t is ≥ k and
+// the number of elements > t is < k — exactly the property the merging rounds
+// rely on to budget split pairs.
+func TestThresholdCountProperty(t *testing.T) {
+	f := func(seed uint32, nRaw, kRaw uint16) bool {
+		r := rng.New(uint64(seed))
+		n := int(nRaw)%300 + 1
+		k := int(kRaw)%n + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(r.Intn(8))
+		}
+		cut := Threshold(xs, k)
+		ge, gt := 0, 0
+		for _, x := range xs {
+			if x >= cut {
+				ge++
+			}
+			if x > cut {
+				gt++
+			}
+		}
+		return ge >= k && gt < k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKthLargest(b *testing.B) {
+	r := rng.New(1)
+	xs := make([]float64, 1<<16)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	cp := make([]float64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(cp, xs)
+		KthLargest(cp, len(cp)/10)
+	}
+}

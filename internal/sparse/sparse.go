@@ -1,0 +1,253 @@
+// Package sparse implements the s-sparse function representation the paper's
+// algorithms operate on: a function q : [n] → ℝ stored as its sorted nonzero
+// entries, together with the interval statistics (length, Σq, Σq²) that give
+// O(1) flattening means and errors, and the paper's "relevant index" set J
+// and initial partition I₀ (Algorithm 1, lines 3–9).
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/interval"
+	"repro/internal/numeric"
+)
+
+// Entry is a single nonzero of a sparse function: q(Index) = Value.
+// Index is 1-based, matching the paper's universe [n] = {1, …, n}.
+type Entry struct {
+	Index int
+	Value float64
+}
+
+// Func is an s-sparse function over [n]: entries sorted by strictly
+// increasing Index, all with nonzero Value. The zero value of Func is the
+// all-zero function over an empty domain; construct with New or FromDense.
+type Func struct {
+	n       int
+	entries []Entry
+}
+
+// New builds a sparse function over [1, n] from entries. Entries may be
+// given unsorted; they are sorted, validated (indices in range, distinct)
+// and zero values are dropped. The entries slice is not retained.
+func New(n int, entries []Entry) (*Func, error) {
+	if n < 1 {
+		return nil, errors.New("sparse: domain size must be ≥ 1")
+	}
+	es := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		if e.Index < 1 || e.Index > n {
+			return nil, fmt.Errorf("sparse: index %d out of [1, %d]", e.Index, n)
+		}
+		if e.Value != 0 {
+			es = append(es, e)
+		}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Index < es[j].Index })
+	for i := 1; i < len(es); i++ {
+		if es[i].Index == es[i-1].Index {
+			return nil, fmt.Errorf("sparse: duplicate index %d", es[i].Index)
+		}
+	}
+	return &Func{n: n, entries: es}, nil
+}
+
+// FromDense converts a dense vector (q[0] is the value at point 1) to its
+// sparse representation, dropping exact zeros.
+func FromDense(q []float64) *Func {
+	es := make([]Entry, 0, len(q))
+	for i, v := range q {
+		if v != 0 {
+			es = append(es, Entry{Index: i + 1, Value: v})
+		}
+	}
+	return &Func{n: len(q), entries: es}
+}
+
+// N returns the domain size n.
+func (f *Func) N() int { return f.n }
+
+// Sparsity returns the number of nonzero entries s.
+func (f *Func) Sparsity() int { return len(f.entries) }
+
+// Entries returns the sorted nonzero entries. The caller must not modify the
+// returned slice.
+func (f *Func) Entries() []Entry { return f.entries }
+
+// At returns q(i), using binary search over the nonzeros.
+func (f *Func) At(i int) float64 {
+	if i < 1 || i > f.n {
+		panic(fmt.Sprintf("sparse: At(%d) out of [1, %d]", i, f.n))
+	}
+	idx := sort.Search(len(f.entries), func(j int) bool { return f.entries[j].Index >= i })
+	if idx < len(f.entries) && f.entries[idx].Index == i {
+		return f.entries[idx].Value
+	}
+	return 0
+}
+
+// ToDense materializes the function as a dense vector of length n.
+func (f *Func) ToDense() []float64 {
+	q := make([]float64, f.n)
+	for _, e := range f.entries {
+		q[e.Index-1] = e.Value
+	}
+	return q
+}
+
+// Sum returns Σᵢ q(i).
+func (f *Func) Sum() float64 {
+	vals := make([]float64, len(f.entries))
+	for i, e := range f.entries {
+		vals[i] = e.Value
+	}
+	return numeric.Sum(vals)
+}
+
+// SumSq returns Σᵢ q(i)².
+func (f *Func) SumSq() float64 {
+	vals := make([]float64, len(f.entries))
+	for i, e := range f.entries {
+		vals[i] = e.Value * e.Value
+	}
+	return numeric.Sum(vals)
+}
+
+// L2Norm returns ‖q‖₂.
+func (f *Func) L2Norm() float64 {
+	s := f.SumSq()
+	return sqrt(s)
+}
+
+// RelevantIndices returns the paper's set J = ∪ⱼ {iⱼ−1, iⱼ, iⱼ+1} clipped to
+// [1, n], sorted and de-duplicated (Algorithm 1, line 3).
+func (f *Func) RelevantIndices() []int {
+	js := make([]int, 0, 3*len(f.entries))
+	push := func(x int) {
+		if x < 1 || x > f.n {
+			return
+		}
+		if len(js) > 0 && js[len(js)-1] >= x {
+			return // entries are sorted, so candidates arrive non-decreasing per entry
+		}
+		js = append(js, x)
+	}
+	for _, e := range f.entries {
+		push(e.Index - 1)
+		push(e.Index)
+		push(e.Index + 1)
+	}
+	return js
+}
+
+// InitialPartition returns the paper's I₀: every relevant index is a
+// singleton interval and each maximal gap between consecutive relevant
+// indices is one (all-zero) interval (Algorithm 1, line 9). Flattening q over
+// I₀ reproduces q exactly, and |I₀| ≤ 4s + 1 = O(s).
+//
+// For a function with no nonzeros the whole domain is a single interval.
+func (f *Func) InitialPartition() interval.Partition {
+	js := f.RelevantIndices()
+	if len(js) == 0 {
+		return interval.Partition{interval.New(1, f.n)}
+	}
+	p := make(interval.Partition, 0, 2*len(js)+1)
+	next := 1 // first uncovered point
+	for _, j := range js {
+		if j > next {
+			p = append(p, interval.New(next, j-1)) // zero gap
+		}
+		p = append(p, interval.New(j, j)) // singleton
+		next = j + 1
+	}
+	if next <= f.n {
+		p = append(p, interval.New(next, f.n))
+	}
+	return p
+}
+
+// Stat aggregates the statistics of q restricted to an interval that make
+// flattening O(1): the interval length and the sums Σq, Σq² over it.
+// Stats are merged by addition, which is what makes each merging round of
+// Algorithm 1 linear in the number of live intervals.
+type Stat struct {
+	Len        int
+	Sum, SumSq float64
+}
+
+// Add returns the statistics of the union of two adjacent intervals.
+func (s Stat) Add(t Stat) Stat {
+	return Stat{Len: s.Len + t.Len, Sum: s.Sum + t.Sum, SumSq: s.SumSq + t.SumSq}
+}
+
+// Mean returns μ_q(I), the value of the best 1-histogram approximation on the
+// interval (Definition 3.1).
+func (s Stat) Mean() float64 {
+	if s.Len == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Len)
+}
+
+// SSE returns err_q(I) = Σ_{i∈I} (q(i) − μ)², clamped at 0 against rounding.
+func (s Stat) SSE() float64 {
+	if s.Len == 0 {
+		return 0
+	}
+	return numeric.ClampNonNeg(s.SumSq - s.Sum*s.Sum/float64(s.Len))
+}
+
+// StatsFor computes the per-piece statistics of q over an arbitrary
+// partition in O(s + |p|) with one sweep over the nonzeros. The partition
+// must cover [1, n].
+func (f *Func) StatsFor(p interval.Partition) []Stat {
+	stats := make([]Stat, len(p))
+	ei := 0
+	for pi, iv := range p {
+		st := Stat{Len: iv.Len()}
+		for ei < len(f.entries) && f.entries[ei].Index <= iv.Hi {
+			v := f.entries[ei].Value
+			st.Sum += v
+			st.SumSq += v * v
+			ei++
+		}
+		stats[pi] = st
+	}
+	return stats
+}
+
+// Flatten returns the flattening q̄_I of q over the partition p as a dense
+// vector: constant μ_q(Iᵢ) on each piece (Definition 3.1).
+func (f *Func) Flatten(p interval.Partition) []float64 {
+	stats := f.StatsFor(p)
+	out := make([]float64, f.n)
+	for pi, iv := range p {
+		mu := stats[pi].Mean()
+		for x := iv.Lo; x <= iv.Hi; x++ {
+			out[x-1] = mu
+		}
+	}
+	return out
+}
+
+// FlattenError returns ‖q̄_I − q‖₂ = sqrt(Σᵢ err_q(Iᵢ)) without materializing
+// the flattening; this is the paper's error decomposition (proof of
+// Theorem 3.3) and the error estimate e_t of Theorem 2.2.
+func (f *Func) FlattenError(p interval.Partition) float64 {
+	stats := f.StatsFor(p)
+	var total float64
+	for _, st := range stats {
+		total += st.SSE()
+	}
+	return sqrt(total)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

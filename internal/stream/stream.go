@@ -1,0 +1,217 @@
+// Package stream provides maintained and mergeable histogram summaries on
+// top of the core merging algorithm — the "approximate histogram
+// maintenance" setting of Gibbons–Matias–Poosala [GMP97] and
+// Gilbert et al. [GGI+02] that the paper's introduction cites as a driving
+// application.
+//
+// Two primitives:
+//
+//   - Maintainer ingests a stream of point updates (i, w) over [1, n],
+//     buffering them and periodically recompacting (previous summary +
+//     buffer) back to O(k) pieces with one merging run. Amortized update
+//     cost is O(1); the summary is always within the merging guarantee of
+//     the *summarized* stream, with bounded drift against the true stream
+//     (each compaction flattens inside pieces whose SSE the merging step
+//     already certified small).
+//
+//   - Merge combines the summaries of two disjoint data partitions into one:
+//     the sum of two histograms is a histogram on the common refinement of
+//     their partitions (exactly — no approximation), which is then
+//     recompacted to O(k) pieces. This is the "mergeable summaries" shape
+//     used by parallel aggregation trees.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/sparse"
+)
+
+// Maintainer ingests point updates and maintains an O(k)-piece histogram
+// summary of the accumulated frequency vector.
+type Maintainer struct {
+	n    int
+	k    int
+	opts core.Options
+
+	// Current compacted summary (nil before the first compaction: the
+	// buffer alone holds all mass).
+	summary *core.Histogram
+	// Buffered updates since the last compaction, keyed by point.
+	buffer map[int]float64
+	// bufferCap triggers compaction.
+	bufferCap int
+
+	updates     int
+	compactions int
+}
+
+// NewMaintainer builds a maintainer for the domain [1, n] targeting k-piece
+// summaries. bufferCap controls the compaction period; 0 picks a default
+// proportional to the summary size (8× the merging target), which keeps the
+// amortized per-update cost constant.
+func NewMaintainer(n, k, bufferCap int, opts core.Options) (*Maintainer, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stream: domain size %d < 1", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("stream: k must be ≥ 1, got %d", k)
+	}
+	if bufferCap <= 0 {
+		bufferCap = 8 * opts.TargetPieces(k)
+		if bufferCap < 64 {
+			bufferCap = 64
+		}
+	}
+	return &Maintainer{
+		n: n, k: k, opts: opts,
+		buffer:    make(map[int]float64, bufferCap),
+		bufferCap: bufferCap,
+	}, nil
+}
+
+// Add records an update: the frequency of point i increases by w (w may be
+// negative for deletions; the maintained vector may then go negative, which
+// the summary represents faithfully).
+func (m *Maintainer) Add(i int, w float64) error {
+	if i < 1 || i > m.n {
+		return fmt.Errorf("stream: point %d out of [1, %d]", i, m.n)
+	}
+	m.buffer[i] += w
+	m.updates++
+	if len(m.buffer) >= m.bufferCap {
+		return m.Compact()
+	}
+	return nil
+}
+
+// Updates returns the number of updates ingested.
+func (m *Maintainer) Updates() int { return m.updates }
+
+// Compactions returns how many times the summary has been recompacted.
+func (m *Maintainer) Compactions() int { return m.compactions }
+
+// Compact folds the buffer into the summary now. It is called automatically
+// when the buffer fills; callers only need it before reading an up-to-date
+// Summary.
+func (m *Maintainer) Compact() error {
+	if len(m.buffer) == 0 {
+		return nil
+	}
+	part, stats := m.combined()
+	res, err := core.ConstructHistogramFromSummary(m.n, part, stats, m.k, m.opts)
+	if err != nil {
+		return err
+	}
+	m.summary = res.Histogram
+	m.buffer = make(map[int]float64, m.bufferCap)
+	m.compactions++
+	return nil
+}
+
+// combined builds the refinement partition of (summary pieces ∪ buffered
+// singletons) with the statistics of "summary as piecewise-constant truth
+// plus buffered deltas".
+func (m *Maintainer) combined() (interval.Partition, []sparse.Stat) {
+	points := make([]int, 0, len(m.buffer))
+	for i := range m.buffer {
+		points = append(points, i)
+	}
+	sort.Ints(points)
+
+	var pieces []core.Piece
+	if m.summary != nil {
+		pieces = m.summary.Pieces()
+	} else {
+		pieces = []core.Piece{{Interval: interval.New(1, m.n), Value: 0}}
+	}
+
+	var part interval.Partition
+	var stats []sparse.Stat
+	pi := 0
+	emit := func(lo, hi int, v float64, delta float64, hasDelta bool) {
+		if lo > hi {
+			return
+		}
+		part = append(part, interval.New(lo, hi))
+		length := hi - lo + 1
+		st := sparse.Stat{Len: length, Sum: v * float64(length), SumSq: v * v * float64(length)}
+		if hasDelta {
+			// Singleton with value v+delta.
+			st.Sum = v + delta
+			st.SumSq = (v + delta) * (v + delta)
+		}
+		stats = append(stats, st)
+	}
+	for _, pc := range pieces {
+		lo := pc.Lo
+		for pi < len(points) && points[pi] <= pc.Hi {
+			p := points[pi]
+			emit(lo, p-1, pc.Value, 0, false)
+			emit(p, p, pc.Value, m.buffer[p], true)
+			lo = p + 1
+			pi++
+		}
+		emit(lo, pc.Hi, pc.Value, 0, false)
+	}
+	return part, stats
+}
+
+// Summary returns the current O(k)-piece summary, compacting pending
+// buffered updates first.
+func (m *Maintainer) Summary() (*core.Histogram, error) {
+	if err := m.Compact(); err != nil {
+		return nil, err
+	}
+	if m.summary == nil {
+		// No updates yet: the zero histogram.
+		return core.NewHistogram(m.n,
+			interval.Partition{interval.New(1, m.n)}, []float64{0}), nil
+	}
+	return m.summary, nil
+}
+
+// Merge combines two histogram summaries of *disjoint* data sets over the
+// same domain into one O(k)-piece summary. The pointwise sum h1 + h2 is
+// formed exactly on the common refinement of the two partitions and then
+// recompacted with one merging run.
+func Merge(h1, h2 *core.Histogram, k int, opts core.Options) (*core.Histogram, error) {
+	if h1.N() != h2.N() {
+		return nil, fmt.Errorf("stream: merging summaries over [1,%d] and [1,%d]", h1.N(), h2.N())
+	}
+	n := h1.N()
+	p1, p2 := h1.Pieces(), h2.Pieces()
+	var part interval.Partition
+	var stats []sparse.Stat
+	i, j := 0, 0
+	lo := 1
+	for lo <= n {
+		hi := p1[i].Hi
+		if p2[j].Hi < hi {
+			hi = p2[j].Hi
+		}
+		v := p1[i].Value + p2[j].Value
+		length := hi - lo + 1
+		part = append(part, interval.New(lo, hi))
+		stats = append(stats, sparse.Stat{
+			Len:   length,
+			Sum:   v * float64(length),
+			SumSq: v * v * float64(length),
+		})
+		if p1[i].Hi == hi {
+			i++
+		}
+		if p2[j].Hi == hi {
+			j++
+		}
+		lo = hi + 1
+	}
+	res, err := core.ConstructHistogramFromSummary(n, part, stats, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Histogram, nil
+}

@@ -1,0 +1,250 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func TestMaintainerValidation(t *testing.T) {
+	if _, err := NewMaintainer(0, 1, 0, core.DefaultOptions()); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := NewMaintainer(10, 0, 0, core.DefaultOptions()); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	m, err := NewMaintainer(10, 2, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(0, 1); err == nil {
+		t.Fatal("point 0 should error")
+	}
+	if err := m.Add(11, 1); err == nil {
+		t.Fatal("point 11 should error")
+	}
+}
+
+func TestMaintainerEmptySummary(t *testing.T) {
+	m, err := NewMaintainer(100, 3, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Mass() != 0 || h.NumPieces() != 1 {
+		t.Fatal("empty maintainer should summarize to the zero histogram")
+	}
+}
+
+func TestMaintainerMassExact(t *testing.T) {
+	// Total mass is preserved exactly through any number of compactions:
+	// flattening preserves interval sums.
+	r := rng.New(277)
+	m, err := NewMaintainer(1000, 5, 32, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i := 0; i < 5000; i++ {
+		p := 1 + r.Intn(1000)
+		w := r.Float64()
+		total += w
+		if err := m.Add(p, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := m.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(h.Mass(), total, 1e-9) {
+		t.Fatalf("summary mass %v, stream total %v", h.Mass(), total)
+	}
+	if m.Compactions() == 0 {
+		t.Fatal("expected at least one compaction")
+	}
+	if m.Updates() != 5000 {
+		t.Fatalf("updates = %d", m.Updates())
+	}
+}
+
+func TestMaintainerRecoversStepStream(t *testing.T) {
+	// Stream a k-step frequency vector point by point (in order); the
+	// maintained summary should recover it near-exactly despite repeated
+	// compaction (opt_k of every intermediate prefix is 0 or one partial
+	// step).
+	levels := []float64{4, 9, 2, 7}
+	n := 400
+	m, err := NewMaintainer(n, len(levels)+1, 64, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		v := levels[(i-1)*len(levels)/n]
+		truth[i-1] = v
+		if err := m.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := m.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.L2DistToDense(truth); got > 1e-6 {
+		t.Fatalf("maintained summary error %v on a step stream", got)
+	}
+}
+
+func TestMaintainerRandomStreamCloseToDirectFit(t *testing.T) {
+	// On a random-order stream, the maintained summary must stay within a
+	// small factor of fitting the final vector directly — the drift from
+	// intermediate compactions is bounded.
+	r := rng.New(281)
+	n := 2000
+	k := 10
+	truth := make([]float64, n)
+	m, err := NewMaintainer(n, k, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Underlying signal: 10 steps; stream adds unit mass at signal-weighted
+	// random points.
+	levels := []float64{1, 6, 3, 9, 2, 8, 4, 10, 5, 7}
+	for u := 0; u < 60000; u++ {
+		// Rejection-sample a point proportional to the step signal.
+		for {
+			p := 1 + r.Intn(n)
+			if r.Float64()*10 < levels[(p-1)*10/n] {
+				truth[p-1]++
+				if err := m.Add(p, 1); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+	h, err := m.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamErr := h.L2DistToDense(truth)
+	direct, err := core.ConstructHistogram(sparse.FromDense(truth), k, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamErr > 3*direct.Error+1e-9 {
+		t.Fatalf("maintained error %v vs direct fit %v — drift too large", streamErr, direct.Error)
+	}
+}
+
+func TestMaintainerDeletions(t *testing.T) {
+	m, err := NewMaintainer(50, 2, 16, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		if err := m.Add(i, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 50; i++ {
+		if err := m.Add(i, -2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := m.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Mass()) > 1e-9 {
+		t.Fatalf("mass after full deletion %v", h.Mass())
+	}
+}
+
+func TestMergeDisjointSummaries(t *testing.T) {
+	// Summaries of the left and right halves merge into a summary of the
+	// whole that matches a direct fit closely.
+	r := rng.New(283)
+	n := 1200
+	k := 6
+	whole := make([]float64, n)
+	left := make([]float64, n)
+	right := make([]float64, n)
+	levels := []float64{3, 8, 1, 12, 5, 9}
+	for i := range whole {
+		v := levels[i*len(levels)/n] + 0.2*r.NormFloat64()
+		whole[i] = v
+		if i < n/2 {
+			left[i] = v
+		} else {
+			right[i] = v
+		}
+	}
+	fitL, err := core.ConstructHistogram(sparse.FromDense(left), k, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitR, err := core.ConstructHistogram(sparse.FromDense(right), k, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(fitL.Histogram, fitR.Histogram, k, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.ConstructHistogram(sparse.FromDense(whole), k, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedErr := merged.L2DistToDense(whole)
+	if mergedErr > 3*(direct.Error+1) {
+		t.Fatalf("merged error %v vs direct %v", mergedErr, direct.Error)
+	}
+	// Mass adds exactly.
+	if !numeric.AlmostEqual(merged.Mass(), fitL.Histogram.Mass()+fitR.Histogram.Mass(), 1e-6) {
+		t.Fatalf("merged mass %v", merged.Mass())
+	}
+}
+
+func TestMergeDomainMismatch(t *testing.T) {
+	a, err := core.ConstructHistogram(sparse.FromDense([]float64{1, 2}), 1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.ConstructHistogram(sparse.FromDense([]float64{1, 2, 3}), 1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(a.Histogram, b.Histogram, 1, core.DefaultOptions()); err == nil {
+		t.Fatal("domain mismatch should error")
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	// Merging a summary with the zero summary reproduces it (up to
+	// recompaction of an already-small partition: no merging happens since
+	// pieces ≤ target).
+	fit, err := core.ConstructHistogram(sparse.FromDense([]float64{5, 5, 5, 1, 1, 1}), 2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := core.NewHistogram(6,
+		fit.Histogram.Partition(), make([]float64, fit.Histogram.NumPieces()))
+	merged, err := Merge(fit.Histogram, zero, 2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if !numeric.AlmostEqual(merged.At(i), fit.Histogram.At(i), 1e-12) {
+			t.Fatalf("identity merge changed value at %d", i)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package synopsis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// zipfColumn generates a skewed column: frequencies ∝ 1/rank over a shuffled
+// domain, the classic worst case for equi-width histograms.
+func zipfColumn(r *rng.RNG, n, rows int) []int {
+	weights := make([]float64, n)
+	perm := r.Perm(n)
+	var total float64
+	for i := range weights {
+		weights[i] = 1 / float64(perm[i]+1)
+		total += weights[i]
+	}
+	// Sample rows from the weights by inverse CDF.
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cdf[i] = acc
+	}
+	out := make([]int, rows)
+	for i := range out {
+		u := r.Float64()
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = lo + 1
+	}
+	return out
+}
+
+func TestFrequencies(t *testing.T) {
+	f, err := Frequencies([]int{1, 1, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 1, 0}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("f = %v", f)
+		}
+	}
+	if _, err := Frequencies([]int{5}, 4); err == nil {
+		t.Fatal("out-of-domain value should error")
+	}
+	if _, err := Frequencies(nil, 0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestExactCount(t *testing.T) {
+	e := NewExact([]float64{1, 2, 3, 4})
+	got, err := e.CountRange(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("CountRange = %v", got)
+	}
+	if _, err := e.CountRange(0, 2); err == nil {
+		t.Fatal("invalid range should error")
+	}
+	if _, err := e.CountRange(3, 2); err == nil {
+		t.Fatal("inverted range should error")
+	}
+}
+
+func TestVOptimalExactOnStepColumn(t *testing.T) {
+	// A column whose frequency vector is a k-step function is represented
+	// exactly, so every range estimate is exact too.
+	freq := make([]float64, 100)
+	for i := range freq {
+		switch {
+		case i < 30:
+			freq[i] = 5
+		case i < 70:
+			freq[i] = 1
+		default:
+			freq[i] = 8
+		}
+	}
+	s, err := VOptimal(freq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExact(freq)
+	for _, c := range [][2]int{{1, 100}, {1, 30}, {31, 70}, {15, 85}, {50, 50}} {
+		est, err := s.EstimateRange(c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, _ := e.CountRange(c[0], c[1])
+		if math.Abs(est-truth) > 1e-9 {
+			t.Fatalf("range %v: est %v, truth %v", c, est, truth)
+		}
+	}
+}
+
+func TestWholeDomainQueryIsExactForAll(t *testing.T) {
+	// Every mass-preserving synopsis answers the full-domain count exactly.
+	r := rng.New(211)
+	values := zipfColumn(r, 200, 5000)
+	freq, err := Frequencies(values, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExact(freq)
+	truth, _ := e.CountRange(1, 200)
+	for name, build := range map[string]func([]float64, int) (Synopsis, error){
+		"voptimal": VOptimal, "equiwidth": EquiWidth, "equidepth": EquiDepth,
+	} {
+		s, err := build(freq, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		est, err := s.EstimateRange(1, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-truth) > 1e-6 {
+			t.Fatalf("%s: whole-domain estimate %v ≠ %v", name, est, truth)
+		}
+	}
+}
+
+func TestEquiWidthBucketCount(t *testing.T) {
+	freq := make([]float64, 97)
+	s, err := EquiWidth(freq[:], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pieces() != 10 {
+		t.Fatalf("pieces = %d", s.Pieces())
+	}
+	if s.N() != 97 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestEquiDepthBalancesMass(t *testing.T) {
+	r := rng.New(223)
+	values := zipfColumn(r, 500, 20000)
+	freq, err := Frequencies(values, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := EquiDepth(freq, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pieces() > 10 {
+		t.Fatalf("pieces = %d > 10", s.Pieces())
+	}
+	// Each bucket holds at most ~3× the fair share on this data (skew can
+	// prevent perfect balance when single values are heavy).
+	hs, ok := s.(interface{ Histogram() *core.Histogram })
+	if !ok {
+		t.Fatal("equi-depth synopsis should expose its histogram")
+	}
+	e := NewExact(freq)
+	total, _ := e.CountRange(1, 500)
+	fair := total / float64(s.Pieces())
+	for _, pc := range hs.Histogram().Pieces() {
+		mass, err := e.CountRange(pc.Lo, pc.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mass > 3*fair {
+			t.Fatalf("bucket %v holds %v, fair share %v", pc.Interval, mass, fair)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	freq := []float64{1, 2, 3}
+	if _, err := EquiWidth(nil, 2); err == nil {
+		t.Fatal("empty freq should error")
+	}
+	if _, err := EquiWidth(freq, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := EquiDepth(nil, 2); err == nil {
+		t.Fatal("empty freq should error")
+	}
+	if _, err := EquiDepth(freq, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := EquiDepth([]float64{0, 0}, 2); err == nil {
+		t.Fatal("empty column should error")
+	}
+	s, err := VOptimal(freq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EstimateRange(0, 2); err == nil {
+		t.Fatal("bad range should error")
+	}
+}
+
+func TestVOptimalBeatsEquiWidthOnSkewedData(t *testing.T) {
+	// The motivating comparison: on a column with a few sharp frequency
+	// steps, V-optimal bucket placement gives much better range estimates
+	// than fixed-width buckets at equal space.
+	freq := make([]float64, 1000)
+	for i := range freq {
+		switch {
+		case i < 90:
+			freq[i] = 1
+		case i < 100:
+			freq[i] = 500 // hot band not aligned with any equi-width boundary
+		case i < 700:
+			freq[i] = 2
+		default:
+			freq[i] = 40
+		}
+	}
+	e := NewExact(freq)
+	vo, err := VOptimal(freq, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := EquiWidth(freq, vo.Pieces()) // same space
+	if err != nil {
+		t.Fatal(err)
+	}
+	voErr, err := MaxRangeError(vo, e, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ewErr, err := MaxRangeError(ew, e, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voErr >= ewErr {
+		t.Fatalf("V-optimal worst error %v not better than equi-width %v", voErr, ewErr)
+	}
+}
+
+func TestMaxRangeErrorDomainMismatch(t *testing.T) {
+	s, err := VOptimal([]float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExact([]float64{1, 2})
+	if _, err := MaxRangeError(s, e, 10); err == nil {
+		t.Fatal("domain mismatch should error")
+	}
+}

@@ -1,0 +1,89 @@
+package synopsis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWaveletSynopsisValidation(t *testing.T) {
+	if _, err := Wavelet(nil, 4); err == nil {
+		t.Fatal("empty freq should error")
+	}
+	if _, err := Wavelet([]float64{1, 2}, 0); err == nil {
+		t.Fatal("b=0 should error")
+	}
+}
+
+func TestWaveletSynopsisWholeDomain(t *testing.T) {
+	// The scaling coefficient is always among the top-B for non-negative
+	// data with B ≥ 1... not guaranteed in general, but a full-B synopsis
+	// answers every query exactly.
+	freq := []float64{4, 4, 2, 2, 8, 8, 8, 8}
+	s, err := Wavelet(freq, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExact(freq)
+	for _, c := range [][2]int{{1, 8}, {1, 4}, {3, 6}, {5, 5}} {
+		est, err := s.EstimateRange(c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, _ := e.CountRange(c[0], c[1])
+		if math.Abs(est-truth) > 1e-9 {
+			t.Fatalf("range %v: est %v truth %v", c, est, truth)
+		}
+	}
+}
+
+func TestWaveletSynopsisRangeValidation(t *testing.T) {
+	s, err := Wavelet([]float64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EstimateRange(0, 2); err == nil {
+		t.Fatal("bad range should error")
+	}
+	if s.N() != 4 || s.Pieces() != 2 {
+		t.Fatalf("N=%d pieces=%d", s.N(), s.Pieces())
+	}
+}
+
+func TestWaveletVsVOptimal(t *testing.T) {
+	// Non-dyadic frequency steps: at equal stored numbers, the V-optimal
+	// histogram places boundaries exactly on the jumps while the Haar
+	// synopsis is locked to dyadic supports — the histogram's worst range
+	// error should be (much) smaller.
+	n := 1024
+	freq := make([]float64, n)
+	for i := range freq {
+		switch {
+		case i < 111: // non-dyadic jump positions
+			freq[i] = 10
+		case i < 613:
+			freq[i] = 2
+		default:
+			freq[i] = 25
+		}
+	}
+	vo, err := VOptimal(freq, 3) // 7 pieces → 14 numbers
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv, err := Wavelet(freq, 2*vo.Pieces()) // same number budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExact(freq)
+	voErr, err := MaxRangeError(vo, e, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wvErr, err := MaxRangeError(wv, e, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voErr >= wvErr {
+		t.Fatalf("v-optimal worst error %v not better than wavelet %v", voErr, wvErr)
+	}
+}

@@ -1,0 +1,165 @@
+// Package wavelet implements Haar-wavelet synopses — the classical
+// alternative to V-optimal histograms that the paper's related work
+// discusses (wavelet-based techniques in [GKS06] and the synopses survey
+// [CGHJ12]). Keeping the B largest-magnitude coefficients of the orthonormal
+// Haar transform is the ℓ2-optimal B-term wavelet approximation, which makes
+// it a natural accuracy baseline for the histogram algorithms: both
+// approximate in ℓ2 with O(B) stored numbers.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+)
+
+// Transform computes the orthonormal Haar wavelet transform of q. The input
+// length must be a power of two (use Pad). The output has the same length:
+// index 0 is the scaling coefficient, the rest are detail coefficients by
+// increasing resolution. Orthonormality means Parseval holds:
+// ‖Transform(q)‖₂ = ‖q‖₂.
+func Transform(q []float64) ([]float64, error) {
+	n := len(q)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("wavelet: length %d is not a power of two", n)
+	}
+	out := make([]float64, n)
+	copy(out, q)
+	buf := make([]float64, n)
+	inv := 1 / math.Sqrt2
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a, b := out[2*i], out[2*i+1]
+			buf[i] = (a + b) * inv
+			buf[half+i] = (a - b) * inv
+		}
+		copy(out[:length], buf[:length])
+	}
+	return out, nil
+}
+
+// Inverse computes the inverse orthonormal Haar transform.
+func Inverse(coeffs []float64) ([]float64, error) {
+	n := len(coeffs)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("wavelet: length %d is not a power of two", n)
+	}
+	out := make([]float64, n)
+	copy(out, coeffs)
+	buf := make([]float64, n)
+	inv := 1 / math.Sqrt2
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			s, d := out[i], out[half+i]
+			buf[2*i] = (s + d) * inv
+			buf[2*i+1] = (s - d) * inv
+		}
+		copy(out[:length], buf[:length])
+	}
+	return out, nil
+}
+
+// Pad extends q to the next power of two by repeating the final value
+// (repetition rather than zero padding avoids creating an artificial jump
+// that would consume detail coefficients). It returns the padded vector and
+// the original length.
+func Pad(q []float64) ([]float64, int) {
+	n := len(q)
+	if n == 0 {
+		return nil, 0
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	if p == n {
+		return q, n
+	}
+	out := make([]float64, p)
+	copy(out, q)
+	for i := n; i < p; i++ {
+		out[i] = q[n-1]
+	}
+	return out, n
+}
+
+// Synopsis is a B-term Haar wavelet synopsis of a vector over [1, n].
+type Synopsis struct {
+	n       int // original (pre-padding) length
+	pn      int // padded length
+	indices []int
+	values  []float64
+	// droppedEnergy is Σ of squared dropped coefficients — by Parseval the
+	// exact squared ℓ2 reconstruction error on the padded vector.
+	droppedEnergy float64
+}
+
+// NewSynopsis keeps the B coefficients of largest magnitude. Ties at the
+// threshold are broken by lower index (coarser scale first).
+func NewSynopsis(q []float64, b int) (*Synopsis, error) {
+	if len(q) == 0 {
+		return nil, fmt.Errorf("wavelet: empty input")
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("wavelet: B must be ≥ 1, got %d", b)
+	}
+	padded, n := Pad(q)
+	coeffs, err := Transform(padded)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(coeffs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		ma, mc := math.Abs(coeffs[idx[a]]), math.Abs(coeffs[idx[c]])
+		if ma != mc {
+			return ma > mc
+		}
+		return idx[a] < idx[c]
+	})
+	if b > len(coeffs) {
+		b = len(coeffs)
+	}
+	s := &Synopsis{n: n, pn: len(padded)}
+	kept := idx[:b]
+	sort.Ints(kept)
+	for _, i := range kept {
+		s.indices = append(s.indices, i)
+		s.values = append(s.values, coeffs[i])
+	}
+	for _, i := range idx[b:] {
+		s.droppedEnergy += coeffs[i] * coeffs[i]
+	}
+	return s, nil
+}
+
+// B returns the number of stored coefficients.
+func (s *Synopsis) B() int { return len(s.indices) }
+
+// N returns the original vector length.
+func (s *Synopsis) N() int { return s.n }
+
+// Error returns the exact ℓ2 reconstruction error on the padded vector
+// (Parseval: the root of the dropped coefficients' energy). The error on the
+// original prefix is at most this.
+func (s *Synopsis) Error() float64 { return math.Sqrt(numeric.ClampNonNeg(s.droppedEnergy)) }
+
+// Reconstruct materializes the synopsis as a dense vector of the original
+// length.
+func (s *Synopsis) Reconstruct() ([]float64, error) {
+	coeffs := make([]float64, s.pn)
+	for i, idx := range s.indices {
+		coeffs[idx] = s.values[i]
+	}
+	full, err := Inverse(coeffs)
+	if err != nil {
+		return nil, err
+	}
+	return full[:s.n], nil
+}

@@ -1,0 +1,233 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+func TestTransformValidation(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 1000} {
+		q := make([]float64, n)
+		if _, err := Transform(q); err == nil {
+			t.Errorf("length %d should error", n)
+		}
+		if _, err := Inverse(q); err == nil {
+			t.Errorf("inverse length %d should error", n)
+		}
+	}
+}
+
+func TestTransformConstant(t *testing.T) {
+	// A constant vector has only the scaling coefficient.
+	q := []float64{3, 3, 3, 3, 3, 3, 3, 3}
+	c, err := Transform(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[0]-3*math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("scaling coefficient %v", c[0])
+	}
+	for i := 1; i < len(c); i++ {
+		if math.Abs(c[i]) > 1e-12 {
+			t.Fatalf("detail coefficient %d = %v, want 0", i, c[i])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rng.New(251)
+	for _, n := range []int{1, 2, 4, 64, 1024} {
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		c, err := Transform(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range q {
+			if !numeric.AlmostEqual(back[i], q[i], 1e-9) {
+				t.Fatalf("n=%d: round trip differs at %d: %v vs %v", n, i, back[i], q[i])
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	r := rng.New(257)
+	q := make([]float64, 512)
+	for i := range q {
+		q[i] = r.NormFloat64() * 3
+	}
+	c, err := Transform(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(numeric.L2Norm(c), numeric.L2Norm(q), 1e-9) {
+		t.Fatalf("Parseval violated: %v vs %v", numeric.L2Norm(c), numeric.L2Norm(q))
+	}
+}
+
+func TestPad(t *testing.T) {
+	q := []float64{1, 2, 3}
+	p, n := Pad(q)
+	if n != 3 || len(p) != 4 {
+		t.Fatalf("pad: len %d orig %d", len(p), n)
+	}
+	if p[3] != 3 {
+		t.Fatalf("pad value %v, want repeat of last", p[3])
+	}
+	// Power-of-two input passes through.
+	q2 := []float64{1, 2, 3, 4}
+	p2, n2 := Pad(q2)
+	if len(p2) != 4 || n2 != 4 {
+		t.Fatal("power-of-two pad changed length")
+	}
+	if p0, n0 := Pad(nil); p0 != nil || n0 != 0 {
+		t.Fatal("empty pad")
+	}
+}
+
+func TestSynopsisFullBIsExact(t *testing.T) {
+	r := rng.New(263)
+	q := make([]float64, 128)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	s, err := NewSynopsis(q, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Error() > 1e-9 {
+		t.Fatalf("full-B synopsis error %v", s.Error())
+	}
+	back, err := s.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q {
+		if !numeric.AlmostEqual(back[i], q[i], 1e-9) {
+			t.Fatalf("full-B reconstruction differs at %d", i)
+		}
+	}
+}
+
+func TestSynopsisErrorMatchesParseval(t *testing.T) {
+	r := rng.New(269)
+	q := make([]float64, 256)
+	for i := range q {
+		q[i] = r.NormFloat64() + math.Sin(float64(i)/10)*4
+	}
+	for _, b := range []int{1, 8, 32, 100} {
+		s, err := NewSynopsis(q, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := s.Reconstruct()
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := numeric.L2Dist(back, q)
+		if !numeric.AlmostEqual(actual, s.Error(), 1e-6) {
+			t.Fatalf("B=%d: reported %v, actual %v", b, s.Error(), actual)
+		}
+		if s.B() > b {
+			t.Fatalf("stored %d > B=%d", s.B(), b)
+		}
+	}
+}
+
+func TestSynopsisValidation(t *testing.T) {
+	if _, err := NewSynopsis(nil, 1); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := NewSynopsis([]float64{1, 2}, 0); err == nil {
+		t.Fatal("B=0 should error")
+	}
+}
+
+func TestSynopsisErrorMonotoneInB(t *testing.T) {
+	r := rng.New(271)
+	q := make([]float64, 512)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	prev := math.Inf(1)
+	for b := 1; b <= 512; b *= 2 {
+		s, err := NewSynopsis(q, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Error() > prev+1e-9 {
+			t.Fatalf("error grew with B at %d", b)
+		}
+		prev = s.Error()
+	}
+}
+
+// Property: the top-B synopsis is ℓ2-optimal among wavelet synopses — any
+// other choice of B coefficients has at least as much error.
+func TestSynopsisOptimalityProperty(t *testing.T) {
+	f := func(seed uint32, bRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		q := make([]float64, 32)
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		b := int(bRaw)%31 + 1
+		s, err := NewSynopsis(q, b)
+		if err != nil {
+			return false
+		}
+		coeffs, err := Transform(q)
+		if err != nil {
+			return false
+		}
+		// Random alternative coefficient subset of the same size.
+		perm := r.Perm(len(coeffs))
+		var altDropped float64
+		keep := map[int]bool{}
+		for _, i := range perm[:b] {
+			keep[i] = true
+		}
+		for i, c := range coeffs {
+			if !keep[i] {
+				altDropped += c * c
+			}
+		}
+		return s.Error() <= math.Sqrt(altDropped)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynopsisNonPowerOfTwo(t *testing.T) {
+	// Padded reconstruction must still match the original prefix closely
+	// when B captures everything.
+	q := []float64{5, 5, 5, 2, 2}
+	s, err := NewSynopsis(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 {
+		t.Fatalf("reconstruction length %d", len(back))
+	}
+	for i := range q {
+		if !numeric.AlmostEqual(back[i], q[i], 1e-9) {
+			t.Fatalf("differs at %d: %v vs %v", i, back[i], q[i])
+		}
+	}
+}

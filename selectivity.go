@@ -1,0 +1,50 @@
+package histapprox
+
+import (
+	"repro/internal/synopsis"
+)
+
+// SelectivityEstimator answers approximate range-count queries over a column
+// from an O(k)-bucket synopsis — the database application that motivates the
+// paper (Section 1). Build one with NewSelectivityEstimator (near-V-optimal
+// buckets via the merging algorithm) or the classical baselines
+// NewEquiWidthEstimator / NewEquiDepthEstimator.
+type SelectivityEstimator = synopsis.Synopsis
+
+// ColumnFrequencies converts raw column values (each in [1, n]) into the
+// frequency vector estimators are built from.
+func ColumnFrequencies(values []int, n int) ([]float64, error) {
+	return synopsis.Frequencies(values, n)
+}
+
+// NewSelectivityEstimator builds a near-V-optimal histogram synopsis with
+// ≈ 2k+1 buckets in O(n) time using the paper's merging algorithm. The
+// V-optimal criterion (minimal ℓ2 error on the frequency vector) is the
+// standard quality measure for selectivity-estimation histograms [IP95].
+func NewSelectivityEstimator(freq []float64, k int) (SelectivityEstimator, error) {
+	return synopsis.VOptimal(freq, k)
+}
+
+// NewEquiWidthEstimator builds the classical k fixed-width buckets.
+func NewEquiWidthEstimator(freq []float64, k int) (SelectivityEstimator, error) {
+	return synopsis.EquiWidth(freq, k)
+}
+
+// NewEquiDepthEstimator builds k equal-mass (quantile) buckets.
+func NewEquiDepthEstimator(freq []float64, k int) (SelectivityEstimator, error) {
+	return synopsis.EquiDepth(freq, k)
+}
+
+// NewWaveletEstimator builds a B-term Haar wavelet synopsis answering the
+// same range-count queries — the classical ℓ2 synopsis baseline. For equal
+// storage, compare b coefficients against a histogram with b/2 pieces.
+func NewWaveletEstimator(freq []float64, b int) (SelectivityEstimator, error) {
+	return synopsis.Wavelet(freq, b)
+}
+
+// ExactCounter answers range counts exactly (the accuracy oracle for
+// comparing estimators).
+type ExactCounter = synopsis.Exact
+
+// NewExactCounter builds an exact range counter in O(n).
+func NewExactCounter(freq []float64) *ExactCounter { return synopsis.NewExact(freq) }

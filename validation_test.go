@@ -1,0 +1,35 @@
+package histapprox
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitRejectsNonFinite(t *testing.T) {
+	bad := [][]float64{
+		{1, math.NaN(), 3},
+		{1, math.Inf(1), 3},
+		{math.Inf(-1), 2, 3},
+	}
+	for _, data := range bad {
+		if _, _, err := Fit(data, 1, nil); err == nil {
+			t.Errorf("Fit(%v) should error", data)
+		}
+		if _, _, err := FitFast(data, 1, nil); err == nil {
+			t.Errorf("FitFast(%v) should error", data)
+		}
+		if _, err := FitMultiscale(data); err == nil {
+			t.Errorf("FitMultiscale(%v) should error", data)
+		}
+		if _, _, err := FitPolynomial(data, 1, 1, nil); err == nil {
+			t.Errorf("FitPolynomial(%v) should error", data)
+		}
+	}
+}
+
+func TestFitAcceptsExtremeButFiniteValues(t *testing.T) {
+	data := []float64{1e300, -1e300, 0, 1e-300, 5}
+	if _, _, err := Fit(data, 2, nil); err != nil {
+		t.Fatalf("finite extremes should be accepted: %v", err)
+	}
+}
