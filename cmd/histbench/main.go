@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	histbench              # full table (exactdp on dow takes minutes)
-//	histbench -skip-exact  # omit the O(n²k) exact DP
-//	histbench -trials 20   # more timing repetitions
+//	histbench                         # full table (exactdp on dow takes minutes)
+//	histbench -skip-exact             # omit the O(n²k) exact DP
+//	histbench -trials 20              # more timing repetitions
+//	histbench -parallel OUT.json      # run the parallel-engine sweep instead
+//	                                  # (serial vs multi-worker Fit/Learn at
+//	                                  # n up to 10⁶; records BENCH_parallel.json)
 package main
 
 import (
@@ -25,7 +28,13 @@ func main() {
 	log.SetPrefix("histbench: ")
 	skipExact := flag.Bool("skip-exact", false, "omit the O(n²k) exact dynamic program")
 	trials := flag.Int("trials", 10, "minimum timing repetitions per algorithm")
+	parallelOut := flag.String("parallel", "", "run the parallel-engine sweep and write its JSON report to this file")
 	flag.Parse()
+
+	if *parallelOut != "" {
+		runParallel(*parallelOut, *trials)
+		return
+	}
 
 	cfg := bench.DefaultTable1Config()
 	cfg.SkipExact = *skipExact
@@ -43,4 +52,35 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runParallel sweeps the parallel merging engine (serial vs multi-worker
+// Fit, FitFast, Hierarchy, Learn) and writes the JSON trajectory.
+func runParallel(outPath string, trials int) {
+	cfg := bench.DefaultParallelConfig()
+	if trials > 0 {
+		cfg.MinTrials = trials
+	}
+	fmt.Println("Parallel merging engine — serial vs multi-worker wall clock")
+	fmt.Println("(outputs are bit-identical across worker counts; see EXPERIMENTS.md)")
+	// Open the output before the sweep so a bad path fails in milliseconds,
+	// not after the full timing run.
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	rep := bench.RunParallelBench(cfg)
+	if err := bench.WriteParallelJSON(f, rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range rep.Points {
+		fmt.Printf("%-10s n=%-8d workers=%-2d  %8.2f ms  speedup %.2fx\n",
+			pt.Algorithm, pt.N, pt.Workers, pt.Millis, pt.Speedup)
+	}
+	if rep.Note != "" {
+		fmt.Println("note:", rep.Note)
+	}
+	fmt.Printf("report written to %s (total %v)\n", outPath, time.Since(start).Round(time.Millisecond))
 }

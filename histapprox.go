@@ -63,9 +63,15 @@ type PiecewisePoly = piecewise.PiecewiseFunc
 
 // Options are the trade-off parameters of the merging algorithm. Delta (δ)
 // trades approximation ratio √(1+δ) against the piece bound (2+2/δ)k+γ;
-// Gamma (γ) trades running time against pieces. The zero value is invalid;
-// use DefaultOptions or PaperOptions, or pass nil to the top-level functions
-// to get DefaultOptions.
+// Gamma (γ) trades running time against pieces. Workers sets how many
+// goroutines the merging rounds and the sample bucketing use: 0 (the
+// default) or any negative value means all cores, 1 forces the serial
+// path, any other positive value is used as given — the same convention as
+// every worker-taking function here. The parallel path is bit-identical to the serial
+// one for every worker count — Workers only changes wall-clock time, never
+// the output (see EXPERIMENTS.md for measurements). The zero value of
+// Options is invalid; use DefaultOptions or PaperOptions, or pass nil to
+// the top-level functions to get DefaultOptions.
 type Options = core.Options
 
 // DefaultOptions returns δ = 1, γ = 1: at most 4k+1 pieces, error at most
@@ -154,13 +160,20 @@ func FitFast(data []float64, k int, opts *Options) (*Histogram, float64, error) 
 // error ≤ 2·opt_k together with its exact error — the whole k-vs-accuracy
 // Pareto curve from a single run.
 func FitMultiscale(data []float64) (*Hierarchy, error) {
+	return FitMultiscaleWorkers(data, 0)
+}
+
+// FitMultiscaleWorkers is FitMultiscale with an explicit worker count:
+// 0 means all cores, 1 forces the serial path. The hierarchy is
+// bit-identical for every worker count.
+func FitMultiscaleWorkers(data []float64, workers int) (*Hierarchy, error) {
 	if len(data) == 0 {
 		return nil, errors.New("histapprox: empty data")
 	}
 	if err := checkFinite(data); err != nil {
 		return nil, err
 	}
-	return core.ConstructHierarchicalHistogram(sparse.FromDense(data)), nil
+	return core.ConstructHierarchicalHistogramWorkers(sparse.FromDense(data), workers), nil
 }
 
 // FitPolynomial approximates data with a piecewise degree-d polynomial of at
@@ -249,4 +262,16 @@ func DistributionFromWeights(weights []float64) (Distribution, error) {
 // alias sampler seeded deterministically by seed.
 func Draw(d Distribution, m int, seed uint64) []int {
 	return dist.Draw(d, m, rng.New(seed))
+}
+
+// DrawWorkers draws m samples on `workers` goroutines (≤ 0 = all cores):
+// the batch is split into fixed chunks, each filled from its own generator
+// derived from seed. Deterministic for a fixed (seed, workers) pair with
+// workers ≥ 1, but a different — equally i.i.d. — stream than Draw; use it
+// for throughput when generating large sample batches. Note workers ≤ 0
+// resolves to the machine's core count, so the stream then varies across
+// machines — pass an explicit positive count for cross-machine
+// reproducibility.
+func DrawWorkers(d Distribution, m int, seed uint64, workers int) []int {
+	return dist.DrawWorkers(d, m, rng.New(seed), workers)
 }

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/learn"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// ParallelPoint is one (algorithm, input size, worker count) timing cell of
+// the parallel-engine benchmark.
+type ParallelPoint struct {
+	Algorithm string  `json:"algorithm"`
+	N         int     `json:"n"`       // domain size
+	S         int     `json:"s"`       // input sparsity (live intervals ≈ 4s)
+	Workers   int     `json:"workers"` // 0 means GOMAXPROCS
+	Millis    float64 `json:"millis"`
+	// Speedup is serial time / this time on the same (algorithm, n) cell.
+	Speedup float64 `json:"speedup"`
+}
+
+// ParallelReport is the BENCH_parallel.json payload: environment metadata
+// plus the measured trajectory. Identical outputs across worker counts are
+// asserted by the test suite, so the report records timing only.
+type ParallelReport struct {
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"numcpu"`
+	GoVersion  string          `json:"goversion"`
+	Note       string          `json:"note,omitempty"`
+	Points     []ParallelPoint `json:"points"`
+}
+
+// ParallelConfig controls the parallel benchmark sweep.
+type ParallelConfig struct {
+	// Sizes is the list of domain sizes n to sweep (dense inputs, so the
+	// sparsity s equals n).
+	Sizes []int
+	// Workers is the list of worker counts to sweep. The serial baseline
+	// (workers = 1) is always timed first regardless of this list, so every
+	// cell's Speedup has a denominator.
+	Workers []int
+	// MinTrials and MinTotal control timing accuracy per cell.
+	MinTrials int
+	MinTotal  time.Duration
+	// K is the histogram size target.
+	K int
+	// SampleFactor scales the Learn sample count: m = SampleFactor·n.
+	SampleFactor int
+}
+
+// DefaultParallelConfig sweeps n = 10⁵ and 10⁶ across 1, 2, 4 workers and
+// all cores — the acceptance sweep for the parallel merging engine.
+func DefaultParallelConfig() ParallelConfig {
+	return ParallelConfig{
+		Sizes:        []int{100_000, 1_000_000},
+		Workers:      []int{1, 2, 4, 0},
+		MinTrials:    5,
+		MinTotal:     500 * time.Millisecond,
+		K:            50,
+		SampleFactor: 2,
+	}
+}
+
+// ParallelBenchData builds a deterministic dense input with 4k underlying
+// steps plus noise — enough structure that the merging loop runs a
+// realistic number of rounds, enough noise that no round degenerates. The
+// series is strictly positive so it doubles as a weight vector for the
+// learning benchmarks.
+func ParallelBenchData(n, k int) []float64 {
+	r := rng.New(uint64(n) + 1)
+	q := make([]float64, n)
+	pieceLen := n/(4*k) + 1
+	level := 0.0
+	for i := range q {
+		if i%pieceLen == 0 {
+			level = r.NormFloat64() * 10
+		}
+		q[i] = 100 + level + 0.1*r.NormFloat64()
+	}
+	return q
+}
+
+// RunParallelBench sweeps Fit (merging), FitFast (fastmerging), Hierarchy,
+// and Learn across input sizes and worker counts, reporting per-cell mean
+// wall-clock times and speedups over the 1-worker baseline.
+func RunParallelBench(cfg ParallelConfig) ParallelReport {
+	rep := ParallelReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	if rep.GoMaxProcs < 2 {
+		rep.Note = "single-core environment: parallel speedup cannot manifest; " +
+			"cells verify overhead and bit-identity only"
+	}
+	// The serial cell is the speedup denominator, so it always runs first.
+	workers := make([]int, 0, len(cfg.Workers)+1)
+	workers = append(workers, 1)
+	for _, w := range cfg.Workers {
+		if w != 1 {
+			workers = append(workers, w)
+		}
+	}
+
+	for _, n := range cfg.Sizes {
+		q := ParallelBenchData(n, cfg.K)
+		sf := sparse.FromDense(q)
+		p, err := dist.FromWeights(q)
+		must(err)
+		// Fixed worker count for input generation: DrawWorkers' stream
+		// depends on the chunk count, and the benchmark inputs must be
+		// identical on every machine for trajectories to be comparable.
+		samples := dist.DrawWorkers(p, cfg.SampleFactor*n, rng.New(7), 4)
+
+		type algo struct {
+			name string
+			run  func(workers int)
+		}
+		algs := []algo{
+			{"fit", func(w int) {
+				o := core.PaperOptions()
+				o.Workers = w
+				_, err := core.ConstructHistogram(sf, cfg.K, o)
+				must(err)
+			}},
+			{"fitfast", func(w int) {
+				o := core.PaperOptions()
+				o.Workers = w
+				_, err := core.ConstructHistogramFast(sf, cfg.K, o)
+				must(err)
+			}},
+			{"hierarchy", func(w int) {
+				core.ConstructHierarchicalHistogramWorkers(sf, w)
+			}},
+			{"learn", func(w int) {
+				o := core.PaperOptions()
+				o.Workers = w
+				_, _, err := learn.HistogramFromSamples(n, samples, cfg.K, o)
+				must(err)
+			}},
+		}
+		for _, alg := range algs {
+			// Untimed warm-up so the first timed cell (the serial baseline)
+			// doesn't absorb one-off page-in and heap-growth costs that the
+			// later cells then get credited for.
+			alg.run(1)
+			var serialMillis float64
+			for _, w := range workers {
+				elapsed := TimeIt(func() { alg.run(w) }, cfg.MinTrials, cfg.MinTotal)
+				millis := float64(elapsed.Nanoseconds()) / 1e6
+				if w == 1 {
+					serialMillis = millis
+				}
+				pt := ParallelPoint{
+					Algorithm: alg.name,
+					N:         n,
+					S:         sf.Sparsity(),
+					Workers:   w,
+					Millis:    millis,
+				}
+				if serialMillis > 0 {
+					pt.Speedup = serialMillis / millis
+				}
+				rep.Points = append(rep.Points, pt)
+			}
+		}
+	}
+	return rep
+}
+
+// WriteParallelJSON renders the report as indented JSON — the
+// BENCH_parallel.json trajectory recorded at the repository root.
+func WriteParallelJSON(w io.Writer, rep ParallelReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

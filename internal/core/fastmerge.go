@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/selection"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
@@ -32,7 +32,7 @@ func ConstructHistogramFast(q *sparse.Func, k int, opts Options) (Result, error)
 	if k < 1 {
 		return Result{}, fmt.Errorf("core: k must be ≥ 1, got %d", k)
 	}
-	m := newMergeState(q)
+	m := newMergeState(q, opts.Workers)
 	target := opts.TargetPieces(k)
 	keep := opts.KeepBudget(k)
 	rounds := 0
@@ -69,6 +69,14 @@ func groupSize(s, keep int) int {
 // groupRound merges consecutive groups of g intervals, keeping the `keep`
 // groups with the largest merge errors split into their components. The
 // trailing group of fewer than g intervals participates like any other.
+//
+// Like pairRound it runs as three chunked passes over the groups (errors,
+// per-chunk decision counts, offset writes); the per-group statistics are
+// accumulated left to right inside each group, so the floats match the
+// serial loop exactly for every worker count. Tie handling mirrors
+// pairRound: strictly-greater groups always split (at most keep−1 of them);
+// ties get only the leftover budget so no round can split every group and
+// stall.
 func (m *mergeState) groupRound(g, keep int) int {
 	s := len(m.ivs)
 	numGroups := (s + g - 1) / g
@@ -78,70 +86,105 @@ func (m *mergeState) groupRound(g, keep int) int {
 	if keep < 0 {
 		keep = 0
 	}
+	m.g = g
 
-	m.errs = m.errs[:0]
-	for u := 0; u < numGroups; u++ {
-		lo := u * g
-		hi := lo + g
-		if hi > s {
-			hi = s
-		}
-		st := m.stats[lo]
-		for i := lo + 1; i < hi; i++ {
-			st = st.Add(m.stats[i])
-		}
-		m.errs = append(m.errs, st.SSE())
-	}
+	// Each group touches g intervals, so weigh the worker cutoff by the
+	// underlying interval count, not the group count.
+	w := m.roundWorkers(s)
+	nc := parallel.NumChunks(numGroups, w)
+	m.errs = grow(m.errs, numGroups)
+	parallel.ForChunks(w, numGroups, nc, m.fnGroupErrs)
 
-	// Tie handling mirrors pairRound: strictly-greater groups always split
-	// (at most keep−1 of them); ties get only the leftover budget so no
-	// round can split every group and stall.
-	var cut float64
-	if keep > 0 {
-		cut = selection.Threshold(m.errs, keep)
-	} else {
-		cut = math.Inf(1)
-	}
-	greater := 0
-	for _, e := range m.errs {
-		if e > cut {
-			greater++
-		}
-	}
-	tieLeft := keep - greater
-	if tieLeft < 0 {
-		tieLeft = 0
-	}
+	m.cutAndTieBudgets(keep, w, nc)
 
-	m.nextIvs = m.nextIvs[:0]
-	m.nextStats = m.nextStats[:0]
-	for u := 0; u < numGroups; u++ {
-		lo := u * g
-		hi := lo + g
-		if hi > s {
-			hi = s
-		}
-		e := m.errs[u]
-		tie := e == cut && tieLeft > 0
-		split := e > cut || tie
-		if split || hi-lo == 1 {
-			if tie {
-				tieLeft--
-			}
-			m.nextIvs = append(m.nextIvs, m.ivs[lo:hi]...)
-			m.nextStats = append(m.nextStats, m.stats[lo:hi]...)
-		} else {
-			iv := m.ivs[lo]
+	// Per-chunk output lengths in parallel, then an O(chunks) serial prefix
+	// sum for the offsets — groups' ragged sizes rule out the closed-form
+	// sizing pairRound uses, but the decision re-walk still parallelizes.
+	parallel.ForChunks(w, numGroups, nc, m.fnGroupLen)
+	total := 0
+	for ci := 0; ci < nc; ci++ {
+		m.chunkOff[ci] = total
+		total += m.chunkOutLen[ci]
+	}
+	m.nextIvs = grow(m.nextIvs, total)
+	m.nextStats = grow(m.nextStats, total)
+
+	parallel.ForChunks(w, numGroups, nc, m.fnGroupWrite)
+	m.ivs, m.nextIvs = m.nextIvs[:total], m.ivs
+	m.stats, m.nextStats = m.nextStats[:total], m.stats
+	return len(m.ivs)
+}
+
+// groupBounds returns the interval index range of group u under the current
+// group size m.g.
+func (m *mergeState) groupBounds(u int) (int, int) {
+	lo := u * m.g
+	hi := lo + m.g
+	if hi > len(m.ivs) {
+		hi = len(m.ivs)
+	}
+	return lo, hi
+}
+
+// initGroupPasses binds the groupRound chunk passes (see initPasses).
+func (m *mergeState) initGroupPasses() {
+	m.fnGroupErrs = func(_, ulo, uhi int) {
+		for u := ulo; u < uhi; u++ {
+			lo, hi := m.groupBounds(u)
 			st := m.stats[lo]
 			for i := lo + 1; i < hi; i++ {
-				iv = iv.Union(m.ivs[i])
 				st = st.Add(m.stats[i])
 			}
-			m.nextIvs = append(m.nextIvs, iv)
-			m.nextStats = append(m.nextStats, st)
+			m.errs[u] = st.SSE()
 		}
 	}
-	m.ivs, m.nextIvs = m.nextIvs, m.ivs
-	m.stats, m.nextStats = m.nextStats, m.stats
-	return len(m.ivs)
+	// Output sizing: a split group emits its hi−lo component intervals, a
+	// merged group emits 1. Singleton groups always pass through — whether
+	// or not they hold tie budget — exactly as the serial loop decided.
+	// Each chunk's length depends only on its own tie budget, so the pass
+	// runs in parallel; the offsets follow from a serial prefix sum.
+	m.fnGroupLen = func(ci, ulo, uhi int) {
+		tieLeft := m.chunkTieUse[ci]
+		out := 0
+		for u := ulo; u < uhi; u++ {
+			lo, hi := m.groupBounds(u)
+			e := m.errs[u]
+			tie := e == m.cut && tieLeft > 0
+			if e > m.cut || tie || hi-lo == 1 {
+				if tie {
+					tieLeft--
+				}
+				out += hi - lo
+			} else {
+				out++
+			}
+		}
+		m.chunkOutLen[ci] = out
+	}
+	m.fnGroupWrite = func(ci, ulo, uhi int) {
+		o := m.chunkOff[ci]
+		tieLeft := m.chunkTieUse[ci]
+		for u := ulo; u < uhi; u++ {
+			lo, hi := m.groupBounds(u)
+			e := m.errs[u]
+			tie := e == m.cut && tieLeft > 0
+			if e > m.cut || tie || hi-lo == 1 {
+				if tie {
+					tieLeft--
+				}
+				o += copy(m.nextIvs[o:], m.ivs[lo:hi])
+				copy(m.nextStats[o-(hi-lo):], m.stats[lo:hi])
+			} else {
+				iv := m.ivs[lo]
+				st := m.stats[lo]
+				for i := lo + 1; i < hi; i++ {
+					iv = iv.Union(m.ivs[i])
+					st = st.Add(m.stats[i])
+				}
+				m.nextIvs[o] = iv
+				m.nextStats[o] = st
+				o++
+			}
+		}
+	}
 }

@@ -33,8 +33,18 @@ type Hierarchy struct {
 // keeps the s/4 pairs with the largest merge errors split, and merges the
 // remaining s/4 pairs, reducing the live count to ≈ 3s/4, until fewer than 8
 // intervals remain. One run costs O(s) total and serves every k at once.
+// It runs on all cores; use ConstructHierarchicalHistogramWorkers to pin the
+// worker count.
 func ConstructHierarchicalHistogram(q *sparse.Func) *Hierarchy {
-	m := newMergeState(q)
+	return ConstructHierarchicalHistogramWorkers(q, 0)
+}
+
+// ConstructHierarchicalHistogramWorkers is Algorithm 2 with an explicit
+// worker count (0 = all cores, 1 = serial). The recorded levels are
+// bit-identical for every worker count: the pair rounds use fixed chunk
+// boundaries and the per-level error sums run serially in index order.
+func ConstructHierarchicalHistogramWorkers(q *sparse.Func, workers int) *Hierarchy {
+	m := newMergeState(q, workers)
 	h := &Hierarchy{q: q}
 	h.record(m)
 	for m.len() >= 8 {
@@ -60,6 +70,22 @@ func (h *Hierarchy) Levels() []Level { return h.levels }
 
 // NumLevels returns the number of recorded levels.
 func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+
+// levelFor returns the level ForK(k) serves — the first whose partition has
+// at most 8k pieces (the final level, with at most 7 pieces, always
+// qualifies) — along with its index. It returns an error if k < 1.
+func (h *Hierarchy) levelFor(k int) (Level, error) {
+	if k < 1 {
+		return Level{}, fmt.Errorf("core: k must be ≥ 1, got %d", k)
+	}
+	for _, lv := range h.levels {
+		if len(lv.Partition) <= 8*k {
+			return lv, nil
+		}
+	}
+	// Unreachable: the final level always has at most 7 pieces ≤ 8k.
+	return h.levels[len(h.levels)-1], nil
+}
 
 // ForK returns the result for a target piece count k: the first level whose
 // partition has at most 8k pieces, flattened into a histogram. By
@@ -89,28 +115,30 @@ func (h *Hierarchy) ForK(k int) (Result, error) {
 }
 
 // ErrorEstimate returns the error estimate e_t for target piece count k —
-// the exact flattening error at the level ForK(k) would select.
+// the exact flattening error at the level ForK(k) would select, read off
+// the level record without flattening.
 func (h *Hierarchy) ErrorEstimate(k int) (float64, error) {
-	r, err := h.ForK(k)
+	lv, err := h.levelFor(k)
 	if err != nil {
 		return 0, err
 	}
-	return r.Error, nil
+	return lv.Error, nil
 }
 
 // ParetoCurve returns, for every k in ks, the pair (pieces, error) of the
 // level serving k. It is the paper's "entire Pareto curve between k and
-// opt_k" read off a single O(s) run.
+// opt_k" read off a single O(s) run. Both values are recorded on the level,
+// so the curve is read without flattening a histogram per k.
 func (h *Hierarchy) ParetoCurve(ks []int) ([]int, []float64, error) {
 	pieces := make([]int, len(ks))
 	errs := make([]float64, len(ks))
 	for i, k := range ks {
-		r, err := h.ForK(k)
+		lv, err := h.levelFor(k)
 		if err != nil {
 			return nil, nil, err
 		}
-		pieces[i] = r.Histogram.NumPieces()
-		errs[i] = r.Error
+		pieces[i] = len(lv.Partition)
+		errs[i] = lv.Error
 	}
 	return pieces, errs, nil
 }

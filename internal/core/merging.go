@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/interval"
+	"repro/internal/parallel"
 	"repro/internal/selection"
 	"repro/internal/sparse"
 )
@@ -20,18 +21,29 @@ import (
 // Gamma (γ) controls the trade-off between running time and pieces: with
 // γ = c·(2 + 2/δ)k the algorithm runs in O(s) for every k (Corollary 3.1);
 // with γ = 1 it runs in O(s + k(1+1/δ)·log((1+1/δ)k)).
+//
+// Workers controls how many goroutines the merging rounds use: any value
+// ≤ 0 means all cores (GOMAXPROCS), 1 forces the serial path, any other
+// positive value is used as given — the same convention every
+// worker-taking entry point in this repository follows (parallel.Resolve).
+// The parallel path is bit-identical to the serial one —
+// chunk boundaries are fixed up front and every floating-point reduction
+// happens in index order — so Workers only changes wall-clock time, never
+// the output. Small inputs run serially regardless (the dispatch overhead
+// would dominate below a few thousand live intervals).
 type Options struct {
-	Delta float64
-	Gamma float64
+	Delta   float64
+	Gamma   float64
+	Workers int
 }
 
 // DefaultOptions returns δ = 1, γ = 1: at most 4k+1 pieces with error at
-// most √2·opt_k.
+// most √2·opt_k. Workers = 0: use all cores.
 func DefaultOptions() Options { return Options{Delta: 1, Gamma: 1} }
 
 // PaperOptions returns the parameters used in the paper's experimental
 // section (Section 5): δ = 1000, γ = 1, so the output histogram has 2k+1
-// pieces.
+// pieces. Workers = 0: use all cores.
 func PaperOptions() Options { return Options{Delta: 1000, Gamma: 1} }
 
 func (o Options) validate() error {
@@ -41,6 +53,8 @@ func (o Options) validate() error {
 	if !(o.Gamma >= 1) || math.IsInf(o.Gamma, 0) || math.IsNaN(o.Gamma) {
 		return fmt.Errorf("core: Gamma must be ≥ 1, got %v", o.Gamma)
 	}
+	// Workers needs no validation: parallel.Resolve gives every value a
+	// meaning (≤ 0 = all cores), matching the other worker-taking APIs.
 	return nil
 }
 
@@ -81,21 +95,112 @@ type Result struct {
 // mergeState carries the live intervals and their statistics across rounds.
 // A merge adds the Stats of the two (or more) constituent intervals, keeping
 // every round linear in the number of live intervals.
+//
+// All scratch buffers are owned by the state and reused round after round:
+// after the first round a serial merging round performs no heap allocation
+// (asserted by TestPairRoundSteadyStateAllocs). Parallel rounds additionally
+// pay O(workers) per chunk pass for goroutine spawns and their coordination
+// state — noise against the ≥ MinGrain items each worker processes.
 type mergeState struct {
 	ivs   []interval.Interval
 	stats []sparse.Stat
+	// workers is the effective worker count (≥ 1) for the round passes.
+	workers int
 	// Scratch buffers reused across rounds.
-	errs      []float64
-	nextIvs   []interval.Interval
-	nextStats []sparse.Stat
+	errs       []float64
+	nextIvs    []interval.Interval
+	nextStats  []sparse.Stat
+	selScratch []float64
+	// Per-chunk scratch of the two-pass split/merge scheme.
+	chunkGreater []int // candidates strictly above the cut, per chunk
+	chunkTies    []int // candidates exactly at the cut, per chunk
+	chunkTieUse  []int // ties granted split budget, per chunk
+	chunkOutLen  []int // intervals the chunk will emit (groupRound only)
+	chunkOff     []int // output offset of each chunk's first interval
+
+	// Round-scoped parameters read by the stored passes below.
+	cut      float64 // keep-th largest candidate error this round
+	g        int     // group size (groupRound only)
+	outTotal int     // output length accumulated by the offset pass
+
+	// The chunk passes are built once per state and reused every round —
+	// a fresh closure per round would escape into the worker goroutines
+	// and put an allocation back on the per-round path.
+	fnPairErrs, fnPairOff, fnPairWrite    func(ci, lo, hi int)
+	fnGroupErrs, fnGroupLen, fnGroupWrite func(ci, lo, hi int)
+	fnCount                               func(ci, lo, hi int)
 }
 
-func newMergeState(q *sparse.Func) *mergeState {
+func newMergeState(q *sparse.Func, workers int) *mergeState {
 	p := q.InitialPartition()
-	return &mergeState{ivs: p, stats: q.StatsFor(p)}
+	m := &mergeState{ivs: p, stats: q.StatsFor(p), workers: parallel.Resolve(workers)}
+	m.initPasses()
+	return m
+}
+
+// initPasses binds the chunk passes shared by pairRound and groupRound.
+func (m *mergeState) initPasses() {
+	m.fnPairErrs = func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			m.errs[u] = m.stats[2*u].Add(m.stats[2*u+1]).SSE()
+		}
+	}
+	m.fnCount = func(ci, lo, hi int) {
+		greater, ties := 0, 0
+		for _, e := range m.errs[lo:hi] {
+			if e > m.cut {
+				greater++
+			} else if e == m.cut {
+				ties++
+			}
+		}
+		m.chunkGreater[ci] = greater
+		m.chunkTies[ci] = ties
+	}
+	// Output offsets: a split pair emits 2 intervals, a merged pair 1, so a
+	// chunk with p pairs of which g+t split emits p + g + t.
+	m.fnPairOff = func(ci, lo, hi int) {
+		m.chunkOff[ci] = m.outTotal
+		m.outTotal += (hi - lo) + m.chunkGreater[ci] + m.chunkTieUse[ci]
+	}
+	m.fnPairWrite = func(ci, lo, hi int) {
+		o := m.chunkOff[ci]
+		tieLeft := m.chunkTieUse[ci]
+		for u := lo; u < hi; u++ {
+			e := m.errs[u]
+			tie := e == m.cut && tieLeft > 0
+			if e > m.cut || tie {
+				if tie {
+					tieLeft--
+				}
+				m.nextIvs[o], m.nextIvs[o+1] = m.ivs[2*u], m.ivs[2*u+1]
+				m.nextStats[o], m.nextStats[o+1] = m.stats[2*u], m.stats[2*u+1]
+				o += 2
+			} else {
+				m.nextIvs[o] = m.ivs[2*u].Union(m.ivs[2*u+1])
+				m.nextStats[o] = m.stats[2*u].Add(m.stats[2*u+1])
+				o++
+			}
+		}
+	}
+	m.initGroupPasses()
 }
 
 func (m *mergeState) len() int { return len(m.ivs) }
+
+// roundWorkers caps the configured worker count by the amount of work in
+// this round: below MinGrain items per worker the dispatch overhead wins,
+// so small rounds (and the tail of every run) execute serially.
+func (m *mergeState) roundWorkers(items int) int {
+	w := m.workers
+	if max := items / parallel.MinGrain; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // finish flattens the summarized input over the final partition and
 // assembles the Result. n is the domain size.
@@ -116,10 +221,70 @@ func (m *mergeState) finish(n, rounds int) Result {
 	}
 }
 
+// grow returns xs resized to length n, reallocating only when the capacity
+// is insufficient — the buffer-reuse primitive of the round scratch.
+func grow[T any](xs []T, n int) []T {
+	if cap(xs) < n {
+		return make([]T, n)
+	}
+	return xs[:n]
+}
+
+// cutAndTieBudgets runs the shared middle of a merging round: given the
+// candidate errors in m.errs, it selects the cut value (the keep-th largest
+// error) into m.cut, counts per chunk how many candidates sit strictly
+// above and exactly at the cut, and hands each chunk its tie budget in
+// index order.
+//
+// Cut semantics (identical to the historical serial loop): candidates
+// strictly above the cut always stay split — there are at most keep−1 of
+// them; ties at the cut stay split only until the remaining budget is
+// exhausted, so exactly `keep` candidates stay split. The tie budget must
+// be computed up front — handing ties the full budget in index order would
+// let early ties plus later strictly-greater errors split more than `keep`
+// candidates, and a round where every candidate splits makes no progress.
+// Chunking preserves those semantics exactly: chunks partition the
+// candidate index range in order, so granting chunk c the budget left after
+// chunks 0..c−1 reproduces the global index-order allocation.
+func (m *mergeState) cutAndTieBudgets(keep, w, nc int) {
+	if keep > 0 {
+		m.cut, m.selScratch = selection.ThresholdParallel(m.errs, keep, w, m.selScratch)
+	} else {
+		m.cut = math.Inf(1)
+	}
+	m.chunkGreater = grow(m.chunkGreater, nc)
+	m.chunkTies = grow(m.chunkTies, nc)
+	m.chunkTieUse = grow(m.chunkTieUse, nc)
+	m.chunkOutLen = grow(m.chunkOutLen, nc)
+	m.chunkOff = grow(m.chunkOff, nc)
+	parallel.ForChunks(w, len(m.errs), nc, m.fnCount)
+	greater := 0
+	for _, g := range m.chunkGreater[:nc] {
+		greater += g
+	}
+	tieLeft := keep - greater
+	if tieLeft < 0 {
+		tieLeft = 0
+	}
+	for ci := 0; ci < nc; ci++ {
+		use := m.chunkTies[ci]
+		if use > tieLeft {
+			use = tieLeft
+		}
+		m.chunkTieUse[ci] = use
+		tieLeft -= use
+	}
+}
+
 // pairRound performs one iteration of Algorithm 1's loop: pair up the
 // current intervals, keep the `keep` pairs with the largest merge errors
 // split, and merge every other pair. An unpaired trailing interval is
 // carried over. It reports the number of live intervals after the round.
+//
+// The round runs in three chunked passes over the pairs — compute merge
+// errors, count split decisions per chunk, write the next generation at
+// precomputed offsets — so any number of workers produces the same interval
+// sequence the serial loop historically did, bit for bit.
 func (m *mergeState) pairRound(keep int) int {
 	s := len(m.ivs)
 	pairs := s / 2
@@ -130,59 +295,30 @@ func (m *mergeState) pairRound(keep int) int {
 		keep = 0
 	}
 
-	m.errs = m.errs[:0]
-	for u := 0; u < pairs; u++ {
-		merged := m.stats[2*u].Add(m.stats[2*u+1])
-		m.errs = append(m.errs, merged.SSE())
-	}
+	w := m.roundWorkers(pairs)
+	nc := parallel.NumChunks(pairs, w)
+	m.errs = grow(m.errs, pairs)
+	parallel.ForChunks(w, pairs, nc, m.fnPairErrs)
 
-	// Cut value: the keep-th largest pair error. Pairs strictly above the
-	// cut always stay split (there are at most keep−1 of them); ties at the
-	// cut stay split only until the remaining budget is exhausted, so
-	// exactly `keep` pairs stay split. The tie budget must be computed
-	// up front — handing ties the full budget in index order would let
-	// early ties plus later strictly-greater errors split more than `keep`
-	// pairs, and a round where every pair splits makes no progress.
-	var cut float64
-	if keep > 0 {
-		cut = selection.Threshold(m.errs, keep)
-	} else {
-		cut = math.Inf(1)
-	}
-	greater := 0
-	for _, e := range m.errs {
-		if e > cut {
-			greater++
-		}
-	}
-	tieLeft := keep - greater
-	if tieLeft < 0 {
-		tieLeft = 0
-	}
+	m.cutAndTieBudgets(keep, w, nc)
 
-	m.nextIvs = m.nextIvs[:0]
-	m.nextStats = m.nextStats[:0]
-	for u := 0; u < pairs; u++ {
-		e := m.errs[u]
-		tie := e == cut && tieLeft > 0
-		split := e > cut || tie
-		if split {
-			if tie {
-				tieLeft--
-			}
-			m.nextIvs = append(m.nextIvs, m.ivs[2*u], m.ivs[2*u+1])
-			m.nextStats = append(m.nextStats, m.stats[2*u], m.stats[2*u+1])
-		} else {
-			m.nextIvs = append(m.nextIvs, m.ivs[2*u].Union(m.ivs[2*u+1]))
-			m.nextStats = append(m.nextStats, m.stats[2*u].Add(m.stats[2*u+1]))
-		}
+	m.outTotal = 0
+	parallel.ForChunks(1, pairs, nc, m.fnPairOff)
+	carry := s%2 == 1
+	outLen := m.outTotal
+	if carry {
+		outLen++
 	}
-	if s%2 == 1 { // trailing unpaired interval
-		m.nextIvs = append(m.nextIvs, m.ivs[s-1])
-		m.nextStats = append(m.nextStats, m.stats[s-1])
+	m.nextIvs = grow(m.nextIvs, outLen)
+	m.nextStats = grow(m.nextStats, outLen)
+
+	parallel.ForChunks(w, pairs, nc, m.fnPairWrite)
+	if carry { // trailing unpaired interval
+		m.nextIvs[outLen-1] = m.ivs[s-1]
+		m.nextStats[outLen-1] = m.stats[s-1]
 	}
-	m.ivs, m.nextIvs = m.nextIvs, m.ivs
-	m.stats, m.nextStats = m.nextStats, m.stats
+	m.ivs, m.nextIvs = m.nextIvs[:outLen], m.ivs
+	m.stats, m.nextStats = m.nextStats[:outLen], m.stats
 	return len(m.ivs)
 }
 
@@ -190,6 +326,8 @@ func (m *mergeState) pairRound(keep int) int {
 // with a histogram of at most (2 + 2/δ)k + γ pieces whose ℓ2 error is at
 // most √(1+δ)·opt_k, where opt_k is the error of the best k-histogram
 // (Theorem 3.3). With γ = Θ(k/δ) the running time is O(s) (Corollary 3.1).
+// The rounds run on opts.Workers goroutines (0 = all cores) with output
+// bit-identical to the serial path.
 func ConstructHistogram(q *sparse.Func, k int, opts Options) (Result, error) {
 	if err := opts.validate(); err != nil {
 		return Result{}, err
@@ -197,7 +335,7 @@ func ConstructHistogram(q *sparse.Func, k int, opts Options) (Result, error) {
 	if k < 1 {
 		return Result{}, fmt.Errorf("core: k must be ≥ 1, got %d", k)
 	}
-	m := newMergeState(q)
+	m := newMergeState(q, opts.Workers)
 	target := opts.TargetPieces(k)
 	keep := opts.KeepBudget(k)
 	rounds := 0
@@ -229,9 +367,11 @@ func ConstructHistogramFromSummary(n int, p interval.Partition, stats []sparse.S
 		return Result{}, fmt.Errorf("core: %d stats for %d intervals", len(stats), len(p))
 	}
 	m := &mergeState{
-		ivs:   append([]interval.Interval(nil), p...),
-		stats: append([]sparse.Stat(nil), stats...),
+		ivs:     append([]interval.Interval(nil), p...),
+		stats:   append([]sparse.Stat(nil), stats...),
+		workers: parallel.Resolve(opts.Workers),
 	}
+	m.initPasses()
 	target := opts.TargetPieces(k)
 	keep := opts.KeepBudget(k)
 	rounds := 0

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// Serial/parallel equivalence: the whole point of the chunked engine is
+// that Workers changes wall-clock time only. These tests assert the outputs
+// are bit-identical — same partitions, same piece values down to the float
+// bits, same error, same round count — for worker counts on both sides of
+// the serial cutoff, across the adversarial shapes the serial tests use
+// plus inputs large enough that the parallel path actually engages.
+
+var equivalenceWorkers = []int{1, 2, 8}
+
+// equivFixtures returns (name, data) pairs covering the adversarial shapes
+// of adversarial_test.go at sizes that exercise the chunked passes
+// (tens of thousands of live intervals in the early rounds).
+func equivFixtures() map[string][]float64 {
+	fixtures := make(map[string][]float64)
+
+	allEqual := make([]float64, 50000)
+	for i := range allEqual {
+		allEqual[i] = 3.75
+	}
+	fixtures["allEqual"] = allEqual
+
+	alternating := make([]float64, 60000)
+	for i := range alternating {
+		if i%2 == 0 {
+			alternating[i] = 1
+		} else {
+			alternating[i] = -1
+		}
+	}
+	fixtures["alternating"] = alternating
+
+	spike := make([]float64, 100000)
+	spike[56789] = 1e9
+	fixtures["singleSpike"] = spike
+
+	decay := make([]float64, 50001) // odd length: trailing-interval path
+	v := 1e12
+	for i := range decay {
+		decay[i] = v
+		v *= 0.9997
+	}
+	fixtures["geometricDecay"] = decay
+
+	ties := make([]float64, 65536)
+	for i := range ties {
+		ties[i] = float64(i % 2)
+	}
+	fixtures["manyTiedErrors"] = ties
+
+	r := rng.New(317)
+	noise := make([]float64, 77773) // prime length
+	for i := range noise {
+		noise[i] = r.NormFloat64()
+	}
+	fixtures["gaussianNoise"] = noise
+
+	steps := make([]float64, 40000)
+	for i := range steps {
+		switch {
+		case i < 12000:
+			steps[i] = 5
+		case i < 28000:
+			steps[i] = 1
+		default:
+			steps[i] = 8
+		}
+	}
+	fixtures["steps"] = steps
+
+	return fixtures
+}
+
+func sameResult(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if a.Rounds != b.Rounds {
+		t.Fatalf("%s: rounds %d vs %d", label, a.Rounds, b.Rounds)
+	}
+	if math.Float64bits(a.Error) != math.Float64bits(b.Error) {
+		t.Fatalf("%s: error %v vs %v (bits differ)", label, a.Error, b.Error)
+	}
+	if len(a.Partition) != len(b.Partition) {
+		t.Fatalf("%s: %d vs %d pieces", label, len(a.Partition), len(b.Partition))
+	}
+	for i := range a.Partition {
+		if a.Partition[i] != b.Partition[i] {
+			t.Fatalf("%s: piece %d interval %v vs %v", label, i, a.Partition[i], b.Partition[i])
+		}
+	}
+	pa, pb := a.Histogram.Pieces(), b.Histogram.Pieces()
+	for i := range pa {
+		if math.Float64bits(pa[i].Value) != math.Float64bits(pb[i].Value) {
+			t.Fatalf("%s: piece %d value %v vs %v (bits differ)", label, i, pa[i].Value, pb[i].Value)
+		}
+	}
+}
+
+func TestParallelEquivalenceConstructHistogram(t *testing.T) {
+	for name, q := range equivFixtures() {
+		sf := sparse.FromDense(q)
+		for _, opts := range []Options{DefaultOptions(), PaperOptions()} {
+			for _, k := range []int{3, 17} {
+				opts.Workers = 1
+				serial, err := ConstructHistogram(sf, k, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for _, w := range equivalenceWorkers[1:] {
+					opts.Workers = w
+					par, err := ConstructHistogram(sf, k, opts)
+					if err != nil {
+						t.Fatalf("%s workers=%d: %v", name, w, err)
+					}
+					sameResult(t, name+"/merging", serial, par)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelEquivalenceConstructHistogramFast(t *testing.T) {
+	for name, q := range equivFixtures() {
+		sf := sparse.FromDense(q)
+		for _, opts := range []Options{DefaultOptions(), PaperOptions()} {
+			for _, k := range []int{3, 17} {
+				opts.Workers = 1
+				serial, err := ConstructHistogramFast(sf, k, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for _, w := range equivalenceWorkers[1:] {
+					opts.Workers = w
+					par, err := ConstructHistogramFast(sf, k, opts)
+					if err != nil {
+						t.Fatalf("%s workers=%d: %v", name, w, err)
+					}
+					sameResult(t, name+"/fastmerging", serial, par)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelEquivalenceHierarchy(t *testing.T) {
+	for name, q := range equivFixtures() {
+		sf := sparse.FromDense(q)
+		serial := ConstructHierarchicalHistogramWorkers(sf, 1)
+		for _, w := range equivalenceWorkers[1:] {
+			par := ConstructHierarchicalHistogramWorkers(sf, w)
+			if serial.NumLevels() != par.NumLevels() {
+				t.Fatalf("%s workers=%d: %d vs %d levels", name, w, par.NumLevels(), serial.NumLevels())
+			}
+			for li := range serial.Levels() {
+				ls, lp := serial.Levels()[li], par.Levels()[li]
+				if math.Float64bits(ls.Error) != math.Float64bits(lp.Error) {
+					t.Fatalf("%s workers=%d level %d: error %v vs %v", name, w, li, lp.Error, ls.Error)
+				}
+				if len(ls.Partition) != len(lp.Partition) {
+					t.Fatalf("%s workers=%d level %d: size %d vs %d", name, w, li, len(lp.Partition), len(ls.Partition))
+				}
+				for i := range ls.Partition {
+					if ls.Partition[i] != lp.Partition[i] {
+						t.Fatalf("%s workers=%d level %d piece %d: %v vs %v",
+							name, w, li, i, lp.Partition[i], ls.Partition[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The merging loop must not allocate after its scratch buffers warm up:
+// repeat runs on one state via the summary entry point and count allocs on
+// the steady-state rounds.
+func TestPairRoundSteadyStateAllocs(t *testing.T) {
+	q := make([]float64, 30000)
+	r := rng.New(5)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	sf := sparse.FromDense(q)
+	m := newMergeState(sf, 1)
+	// Warm up scratch on the first round, then the remaining rounds must be
+	// allocation-free.
+	m.pairRound(8)
+	allocs := testing.AllocsPerRun(3, func() {
+		m.pairRound(8)
+	})
+	if allocs > 0 {
+		t.Fatalf("pairRound allocated %v times per round after warm-up", allocs)
+	}
+}

@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// Alias is a Walker/Vose alias table over a distribution: O(n) to build,
+// O(1) per draw. Building uses only integer and float comparisons in a fixed
+// order, so the table — and therefore every sample stream — is deterministic.
+type Alias struct {
+	prob  []float64 // acceptance threshold per column, scaled to [0, 1]
+	alias []int     // 0-based alternative outcome per column
+}
+
+// NewAlias builds the alias table for d in O(n).
+func NewAlias(d Dist) *Alias {
+	n := len(d.P)
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	// Vose's stack-based construction. scaled[i] = n·p_i; columns with
+	// scaled < 1 ("small") borrow their slack from columns with scaled ≥ 1
+	// ("large").
+	scaled := make([]float64, n)
+	for i, p := range d.P {
+		scaled[i] = p * float64(n)
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i := n - 1; i >= 0; i-- { // reverse so pops come in index order
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers (either stack) have scaled ≈ 1 up to rounding: always accept.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Draw returns one sample: a 1-based point in [1, n].
+func (a *Alias) Draw(r *rng.RNG) int {
+	col := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[col] {
+		return col + 1
+	}
+	return a.alias[col] + 1
+}
+
+// Fill fills out with i.i.d. samples from the table.
+func (a *Alias) Fill(out []int, r *rng.RNG) {
+	for i := range out {
+		out[i] = a.Draw(r)
+	}
+}
+
+// Draw returns m i.i.d. samples (1-based points) from d, using a fresh alias
+// table and the caller's generator. The sample stream is a pure function of
+// d and the generator state.
+func Draw(d Dist, m int, r *rng.RNG) []int {
+	out := make([]int, m)
+	NewAlias(d).Fill(out, r)
+	return out
+}
+
+// DrawWorkers draws m samples with `workers` goroutines (workers ≤ 0 means
+// GOMAXPROCS): the sample is split into fixed chunks and each chunk is
+// filled from its own generator, derived from r by repeated Split in chunk
+// order. The result is deterministic for a given (d, seed, workers) triple
+// with workers ≥ 1 — with workers ≤ 0 the effective count (and therefore
+// the stream) depends on the machine — and is a different, equally i.i.d.
+// stream than the serial Draw, so use it for throughput, not for replaying
+// a serial experiment. r is advanced once per chunk.
+func DrawWorkers(d Dist, m int, r *rng.RNG, workers int) []int {
+	w := parallel.Resolve(workers)
+	if w <= 1 || m < parallel.MinGrain {
+		return Draw(d, m, r)
+	}
+	out := make([]int, m)
+	a := NewAlias(d)
+	// Derive the per-chunk generators serially so the assignment of streams
+	// to chunks never depends on scheduling.
+	rngs := make([]*rng.RNG, w)
+	for i := range rngs {
+		rngs[i] = r.Split()
+	}
+	parallel.ForChunks(w, m, w, func(ci, lo, hi int) {
+		a.Fill(out[lo:hi], rngs[ci])
+	})
+	return out
+}

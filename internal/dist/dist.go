@@ -1,0 +1,200 @@
+// Package dist represents probability distributions over the discrete
+// universe [n] = {1, …, n}: validated mass vectors, the empirical
+// distribution of a sample, and O(1)-per-draw alias sampling. It is the
+// sampling front end of the learning pipeline (Section 3.1 of the paper):
+// Draw produces the i.i.d. samples, Empirical turns them back into the
+// sparse empirical distribution p̂_m the merging algorithms consume.
+//
+// All sampling is deterministic given the caller's rng.RNG seed, so every
+// experiment is reproducible bit for bit.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/parallel"
+)
+
+// massTol is the tolerance New accepts on the total mass; float64 rounding
+// on a million-point distribution accumulates well below this.
+const massTol = 1e-9
+
+// Dist is a probability distribution over [1, n]: P[i] is the mass of point
+// i+1. The zero value is an empty (invalid) distribution; construct with
+// New, FromWeights, Uniform, or Empirical.
+type Dist struct {
+	// P holds the point masses. Callers must not modify it.
+	P []float64
+}
+
+// New validates masses (finite, non-negative, summing to 1 within 1e-9) and
+// wraps them as a Dist. The slice is retained, not copied.
+func New(masses []float64) (Dist, error) {
+	if len(masses) == 0 {
+		return Dist{}, errors.New("dist: empty mass vector")
+	}
+	var sum numeric.Summer
+	for i, m := range masses {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return Dist{}, fmt.Errorf("dist: mass[%d] = %v is not finite", i, m)
+		}
+		if m < 0 {
+			return Dist{}, fmt.Errorf("dist: mass[%d] = %v is negative", i, m)
+		}
+		sum.Add(m)
+	}
+	if total := sum.Sum(); math.Abs(total-1) > massTol {
+		return Dist{}, fmt.Errorf("dist: total mass %v, want 1", total)
+	}
+	return Dist{P: masses}, nil
+}
+
+// FromWeights normalizes non-negative weights into a Dist, clamping negative
+// weights to zero (how the paper turns raw data sets into learning targets).
+// It errors if the weights are empty, non-finite, or all non-positive.
+func FromWeights(weights []float64) (Dist, error) {
+	if len(weights) == 0 {
+		return Dist{}, errors.New("dist: empty weight vector")
+	}
+	p := make([]float64, len(weights))
+	var sum numeric.Summer
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return Dist{}, fmt.Errorf("dist: weight[%d] = %v is not finite", i, w)
+		}
+		if w > 0 {
+			p[i] = w
+			sum.Add(w)
+		}
+	}
+	total := sum.Sum()
+	if total <= 0 {
+		return Dist{}, errors.New("dist: total weight is not positive")
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return Dist{P: p}, nil
+}
+
+// Uniform returns the uniform distribution over [1, n]. It panics if n < 1.
+func Uniform(n int) Dist {
+	if n < 1 {
+		panic("dist: Uniform with n < 1")
+	}
+	p := make([]float64, n)
+	u := 1 / float64(n)
+	for i := range p {
+		p[i] = u
+	}
+	return Dist{P: p}
+}
+
+// Empirical returns the empirical distribution p̂_m of a sample: 1-based
+// points in [1, n], each contributing mass 1/m. It errors on an empty sample
+// or an out-of-range point.
+func Empirical(n int, samples []int) (Dist, error) {
+	return EmpiricalWorkers(n, samples, 1)
+}
+
+// EmpiricalWorkers is Empirical computed with `workers` goroutines
+// (workers ≤ 0 means GOMAXPROCS): each worker counts a fixed chunk of the
+// sample into its own shard, and the shards are merged in worker order. The
+// counts are integers, so the result is bit-identical to the serial path
+// for every worker count.
+func EmpiricalWorkers(n int, samples []int, workers int) (Dist, error) {
+	if n < 1 {
+		return Dist{}, errors.New("dist: domain size must be ≥ 1")
+	}
+	if len(samples) == 0 {
+		return Dist{}, errors.New("dist: empty sample")
+	}
+	w := parallel.Resolve(workers)
+	// Sharded counting only pays off when the per-shard zeroing (O(n) each)
+	// is dominated by the counting work.
+	if w > 1 && len(samples) < 4*n {
+		w = 1
+	}
+	counts := make([]int, n)
+	var bad error
+	if w <= 1 || len(samples) < parallel.MinGrain {
+		for _, x := range samples {
+			if x < 1 || x > n {
+				return Dist{}, fmt.Errorf("dist: sample %d out of [1, %d]", x, n)
+			}
+			counts[x-1]++
+		}
+	} else {
+		shards := make([][]int, w)
+		errs := make([]error, w)
+		parallel.ForChunks(w, len(samples), w, func(ci, lo, hi int) {
+			shard := make([]int, n)
+			for _, x := range samples[lo:hi] {
+				if x < 1 || x > n {
+					errs[ci] = fmt.Errorf("dist: sample %d out of [1, %d]", x, n)
+					return
+				}
+				shard[x-1]++
+			}
+			shards[ci] = shard
+		})
+		for ci, err := range errs {
+			if err != nil && bad == nil {
+				bad = err
+			}
+			if s := shards[ci]; s != nil {
+				for i, c := range s {
+					counts[i] += c
+				}
+			}
+		}
+	}
+	if bad != nil {
+		return Dist{}, bad
+	}
+	p := make([]float64, n)
+	inv := 1 / float64(len(samples))
+	for i, c := range counts {
+		if c != 0 {
+			p[i] = float64(c) * inv
+		}
+	}
+	return Dist{P: p}, nil
+}
+
+// N returns the universe size n.
+func (d Dist) N() int { return len(d.P) }
+
+// Support returns the number of points with nonzero mass.
+func (d Dist) Support() int {
+	s := 0
+	for _, m := range d.P {
+		if m != 0 {
+			s++
+		}
+	}
+	return s
+}
+
+// Mass returns the total mass Σ P[i] (1 up to rounding for a valid Dist).
+func (d Dist) Mass() float64 {
+	var sum numeric.Summer
+	for _, m := range d.P {
+		sum.Add(m)
+	}
+	return sum.Sum()
+}
+
+// L2 returns ‖d − o‖₂. It panics if the universe sizes differ.
+func (d Dist) L2(o Dist) float64 { return numeric.L2Dist(d.P, o.P) }
+
+// L1 returns ‖d − o‖₁. It panics if the universe sizes differ.
+func (d Dist) L1(o Dist) float64 { return numeric.L1Dist(d.P, o.P) }
+
+// L2DistToVec returns the ℓ2 distance between d and an arbitrary dense
+// vector over the same universe (e.g. a learned hypothesis). It panics if
+// the lengths differ.
+func (d Dist) L2DistToVec(q []float64) float64 { return numeric.L2Dist(d.P, q) }

@@ -1,0 +1,229 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty masses should error")
+	}
+	if _, err := New([]float64{0.5, 0.6}); err == nil {
+		t.Fatal("mass 1.1 should error")
+	}
+	if _, err := New([]float64{0.5, 0.4}); err == nil {
+		t.Fatal("mass 0.9 should error")
+	}
+	if _, err := New([]float64{1.5, -0.5}); err == nil {
+		t.Fatal("negative mass should error")
+	}
+	if _, err := New([]float64{math.NaN(), 1}); err == nil {
+		t.Fatal("NaN mass should error")
+	}
+	d, err := New([]float64{0.25, 0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 || d.Support() != 3 {
+		t.Fatalf("N=%d Support=%d", d.N(), d.Support())
+	}
+	if math.Abs(d.Mass()-1) > 1e-12 {
+		t.Fatalf("mass %v", d.Mass())
+	}
+}
+
+func TestFromWeights(t *testing.T) {
+	if _, err := FromWeights(nil); err == nil {
+		t.Fatal("empty weights should error")
+	}
+	if _, err := FromWeights([]float64{0, -1, 0}); err == nil {
+		t.Fatal("non-positive total should error")
+	}
+	if _, err := FromWeights([]float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("Inf weight should error")
+	}
+	d, err := FromWeights([]float64{3, -2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P[1] != 0 {
+		t.Fatalf("negative weight not clamped: %v", d.P[1])
+	}
+	if math.Abs(d.Mass()-1) > 1e-12 {
+		t.Fatalf("mass %v", d.Mass())
+	}
+	if d.P[0] != 0.75 || d.P[2] != 0.25 {
+		t.Fatalf("normalization wrong: %v", d.P)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform(4)
+	for i, p := range d.P {
+		if p != 0.25 {
+			t.Fatalf("P[%d] = %v", i, p)
+		}
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	if _, err := Empirical(5, nil); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := Empirical(5, []int{1, 6}); err == nil {
+		t.Fatal("out-of-range sample should error")
+	}
+	if _, err := Empirical(5, []int{0}); err == nil {
+		t.Fatal("sample 0 should error")
+	}
+	d, err := Empirical(5, []int{1, 1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0, 0.25, 0, 0.25}
+	for i, p := range d.P {
+		if p != want[i] {
+			t.Fatalf("P = %v, want %v", d.P, want)
+		}
+	}
+	if d.Support() != 3 {
+		t.Fatalf("support %d", d.Support())
+	}
+}
+
+// Sharded counting must agree exactly with the serial count for every worker
+// count, including sample sizes that don't divide evenly.
+func TestEmpiricalWorkersBitIdentical(t *testing.T) {
+	r := rng.New(5)
+	n := 64
+	p := Uniform(n)
+	samples := Draw(p, 100003, r)
+	serial, err := Empirical(n, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		par, err := EmpiricalWorkers(n, samples, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.P {
+			if serial.P[i] != par.P[i] {
+				t.Fatalf("workers=%d: P[%d] = %v vs serial %v", w, i, par.P[i], serial.P[i])
+			}
+		}
+	}
+	// Out-of-range points must be reported from the parallel path too.
+	bad := append(append([]int{}, samples...), n+1)
+	if _, err := EmpiricalWorkers(n, bad, 4); err == nil {
+		t.Fatal("parallel path swallowed out-of-range sample")
+	}
+}
+
+func TestDrawDeterministicBySeed(t *testing.T) {
+	d, err := FromWeights([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Draw(d, 1000, rng.New(42))
+	b := Draw(d, 1000, rng.New(42))
+	c := Draw(d, 1000, rng.New(43))
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed must reproduce the same samples")
+	}
+	if !diff {
+		t.Fatal("different seeds should give different samples")
+	}
+	for _, x := range a {
+		if x < 1 || x > 4 {
+			t.Fatalf("sample %d out of range", x)
+		}
+	}
+}
+
+// The alias sampler must reproduce the distribution: χ²-style tolerance on a
+// large sample.
+func TestDrawFrequencies(t *testing.T) {
+	d, err := New([]float64{0.1, 0.2, 0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 200000
+	emp, err := Empirical(4, Draw(d, m, rng.New(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.P {
+		if math.Abs(emp.P[i]-d.P[i]) > 0.01 {
+			t.Fatalf("point %d: empirical %v vs true %v", i+1, emp.P[i], d.P[i])
+		}
+	}
+}
+
+// A point with zero mass must never be drawn (the alias table may not leak
+// mass into empty columns).
+func TestDrawNeverHitsZeroMass(t *testing.T) {
+	d, err := New([]float64{0.5, 0, 0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range Draw(d, 50000, rng.New(11)) {
+		if x == 2 || x == 4 {
+			t.Fatalf("drew zero-mass point %d", x)
+		}
+	}
+}
+
+func TestDrawWorkersDeterministicAndDistributed(t *testing.T) {
+	d, err := New([]float64{0.1, 0.2, 0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 100000
+	a := DrawWorkers(d, m, rng.New(9), 4)
+	b := DrawWorkers(d, m, rng.New(9), 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("DrawWorkers must be deterministic for a fixed seed and worker count")
+		}
+	}
+	emp, err := Empirical(4, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.P {
+		if math.Abs(emp.P[i]-d.P[i]) > 0.02 {
+			t.Fatalf("point %d: empirical %v vs true %v", i+1, emp.P[i], d.P[i])
+		}
+	}
+}
+
+func TestL2L1(t *testing.T) {
+	a := Uniform(2)
+	b, err := New([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.L1(b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("L1 = %v, want 1", got)
+	}
+	want := math.Sqrt(0.5)
+	if got := a.L2(b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("L2 = %v, want %v", got, want)
+	}
+	if got := a.L2DistToVec([]float64{0.5, 0.5}); got != 0 {
+		t.Fatalf("L2DistToVec = %v", got)
+	}
+}

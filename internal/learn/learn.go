@@ -44,11 +44,18 @@ func SampleSize(eps, delta float64) (int, error) {
 // represented as a sparse function — the input format the merging algorithms
 // consume. The sparsity is at most min(n, len(samples)).
 func EmpiricalFunc(n int, samples []int) (*sparse.Func, error) {
-	emp, err := dist.Empirical(n, samples)
+	return EmpiricalFuncWorkers(n, samples, 1)
+}
+
+// EmpiricalFuncWorkers is EmpiricalFunc with the sample bucketing sharded
+// over `workers` goroutines (0 = all cores); the shard counts are integers
+// merged in shard order, so the result is bit-identical to the serial path.
+func EmpiricalFuncWorkers(n int, samples []int, workers int) (*sparse.Func, error) {
+	emp, err := dist.EmpiricalWorkers(n, samples, workers)
 	if err != nil {
 		return nil, err
 	}
-	entries := make([]sparse.Entry, 0, len(samples))
+	entries := make([]sparse.Entry, 0, min(n, len(samples)))
 	for i, p := range emp.P {
 		if p != 0 {
 			entries = append(entries, sparse.Entry{Index: i + 1, Value: p})
@@ -90,7 +97,7 @@ func Histogram(p dist.Dist, k, m int, opts core.Options, r *rng.RNG) (*core.Hist
 // (the second stage alone). This is the entry point when samples come from a
 // table scan rather than a known distribution.
 func HistogramFromSamples(n int, samples []int, k int, opts core.Options) (*core.Histogram, Report, error) {
-	emp, err := EmpiricalFunc(n, samples)
+	emp, err := EmpiricalFuncWorkers(n, samples, opts.Workers)
 	if err != nil {
 		return nil, Report{}, err
 	}
@@ -119,13 +126,21 @@ func Multiscale(p dist.Dist, m int, r *rng.RNG) (*core.Hierarchy, Report, error)
 	return MultiscaleFromSamples(p.N(), samples)
 }
 
-// MultiscaleFromSamples is the sample-supplied variant of Multiscale.
+// MultiscaleFromSamples is the sample-supplied variant of Multiscale. It
+// runs on all cores; use MultiscaleFromSamplesWorkers to pin the count.
 func MultiscaleFromSamples(n int, samples []int) (*core.Hierarchy, Report, error) {
-	emp, err := EmpiricalFunc(n, samples)
+	return MultiscaleFromSamplesWorkers(n, samples, 0)
+}
+
+// MultiscaleFromSamplesWorkers is MultiscaleFromSamples with an explicit
+// worker count (0 = all cores, 1 = serial); the hierarchy is bit-identical
+// for every worker count.
+func MultiscaleFromSamplesWorkers(n int, samples []int, workers int) (*core.Hierarchy, Report, error) {
+	emp, err := EmpiricalFuncWorkers(n, samples, workers)
 	if err != nil {
 		return nil, Report{}, err
 	}
-	h := core.ConstructHierarchicalHistogram(emp)
+	h := core.ConstructHierarchicalHistogramWorkers(emp, workers)
 	return h, Report{
 		M:       len(samples),
 		Support: emp.Sparsity(),
@@ -146,7 +161,7 @@ func PiecewisePoly(p dist.Dist, k, d, m int, opts core.Options, r *rng.RNG) (*pi
 
 // PiecewisePolyFromSamples is the sample-supplied variant of PiecewisePoly.
 func PiecewisePolyFromSamples(n int, samples []int, k, d int, opts core.Options) (*piecewise.PiecewiseFunc, Report, error) {
-	emp, err := EmpiricalFunc(n, samples)
+	emp, err := EmpiricalFuncWorkers(n, samples, opts.Workers)
 	if err != nil {
 		return nil, Report{}, err
 	}

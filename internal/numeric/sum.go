@@ -10,6 +10,26 @@ package numeric
 
 import "math"
 
+// Summer is a streaming Kahan (compensated) accumulator: Add values one at
+// a time, read the running total with Sum. It produces bit-identical results
+// to Sum over the same values in the same order, without requiring the
+// caller to materialize them in a slice — the zero-allocation building block
+// of the sparse hot paths.
+type Summer struct {
+	sum, comp float64
+}
+
+// Add folds x into the accumulator.
+func (s *Summer) Add(x float64) {
+	y := x - s.comp
+	t := s.sum + y
+	s.comp = (t - s.sum) - y
+	s.sum = t
+}
+
+// Sum returns the compensated running total.
+func (s *Summer) Sum() float64 { return s.sum }
+
 // Sum returns the sum of xs using Kahan (compensated) summation.
 //
 // The histogram algorithms repeatedly subtract large, nearly equal partial
@@ -17,14 +37,11 @@ import "math"
 // that the greedy merge order matches exact arithmetic on all the data sets
 // we generate.
 func Sum(xs []float64) float64 {
-	var sum, comp float64
+	var s Summer
 	for _, x := range xs {
-		y := x - comp
-		t := sum + y
-		comp = (t - sum) - y
-		sum = t
+		s.Add(x)
 	}
-	return sum
+	return s.Sum()
 }
 
 // SumSq returns the sum of squares of xs using Kahan summation.

@@ -1,0 +1,104 @@
+// Package parallel is the execution engine behind the multi-core merging,
+// selection, and sampling paths: deterministic chunked parallel-for over an
+// index range.
+//
+// Determinism is the design constraint. Every construct here fixes the
+// chunk boundaries as a pure function of (n, chunks) — never of timing —
+// and callers arrange their work so that each chunk writes only its own
+// output region and cross-chunk reductions happen serially in chunk order.
+// Under those rules the floating-point results are bit-identical for every
+// worker count, which is what lets Options.Workers default to all cores
+// without changing any algorithm output (see internal/core).
+//
+// Workers are spawned per call rather than kept in a persistent pool: the
+// merging rounds that use this package each carry at least MinGrain items
+// of work, so goroutine startup (~1 µs each) is noise, and per-call
+// spawning keeps the package free of shared state, shutdown ordering, and
+// leaked-goroutine hazards under `go test -race`.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MinGrain is the number of items below which parallel dispatch costs more
+// than it saves; callers use it as the serial cutoff.
+const MinGrain = 2048
+
+// Resolve maps a Workers knob to an effective worker count: values ≤ 0 mean
+// GOMAXPROCS (all cores), anything else is used as given.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// chunkBound returns the start of chunk ci when [0, n) is cut into `chunks`
+// equal parts: ⌊ci·n/chunks⌋. Depends only on (n, chunks).
+func chunkBound(ci, n, chunks int) int { return ci * n / chunks }
+
+// NumChunks returns the number of chunks ForChunks will actually run for a
+// range of n items and a requested chunk count: min(chunks, n), at least 1
+// when n > 0. Callers sizing per-chunk scratch use this.
+func NumChunks(n, chunks int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunks > n {
+		chunks = n
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+// ForChunks cuts [0, n) into NumChunks(n, chunks) fixed ranges and calls
+// fn(ci, lo, hi) once per chunk, running up to `workers` chunks
+// concurrently. Chunks are handed out by an atomic counter, so scheduling
+// order varies but the (ci, lo, hi) triples never do. With workers ≤ 1 the
+// chunks run inline in index order — the same code path the parallel
+// workers execute, just sequentially.
+func ForChunks(workers, n, chunks int, fn func(ci, lo, hi int)) {
+	chunks = NumChunks(n, chunks)
+	if chunks == 0 {
+		return
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for ci := 0; ci < chunks; ci++ {
+			fn(ci, chunkBound(ci, n, chunks), chunkBound(ci+1, n, chunks))
+		}
+		return
+	}
+	forChunksParallel(workers, n, chunks, fn)
+}
+
+// forChunksParallel is the multi-goroutine branch of ForChunks, split out so
+// that its escaping coordination state (wait group, atomic cursor) is never
+// allocated on the serial path — the zero-alloc guarantee of the merging
+// rounds depends on it.
+func forChunksParallel(workers, n, chunks int, fn func(ci, lo, hi int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= chunks {
+					return
+				}
+				fn(ci, chunkBound(ci, n, chunks), chunkBound(ci+1, n, chunks))
+			}
+		}()
+	}
+	wg.Wait()
+}
+

@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Fatalf("Resolve(5) = %d", got)
+	}
+}
+
+func TestNumChunks(t *testing.T) {
+	cases := []struct{ n, chunks, want int }{
+		{0, 4, 0}, {-1, 4, 0}, {3, 8, 3}, {100, 4, 4}, {100, 0, 1},
+	}
+	for _, c := range cases {
+		if got := NumChunks(c.n, c.chunks); got != c.want {
+			t.Errorf("NumChunks(%d, %d) = %d, want %d", c.n, c.chunks, got, c.want)
+		}
+	}
+}
+
+// Chunk boundaries must cover [0, n) exactly once and be identical for every
+// worker count.
+func TestForChunksCoverage(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 4097} {
+		for _, workers := range []int{1, 2, 8, 64} {
+			hits := make([]int32, n)
+			ForChunks(workers, n, workers, func(_, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("empty chunk [%d, %d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// The (ci, lo, hi) triples are a pure function of (n, chunks), independent
+// of the worker count.
+func TestForChunksDeterministicBoundaries(t *testing.T) {
+	n, chunks := 100003, 16
+	collect := func(workers int) map[int][2]int {
+		out := make([]([2]int), NumChunks(n, chunks))
+		ForChunks(workers, n, chunks, func(ci, lo, hi int) {
+			out[ci] = [2]int{lo, hi}
+		})
+		m := make(map[int][2]int, len(out))
+		for ci, b := range out {
+			m[ci] = b
+		}
+		return m
+	}
+	serial := collect(1)
+	for _, w := range []int{2, 4, 32} {
+		got := collect(w)
+		for ci, b := range serial {
+			if got[ci] != b {
+				t.Fatalf("chunk %d: workers=%d gives %v, serial gives %v", ci, w, got[ci], b)
+			}
+		}
+	}
+}
+
+func TestForChunksSums(t *testing.T) {
+	n := 10000
+	var total atomic.Int64
+	ForChunks(8, n, 8, func(_, lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		total.Add(local)
+	})
+	want := int64(n) * int64(n-1) / 2
+	if total.Load() != want {
+		t.Fatalf("sum = %d, want %d", total.Load(), want)
+	}
+}

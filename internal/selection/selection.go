@@ -11,7 +11,11 @@
 // runs remain reproducible.
 package selection
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
 
 // KthLargest returns the k-th largest value of xs (k = 1 is the maximum).
 // It partially reorders xs in place. It panics if k is out of [1, len(xs)].
@@ -122,11 +126,20 @@ func insertionSort(xs []float64) {
 // The merging algorithms use CountAbove together with this to keep exactly
 // the budgeted number of pairs split even when many errors tie at t.
 func Threshold(xs []float64, k int) float64 {
+	cut, _ := ThresholdScratch(xs, k, nil)
+	return cut
+}
+
+// ThresholdScratch is Threshold using (and returning) a caller-owned scratch
+// buffer for the copy, so that round-based callers — the merging loops call
+// this once per round — amortize the allocation to zero. The returned slice
+// is the possibly-regrown scratch; pass it back in on the next call.
+func ThresholdScratch(xs []float64, k int, scratch []float64) (float64, []float64) {
 	if len(xs) == 0 {
 		panic("selection: Threshold of empty slice")
 	}
 	if k <= 0 {
-		return math.Inf(1)
+		return math.Inf(1), scratch
 	}
 	if k >= len(xs) {
 		min := xs[0]
@@ -135,9 +148,57 @@ func Threshold(xs []float64, k int) float64 {
 				min = x
 			}
 		}
-		return min
+		return min, scratch
 	}
-	cp := make([]float64, len(xs))
+	if cap(scratch) < len(xs) {
+		scratch = make([]float64, len(xs))
+	}
+	cp := scratch[:len(xs)]
 	copy(cp, xs)
-	return KthLargest(cp, k)
+	return KthLargest(cp, k), scratch
+}
+
+// ThresholdParallel is ThresholdScratch computed with `workers` goroutines:
+// the input is cut into fixed chunks, each worker quickselects its chunk's
+// top k into the tail of its scratch region, and the ≤ workers·k candidates
+// are merged with one final serial selection. Every chunk's k-th largest
+// bounds the chunk's contribution to the global top k, so the merged
+// selection returns exactly the k-th largest of xs — the identical float the
+// serial path returns, for every worker count.
+//
+// It falls back to the serial path when the parallel plan cannot win:
+// few elements, one worker, or k so large that per-chunk selection would
+// retain most of the input anyway.
+func ThresholdParallel(xs []float64, k, workers int, scratch []float64) (float64, []float64) {
+	w := workers
+	if w > len(xs)/parallel.MinGrain {
+		w = len(xs) / parallel.MinGrain
+	}
+	if w <= 1 || k <= 0 || k >= len(xs) || 4*k*w >= len(xs) {
+		return ThresholdScratch(xs, k, scratch)
+	}
+	if cap(scratch) < len(xs) {
+		scratch = make([]float64, len(xs))
+	}
+	cp := scratch[:len(xs)]
+	// Each chunk copies and partially reorders only its own region of cp;
+	// candidate harvesting below runs after the barrier.
+	parallel.ForChunks(w, len(xs), w, func(_, lo, hi int) {
+		copy(cp[lo:hi], xs[lo:hi])
+		if hi-lo > k {
+			KthLargest(cp[lo:hi], k)
+		}
+	})
+	// Compact every chunk's top-k candidates to the front of cp in chunk
+	// order (regions never overlap: chunk ci's candidates start at ci·k ≤ lo
+	// because each chunk holds > k elements).
+	cand := 0
+	parallel.ForChunks(1, len(xs), w, func(_, lo, hi int) {
+		top := lo
+		if hi-lo > k {
+			top = hi - k
+		}
+		cand += copy(cp[cand:], cp[top:hi])
+	})
+	return KthLargest(cp[:cand], k), scratch
 }

@@ -184,3 +184,56 @@ func BenchmarkKthLargest(b *testing.B) {
 		KthLargest(cp, len(cp)/10)
 	}
 }
+
+func TestThresholdScratchReuse(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	cut, scratch := ThresholdScratch(xs, 3, nil)
+	if cut != 7 {
+		t.Fatalf("cut = %v, want 7", cut)
+	}
+	// Second call must reuse the buffer and must not reorder xs.
+	cut2, scratch2 := ThresholdScratch(xs, 5, scratch)
+	if cut2 != 5 {
+		t.Fatalf("cut = %v, want 5", cut2)
+	}
+	if &scratch[0] != &scratch2[0] {
+		t.Fatal("scratch buffer was not reused")
+	}
+	if xs[0] != 5 || xs[9] != 0 {
+		t.Fatal("input was reordered")
+	}
+}
+
+// The parallel threshold must return the exact same float as the serial one
+// on large inputs with duplicates, for every worker count.
+func TestThresholdParallelMatchesSerial(t *testing.T) {
+	r := rng.New(91)
+	for _, n := range []int{10000, 100001} {
+		xs := make([]float64, n)
+		for i := range xs {
+			// Heavy ties: quantized normals.
+			xs[i] = math.Floor(r.NormFloat64() * 8)
+		}
+		var scratch []float64
+		for _, k := range []int{1, 2, 17, 300} {
+			want := Threshold(xs, k)
+			for _, w := range []int{1, 2, 3, 8} {
+				var got float64
+				got, scratch = ThresholdParallel(xs, k, w, scratch)
+				if got != want {
+					t.Fatalf("n=%d k=%d workers=%d: got %v, want %v", n, k, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestThresholdParallelEdgeCases(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got, _ := ThresholdParallel(xs, 0, 4, nil); !math.IsInf(got, 1) {
+		t.Fatalf("k=0 should give +Inf, got %v", got)
+	}
+	if got, _ := ThresholdParallel(xs, 5, 4, nil); got != 1 {
+		t.Fatalf("k>=len should give the minimum, got %v", got)
+	}
+}

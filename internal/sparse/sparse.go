@@ -98,22 +98,23 @@ func (f *Func) ToDense() []float64 {
 	return q
 }
 
-// Sum returns Σᵢ q(i).
+// Sum returns Σᵢ q(i), streaming over the entries with compensated
+// summation — no temporary slice, so it is allocation-free on the hot path.
 func (f *Func) Sum() float64 {
-	vals := make([]float64, len(f.entries))
-	for i, e := range f.entries {
-		vals[i] = e.Value
+	var s numeric.Summer
+	for _, e := range f.entries {
+		s.Add(e.Value)
 	}
-	return numeric.Sum(vals)
+	return s.Sum()
 }
 
-// SumSq returns Σᵢ q(i)².
+// SumSq returns Σᵢ q(i)², streaming like Sum.
 func (f *Func) SumSq() float64 {
-	vals := make([]float64, len(f.entries))
-	for i, e := range f.entries {
-		vals[i] = e.Value * e.Value
+	var s numeric.Summer
+	for _, e := range f.entries {
+		s.Add(e.Value * e.Value)
 	}
-	return numeric.Sum(vals)
+	return s.Sum()
 }
 
 // L2Norm returns ‖q‖₂.
@@ -202,7 +203,9 @@ func (s Stat) SSE() float64 {
 
 // StatsFor computes the per-piece statistics of q over an arbitrary
 // partition in O(s + |p|) with one sweep over the nonzeros. The partition
-// must cover [1, n].
+// must cover [1, n]. The merging engine calls it once per construction (the
+// per-round statistics are maintained incrementally by Stat.Add), so the
+// single allocation here is not on the round-scratch reuse path.
 func (f *Func) StatsFor(p interval.Partition) []Stat {
 	stats := make([]Stat, len(p))
 	ei := 0

@@ -301,3 +301,46 @@ func TestFlattenErrorRefinementProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The hot-path accessors must not allocate: Sum/SumSq stream over the
+// entries with a compensated accumulator instead of materializing a slice.
+func TestHotPathAllocations(t *testing.T) {
+	q := make([]float64, 5000)
+	r := rng.New(23)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	f := FromDense(q)
+	if allocs := testing.AllocsPerRun(10, func() { f.Sum() }); allocs > 0 {
+		t.Fatalf("Sum allocates %v per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { f.SumSq() }); allocs > 0 {
+		t.Fatalf("SumSq allocates %v per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { f.L2Norm() }); allocs > 0 {
+		t.Fatalf("L2Norm allocates %v per call", allocs)
+	}
+}
+
+// The streaming sums must agree bit for bit with the historical slice-based
+// implementation (numeric.Sum over the materialized values).
+func TestStreamingSumsMatchSliceSums(t *testing.T) {
+	r := rng.New(29)
+	q := make([]float64, 10000)
+	for i := range q {
+		q[i] = r.NormFloat64() * 1e6
+	}
+	f := FromDense(q)
+	vals := make([]float64, 0, len(q))
+	sqs := make([]float64, 0, len(q))
+	for _, e := range f.Entries() {
+		vals = append(vals, e.Value)
+		sqs = append(sqs, e.Value*e.Value)
+	}
+	if got, want := f.Sum(), numeric.Sum(vals); got != want {
+		t.Fatalf("Sum = %v, slice-based %v", got, want)
+	}
+	if got, want := f.SumSq(), numeric.Sum(sqs); got != want {
+		t.Fatalf("SumSq = %v, slice-based %v", got, want)
+	}
+}

@@ -1,0 +1,154 @@
+package histapprox
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The public API contract: Options.Workers never changes any output.
+// Fit, FitFast, and Learn must produce bit-identical histograms (pieces,
+// values, error) for every worker count, across shapes that stress ties,
+// spikes, and odd lengths at sizes large enough to engage the parallel path.
+
+func publicFixtures() map[string][]float64 {
+	r := rng.New(733)
+	fixtures := make(map[string][]float64)
+
+	noisy := stepData(r, 50001, 7, 0.3) // odd length
+	fixtures["noisySteps"] = noisy
+
+	ties := make([]float64, 40000)
+	for i := range ties {
+		ties[i] = float64(i % 2)
+	}
+	fixtures["ties"] = ties
+
+	spiky := make([]float64, 60000)
+	for i := 0; i < len(spiky); i += 997 {
+		spiky[i] = float64(i%13) * 1e6
+	}
+	fixtures["sparseSpikes"] = spiky
+
+	return fixtures
+}
+
+func identicalHistograms(t *testing.T, label string, a, b *Histogram, errA, errB float64) {
+	t.Helper()
+	if math.Float64bits(errA) != math.Float64bits(errB) {
+		t.Fatalf("%s: error %v vs %v (bits differ)", label, errA, errB)
+	}
+	pa, pb := a.Pieces(), b.Pieces()
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: %d vs %d pieces", label, len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].Interval != pb[i].Interval {
+			t.Fatalf("%s: piece %d interval %v vs %v", label, i, pa[i].Interval, pb[i].Interval)
+		}
+		if math.Float64bits(pa[i].Value) != math.Float64bits(pb[i].Value) {
+			t.Fatalf("%s: piece %d value %v vs %v (bits differ)", label, i, pa[i].Value, pb[i].Value)
+		}
+	}
+}
+
+func TestWorkersInvarianceFitAndFitFast(t *testing.T) {
+	for name, data := range publicFixtures() {
+		serial := DefaultOptions()
+		serial.Workers = 1
+		hs, es, err := Fit(data, 9, &serial)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fs, efs, err := FitFast(data, 9, &serial)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, w := range []int{2, 8} {
+			opts := DefaultOptions()
+			opts.Workers = w
+			hp, ep, err := Fit(data, 9, &opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			identicalHistograms(t, name+"/Fit", hs, hp, es, ep)
+			fp, efp, err := FitFast(data, 9, &opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			identicalHistograms(t, name+"/FitFast", fs, fp, efs, efp)
+		}
+	}
+}
+
+func TestWorkersInvarianceLearn(t *testing.T) {
+	n := 30000
+	masses := make([]float64, n)
+	for i := range masses {
+		masses[i] = float64(1 + i%5)
+	}
+	p, err := DistributionFromWeights(masses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := Draw(p, 200000, 97)
+	serial := PaperOptions()
+	serial.Workers = 1
+	hs, reps, err := Learn(n, samples, 6, &serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		opts := PaperOptions()
+		opts.Workers = w
+		hp, repp, err := Learn(n, samples, 6, &opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		identicalHistograms(t, "Learn", hs, hp, reps.EmpiricalError, repp.EmpiricalError)
+		if reps.Support != repp.Support || reps.Pieces != repp.Pieces || reps.Rounds != repp.Rounds {
+			t.Fatalf("workers=%d: report %+v vs serial %+v", w, repp, reps)
+		}
+	}
+}
+
+func TestFitMultiscaleWorkersInvariance(t *testing.T) {
+	data := stepData(rng.New(811), 40000, 11, 0.2)
+	serial, err := FitMultiscaleWorkers(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FitMultiscaleWorkers(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.NumLevels() != par.NumLevels() {
+		t.Fatalf("levels %d vs %d", par.NumLevels(), serial.NumLevels())
+	}
+	for _, k := range []int{1, 3, 10} {
+		rs, err := serial.ForK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := par.ForK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalHistograms(t, "FitMultiscale", rs.Histogram, rp.Histogram, rs.Error, rp.Error)
+	}
+}
+
+func TestDrawWorkersPublic(t *testing.T) {
+	p, err := DistributionFromWeights([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := DrawWorkers(p, 50000, 13, 4)
+	b := DrawWorkers(p, 50000, 13, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("DrawWorkers not deterministic for fixed seed and workers")
+		}
+	}
+}
