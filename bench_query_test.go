@@ -1,0 +1,108 @@
+package histapprox
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Query-serving benchmarks: the read side of the build-once/query-forever
+// synopsis shape. Sub-benchmark names are benchstat-friendly
+// (BenchmarkQueryPoint/k=100, BenchmarkQueryRangeBatch/k=1000/workers=1, …)
+// so future PRs can diff serving throughput cell by cell.
+
+const benchQueryN = 200000
+
+func benchHistogram(b *testing.B, k int) *Histogram {
+	b.Helper()
+	freq := queryColumn(benchQueryN)
+	h, _, err := Fit(freq, k, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.At(1) // build the index outside the timed region
+	return h
+}
+
+func benchQueries(n, count int) (xs, as, bs []int) {
+	state := uint64(4099)
+	next := func() int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state >> 33)
+	}
+	xs = make([]int, count)
+	as = make([]int, count)
+	bs = make([]int, count)
+	for i := range xs {
+		xs[i] = 1 + next()%n
+		a := 1 + next()%n
+		as[i] = a
+		bs[i] = a + next()%(n-a+1)
+	}
+	return xs, as, bs
+}
+
+func BenchmarkQueryPoint(b *testing.B) {
+	for _, k := range []int{10, 100, 1000} {
+		h := benchHistogram(b, k)
+		xs, _, _ := benchQueries(benchQueryN, 4096)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc += h.At(xs[i%len(xs)])
+			}
+			_ = acc
+		})
+	}
+}
+
+func BenchmarkQueryRange(b *testing.B) {
+	for _, k := range []int{10, 100, 1000} {
+		h := benchHistogram(b, k)
+		_, as, bs := benchQueries(benchQueryN, 4096)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				q := i % len(as)
+				acc += h.RangeSum(as[q], bs[q])
+			}
+			_ = acc
+		})
+	}
+}
+
+func BenchmarkQueryPointBatch(b *testing.B) {
+	for _, k := range []int{10, 100, 1000} {
+		h := benchHistogram(b, k)
+		xs, _, _ := benchQueries(benchQueryN, 4096)
+		out := make([]float64, len(xs))
+		for _, workers := range []int{1, 0} {
+			b.Run(fmt.Sprintf("k=%d/workers=%d", k, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out = h.AtBatch(xs, out, workers)
+				}
+				// Throughput in queries, not batches.
+				b.ReportMetric(float64(len(xs)), "queries/op")
+			})
+		}
+	}
+}
+
+func BenchmarkQueryRangeBatch(b *testing.B) {
+	for _, k := range []int{10, 100, 1000} {
+		h := benchHistogram(b, k)
+		_, as, bs := benchQueries(benchQueryN, 4096)
+		out := make([]float64, len(as))
+		for _, workers := range []int{1, 0} {
+			b.Run(fmt.Sprintf("k=%d/workers=%d", k, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out = h.RangeSumBatch(as, bs, out, workers)
+				}
+				b.ReportMetric(float64(len(as)), "queries/op")
+			})
+		}
+	}
+}

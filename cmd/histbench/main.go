@@ -11,6 +11,11 @@
 //	histbench -parallel OUT.json      # run the parallel-engine sweep instead
 //	                                  # (serial vs multi-worker Fit/Learn at
 //	                                  # n up to 10⁶; records BENCH_parallel.json)
+//	histbench -query OUT.json         # run the query-serving sweep instead:
+//	                                  # point/range/batched throughput at
+//	                                  # k ∈ {10, 100, 1000}; records
+//	                                  # BENCH_query.json
+//	histbench -query OUT.json -quick  # small smoke grid (CI)
 package main
 
 import (
@@ -27,10 +32,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("histbench: ")
 	skipExact := flag.Bool("skip-exact", false, "omit the O(n²k) exact dynamic program")
-	trials := flag.Int("trials", 10, "minimum timing repetitions per algorithm")
+	trials := flag.Int("trials", 0, "minimum timing repetitions per cell (0 = the sweep's own default)")
 	parallelOut := flag.String("parallel", "", "run the parallel-engine sweep and write its JSON report to this file")
+	queryOut := flag.String("query", "", "run the query-serving sweep and write its JSON report to this file")
+	quick := flag.Bool("quick", false, "with -query: small smoke grid instead of the full sweep")
 	flag.Parse()
 
+	if *queryOut != "" {
+		runQuery(*queryOut, *trials, *quick)
+		return
+	}
 	if *parallelOut != "" {
 		runParallel(*parallelOut, *trials)
 		return
@@ -38,7 +49,9 @@ func main() {
 
 	cfg := bench.DefaultTable1Config()
 	cfg.SkipExact = *skipExact
-	cfg.MinTrials = *trials
+	if *trials > 0 {
+		cfg.MinTrials = *trials
+	}
 
 	fmt.Println("Table 1 — offline histogram approximation")
 	fmt.Println("(hist: n=1000 k=10; poly: n=4000 k=10; dow: n=16384 k=50;")
@@ -52,6 +65,39 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runQuery sweeps the serving path (point, range, and batched queries at
+// k ∈ {10, 100, 1000}) and writes the JSON throughput trajectory.
+func runQuery(outPath string, trials int, quick bool) {
+	cfg := bench.DefaultQueryConfig()
+	if quick {
+		cfg = bench.QuickQueryConfig()
+	}
+	if trials > 0 {
+		cfg.MinTrials = trials
+	}
+	fmt.Println("Indexed query engine — serving throughput")
+	fmt.Println("(single vs batched; outputs are bit-identical across paths and worker")
+	fmt.Println(" counts; range_scan is the retained legacy O(pieces) baseline)")
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	rep := bench.RunQueryBench(cfg)
+	if err := bench.WriteQueryJSON(f, rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range rep.Points {
+		fmt.Printf("%-12s k=%-5d pieces=%-5d workers=%-2d batch=%-5d  %9.1f ns/query  %12.0f qps\n",
+			pt.Workload, pt.K, pt.Pieces, pt.Workers, pt.Batch, pt.NsPerQuery, pt.QPS)
+	}
+	if rep.Note != "" {
+		fmt.Println("note:", rep.Note)
+	}
+	fmt.Printf("report written to %s (total %v)\n", outPath, time.Since(start).Round(time.Millisecond))
 }
 
 // runParallel sweeps the parallel merging engine (serial vs multi-worker

@@ -111,4 +111,28 @@ func main() {
 	}
 	fmt.Printf("\nworst relative error over these queries: v-optimal %.1f%%, equi-width %.1f%%, equi-depth %.1f%%\n",
 		worstV, worstW, worstD)
+
+	// The same queries answered through the batched serving path — one
+	// call, bit-identical results (see examples/serving for the full
+	// build-once/query-millions workload).
+	as := make([]int, len(queries))
+	bs := make([]int, len(queries))
+	for i, qr := range queries {
+		as[i], bs[i] = qr[0], qr[1]
+	}
+	batch, err := histapprox.EstimateRanges(vopt, as, bs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range queries {
+		single, err := vopt.EstimateRange(as[i], bs[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if batch[i] != single {
+			log.Fatalf("batch[%d] = %v differs from single query %v", i, batch[i], single)
+		}
+	}
+	fmt.Printf("batched EstimateRanges over %d queries: bit-identical to single-query answers\n",
+		len(queries))
 }

@@ -1,0 +1,121 @@
+// Serving: the build-once/query-millions shape that motivates the paper's
+// database application. Build a near-V-optimal synopsis of a column once,
+// then serve point lookups and range counts from the indexed read path —
+// single queries, sorted batches, and a streaming maintainer queried
+// between compactions.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	histapprox "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A skewed column over [1, 100000]: a few hot bands over a long tail.
+	const n = 100000
+	freq := make([]float64, n)
+	state := uint64(7)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for i := range freq {
+		freq[i] = float64(next() % 5)
+	}
+	for _, band := range [][2]int{{4900, 5100}, {42000, 42050}, {90000, 91000}} {
+		for x := band[0]; x <= band[1]; x++ {
+			freq[x-1] += 300
+		}
+	}
+
+	// Build once: O(n) construction, ~2k+1 buckets.
+	est, err := histapprox.NewSelectivityEstimator(freq, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synopsis: %d buckets over [1, %d]\n\n", est.Pieces(), n)
+
+	// Serve forever: a deterministic stream of range queries.
+	const queries = 200000
+	as := make([]int, queries)
+	bs := make([]int, queries)
+	for i := range as {
+		a := 1 + int(next())%n
+		as[i] = a
+		bs[i] = a + int(next())%(n-a+1)
+	}
+
+	// Single-query path: O(log k) per call, zero allocations.
+	start := time.Now()
+	var sum float64
+	for i := range as {
+		v, err := est.EstimateRange(as[i], bs[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum += v
+	}
+	single := time.Since(start)
+	fmt.Printf("single queries : %8.0f qps (checksum %.0f)\n",
+		float64(queries)/single.Seconds(), sum)
+
+	// Batched path: sort by left endpoint for locality, answer the whole
+	// batch with one call fanned out across all cores. Results are
+	// bit-identical to the single-query path.
+	order := make([]int, queries)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return as[order[i]] < as[order[j]] })
+	sa := make([]int, queries)
+	sb := make([]int, queries)
+	for i, o := range order {
+		sa[i] = as[o]
+		sb[i] = bs[o]
+	}
+	start = time.Now()
+	batched, err := histapprox.EstimateRanges(est, sa, sb, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := time.Since(start)
+	var bsum float64
+	for _, v := range batched {
+		bsum += v
+	}
+	fmt.Printf("batched queries: %8.0f qps (checksum %.0f, speedup %.1fx)\n",
+		float64(queries)/batch.Seconds(), bsum, single.Seconds()/batch.Seconds())
+
+	// Streaming: keep ingesting updates and answer range queries from the
+	// summary + pending buffer without forcing a compaction.
+	sh, err := histapprox.NewStreamingHistogram(n, 50, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for x := 1; x <= n; x++ {
+		if err := sh.Add(x, freq[x-1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	live, err := sh.EstimateRange(4900, 5100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := 0.0
+	for x := 4900; x <= 5100; x++ {
+		truth += freq[x-1]
+	}
+	fmt.Printf("\nstreaming EstimateRange(4900, 5100) = %.0f (truth %.0f) "+
+		"after %d updates, %d compactions\n",
+		live, truth, sh.Updates(), sh.Compactions())
+}

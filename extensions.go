@@ -12,7 +12,9 @@ import (
 
 // StreamingHistogram maintains an O(k)-piece histogram summary under a
 // stream of point updates with O(1) amortized update cost: updates are
-// buffered and periodically recompacted through one merging run.
+// buffered and periodically recompacted through one merging run. Range
+// queries between compactions go through EstimateRange, which combines the
+// indexed summary with the pending buffer without forcing a compaction.
 type StreamingHistogram = stream.Maintainer
 
 // NewStreamingHistogram builds a maintainer over [1, n] targeting k-piece

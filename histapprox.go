@@ -24,10 +24,16 @@
 //
 //	data := ... // []float64 over [1, n]
 //	h, l2err, err := histapprox.Fit(data, 10, nil)    // ≈ 21-piece histogram
-//	v := h.At(42)                                     // evaluate
+//	v := h.At(42)                                     // O(log k) point query
+//	s := h.RangeSum(100, 200)                         // O(log k) range sum
+//	vs := h.AtBatch(points, nil, 0)                   // bulk serving, all cores
 //
-// See the examples/ directory for runnable end-to-end programs and
-// EXPERIMENTS.md for the reproduction of the paper's tables and figures.
+// Histograms are built once and then served read-only: every query runs on
+// an immutable index (flat boundary array, prefix masses, Eytzinger search
+// layout) built lazily on the first query and safe for any number of
+// concurrent readers. See the examples/ directory for runnable end-to-end
+// programs and EXPERIMENTS.md for the reproduction of the paper's tables
+// and figures plus the query-throughput methodology.
 package histapprox
 
 import (
@@ -45,8 +51,10 @@ import (
 )
 
 // Histogram is a piecewise constant function over [1, n]. Obtain one from
-// Fit, Learn, or the baselines; evaluate with At, materialize with ToDense,
-// inspect pieces with Pieces.
+// Fit, Learn, or the baselines; evaluate with At (point, O(log k)), RangeSum
+// (range, O(log k)), or the batched AtBatch/RangeSumBatch serving paths;
+// materialize with ToDense, inspect pieces with Pieces. All queries are
+// safe for concurrent readers.
 type Histogram = core.Histogram
 
 // Piece is one interval of a Histogram with its constant value.

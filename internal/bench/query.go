@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/synopsis"
+)
+
+// QueryPoint is one (workload, k, workers) throughput cell of the query
+// benchmark: how fast a built synopsis answers queries, in queries/sec.
+type QueryPoint struct {
+	// Workload is one of "point" (Histogram.At), "range"
+	// (Synopsis.EstimateRange via the index), "range_scan" (the legacy
+	// O(pieces) scan, kept for the asymptotic comparison), "point_batch"
+	// (AtBatch) and "range_batch" (EstimateRangeBatch).
+	Workload string `json:"workload"`
+	K        int    `json:"k"`      // requested histogram size
+	Pieces   int    `json:"pieces"` // actual bucket count of the synopsis
+	N        int    `json:"n"`      // value-domain size
+	// Workers is the fan-out of batched workloads (1 = serial); single-query
+	// workloads always run on one goroutine.
+	Workers int `json:"workers"`
+	// Batch is the queries answered per API call (1 for single-query
+	// workloads).
+	Batch      int     `json:"batch"`
+	NsPerQuery float64 `json:"ns_per_query"`
+	QPS        float64 `json:"qps"`
+}
+
+// QueryReport is the BENCH_query.json payload: environment metadata plus the
+// serving-throughput trajectory. Outputs are asserted identical between the
+// single and batched paths by the test suite, so the report records timing
+// only.
+type QueryReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	GoVersion  string       `json:"goversion"`
+	Note       string       `json:"note,omitempty"`
+	Points     []QueryPoint `json:"points"`
+}
+
+// QueryConfig controls the query benchmark sweep.
+type QueryConfig struct {
+	// N is the value-domain size of the synthetic column.
+	N int
+	// Ks lists the histogram sizes to sweep.
+	Ks []int
+	// Queries is the number of distinct queries per workload; batched
+	// workloads answer all of them per call.
+	Queries int
+	// Workers lists fan-outs for the batched workloads (the serial cell
+	// workers = 1 is always measured so batch-vs-single is comparable).
+	Workers []int
+	// MinTrials and MinTotal control timing accuracy per cell.
+	MinTrials int
+	MinTotal  time.Duration
+}
+
+// DefaultQueryConfig sweeps k ∈ {10, 100, 1000} over a 200k-value domain —
+// the acceptance sweep for the indexed query engine.
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{
+		N:         200_000,
+		Ks:        []int{10, 100, 1000},
+		Queries:   4096,
+		Workers:   []int{1, 2, 0},
+		MinTrials: 5,
+		MinTotal:  300 * time.Millisecond,
+	}
+}
+
+// QuickQueryConfig is the CI smoke grid: the same workloads on a small
+// domain with minimal timing effort, so the serving path is exercised
+// headlessly in a few seconds.
+func QuickQueryConfig() QueryConfig {
+	return QueryConfig{
+		N:         20_000,
+		Ks:        []int{10, 100},
+		Queries:   512,
+		Workers:   []int{1, 0},
+		MinTrials: 2,
+		MinTotal:  20 * time.Millisecond,
+	}
+}
+
+// queryWorkload builds the deterministic query set: points and ranges drawn
+// uniformly at random. Batched workloads serve the same multiset sorted by
+// left endpoint — the locality order a batching frontend would use and the
+// layout the batch kernels are optimized for.
+type queryWorkload struct {
+	xs, as, bs         []int // random order, for single-query loops
+	sortedXs           []int
+	sortedAs, sortedBs []int
+}
+
+func buildQueryWorkload(n, count int) queryWorkload {
+	r := rng.New(uint64(n)*13 + uint64(count))
+	w := queryWorkload{
+		xs: make([]int, count),
+		as: make([]int, count),
+		bs: make([]int, count),
+	}
+	for i := 0; i < count; i++ {
+		w.xs[i] = 1 + r.Intn(n)
+		a := 1 + r.Intn(n)
+		w.as[i] = a
+		w.bs[i] = a + r.Intn(n-a+1)
+	}
+	w.sortedXs = append([]int(nil), w.xs...)
+	sort.Ints(w.sortedXs)
+	type qr struct{ a, b int }
+	qs := make([]qr, count)
+	for i := range qs {
+		qs[i] = qr{w.as[i], w.bs[i]}
+	}
+	sort.Slice(qs, func(i, j int) bool {
+		if qs[i].a != qs[j].a {
+			return qs[i].a < qs[j].a
+		}
+		return qs[i].b < qs[j].b
+	})
+	w.sortedAs = make([]int, count)
+	w.sortedBs = make([]int, count)
+	for i, q := range qs {
+		w.sortedAs[i] = q.a
+		w.sortedBs[i] = q.b
+	}
+	return w
+}
+
+// RunQueryBench sweeps point, range, and batched serving workloads over the
+// configured k grid and reports per-cell throughput. This is the first
+// benchmark in the repository that measures query serving rather than
+// construction.
+func RunQueryBench(cfg QueryConfig) QueryReport {
+	rep := QueryReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	if rep.GoMaxProcs < 2 {
+		rep.Note = "single-core environment: batched workers > 1 cannot beat workers = 1; " +
+			"multi-worker cells certify overhead only"
+	}
+	wl := buildQueryWorkload(cfg.N, cfg.Queries)
+	var sink float64
+	for _, k := range cfg.Ks {
+		freq := ParallelBenchData(cfg.N, k)
+		syn, err := synopsis.VOptimal(freq, k)
+		must(err)
+		hist := syn.(interface{ Histogram() *core.Histogram }).Histogram()
+		hist.At(1) // build the index outside every timed region
+
+		record := func(workload string, workers, batch int, perCall int, fn func()) {
+			fn() // warm up
+			elapsed := TimeIt(fn, cfg.MinTrials, cfg.MinTotal)
+			nsPerQuery := float64(elapsed.Nanoseconds()) / float64(perCall)
+			rep.Points = append(rep.Points, QueryPoint{
+				Workload:   workload,
+				K:          k,
+				Pieces:     syn.Pieces(),
+				N:          cfg.N,
+				Workers:    workers,
+				Batch:      batch,
+				NsPerQuery: nsPerQuery,
+				QPS:        1e9 / nsPerQuery,
+			})
+		}
+
+		record("point", 1, 1, len(wl.xs), func() {
+			for _, x := range wl.xs {
+				sink += hist.At(x)
+			}
+		})
+		record("range", 1, 1, len(wl.as), func() {
+			for i := range wl.as {
+				est, err := syn.EstimateRange(wl.as[i], wl.bs[i])
+				must(err)
+				sink += est
+			}
+		})
+		// The retained O(pieces) scan keeps the asymptotic comparison
+		// visible in the recorded trajectory.
+		record("range_scan", 1, 1, len(wl.as), func() {
+			for i := range wl.as {
+				sink += hist.RangeSumScan(wl.as[i], wl.bs[i])
+			}
+		})
+
+		// The serial batch cell always runs so batch-vs-single is on record.
+		workers := []int{1}
+		for _, w := range cfg.Workers {
+			if w != 1 {
+				workers = append(workers, w)
+			}
+		}
+		outAt := make([]float64, len(wl.sortedXs))
+		outRange := make([]float64, len(wl.sortedAs))
+		for _, w := range workers {
+			w := w
+			record("point_batch", w, len(wl.sortedXs), len(wl.sortedXs), func() {
+				outAt = hist.AtBatch(wl.sortedXs, outAt, w)
+			})
+			record("range_batch", w, len(wl.sortedAs), len(wl.sortedAs), func() {
+				res, err := synopsis.EstimateRangeBatch(syn, wl.sortedAs, wl.sortedBs, w)
+				must(err)
+				outRange = res
+			})
+		}
+		for _, v := range outAt {
+			sink += v
+		}
+		for _, v := range outRange {
+			sink += v
+		}
+	}
+	_ = sink
+	return rep
+}
+
+// WriteQueryJSON renders the report as indented JSON — the BENCH_query.json
+// trajectory recorded at the repository root.
+func WriteQueryJSON(w io.Writer, rep QueryReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -51,5 +51,8 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	}
 	h.n = enc.N
 	h.pieces = pieces
+	// The decoded pieces replace whatever the histogram previously held; a
+	// stale query index would serve the old pieces.
+	h.invalidateIndex()
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/interval"
 	"repro/internal/sparse"
@@ -31,10 +32,16 @@ type Piece struct {
 }
 
 // Histogram is a piecewise constant function over [1, n]: the pieces
-// partition [1, n] and the function takes Value on each piece.
+// partition [1, n] and the function takes Value on each piece. A histogram
+// is immutable once constructed, which is what makes the lazily built query
+// index below safe to share across concurrent readers.
 type Histogram struct {
 	n      int
 	pieces []Piece
+	// idx is the read-optimized query index (see index.go), built on the
+	// first query and shared by all subsequent ones. Always access through
+	// the index method.
+	idx atomic.Pointer[queryIndex]
 }
 
 // NewHistogram builds a histogram from a partition of [1, n] and the
@@ -85,13 +92,53 @@ func (h *Histogram) Partition() interval.Partition {
 	return p
 }
 
-// At returns h(i) for i ∈ [1, n] via binary search over the pieces.
+// At returns h(i) for i ∈ [1, n] in O(log pieces) with zero allocations at
+// steady state: the point location runs on the query index's Eytzinger
+// boundary layout (one closure-free comparison per tree level) instead of a
+// sort.Search over the pieces. For slices of points use AtBatch.
 func (h *Histogram) At(i int) float64 {
+	if i < 1 || i > h.n {
+		panic(fmt.Sprintf("core: Histogram.At(%d) out of [1, %d]", i, h.n))
+	}
+	idx := h.index()
+	return idx.values[idx.find(i)]
+}
+
+// atLinear is the pre-index implementation of At, kept as the reference
+// oracle for the query-engine property tests: the indexed path must return
+// the bit-identical value for every point.
+func (h *Histogram) atLinear(i int) float64 {
 	if i < 1 || i > h.n {
 		panic(fmt.Sprintf("core: Histogram.At(%d) out of [1, %d]", i, h.n))
 	}
 	idx := sort.Search(len(h.pieces), func(j int) bool { return h.pieces[j].Hi >= i })
 	return h.pieces[idx].Value
+}
+
+// RangeSumScan is the retained O(pieces) range sum: clamp every piece to
+// [a, b] and accumulate in piece order. It computes the same quantity as
+// RangeSum (up to floating-point accumulation order) and exists only as the
+// linear baseline for the asymptotic benchmarks and the query property
+// tests — serving paths use RangeSum.
+func (h *Histogram) RangeSumScan(a, b int) float64 {
+	if a < 1 || b > h.n || a > b {
+		panic(fmt.Sprintf("core: Histogram.RangeSumScan(%d, %d) invalid for [1, %d]", a, b, h.n))
+	}
+	var total float64
+	for _, pc := range h.pieces {
+		lo, hi := pc.Lo, pc.Hi
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if lo > hi {
+			continue
+		}
+		total += float64(hi-lo+1) * pc.Value
+	}
+	return total
 }
 
 // ToDense materializes the histogram as a dense vector of length n.

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/parallel"
+)
+
+// queryIndex is the read-optimized serving structure behind Histogram.At,
+// PieceIndex, RangeSum and the batched query APIs: a structure-of-arrays
+// snapshot of the pieces (flat boundary and value arrays instead of []Piece),
+// the left-to-right prefix masses that turn range sums into O(1) arithmetic,
+// and an Eytzinger (BFS) layout of the boundaries so the point-location
+// binary search is closure-free and branch-predictor friendly.
+//
+// The index is immutable once built. Histograms are immutable after
+// construction (Pieces is documented read-only), so the index is built
+// lazily on the first query and shared by every subsequent reader; see
+// Histogram.index for the publication protocol.
+type queryIndex struct {
+	// ends[j] = pieces[j].Hi in domain order; ends[k-1] = n. The piece lows
+	// are implied: lo_j = ends[j-1]+1, lo_0 = 1.
+	ends []int
+	// values[j] = pieces[j].Value in domain order.
+	values []float64
+	// prefix[j] = Σ_{i<j} |I_i|·v_i, accumulated left to right with plain
+	// float64 additions; prefix[0] = 0 and prefix[k] = Mass(). The exact
+	// addition order is part of the query semantics: RangeSum differences
+	// two of these prefixes, and the bit-identity tests replay the same
+	// accumulation sequence linearly.
+	prefix []float64
+	// eytz[1..k] holds ends in BFS order (slot 0 unused): the children of
+	// slot j are 2j and 2j+1, so the search touches one cache line per
+	// level instead of striding across the sorted array.
+	eytz []int
+	// rank maps an eytz slot back to the domain-order piece position.
+	rank []int32
+}
+
+// buildQueryIndex snapshots the pieces into the SoA arrays. O(k) time,
+// called at most once per histogram per publication race (losing builders
+// are discarded).
+func buildQueryIndex(pieces []Piece) *queryIndex {
+	k := len(pieces)
+	idx := &queryIndex{
+		ends:   make([]int, k),
+		values: make([]float64, k),
+		prefix: make([]float64, k+1),
+		eytz:   make([]int, k+1),
+		rank:   make([]int32, k+1),
+	}
+	for j, pc := range pieces {
+		idx.ends[j] = pc.Hi
+		idx.values[j] = pc.Value
+		idx.prefix[j+1] = idx.prefix[j] + float64(pc.Len())*pc.Value
+	}
+	pos := 0
+	var fill func(slot int)
+	fill = func(slot int) {
+		if slot > k {
+			return
+		}
+		fill(2 * slot)
+		idx.eytz[slot] = idx.ends[pos]
+		idx.rank[slot] = int32(pos)
+		pos++
+		fill(2*slot + 1)
+	}
+	fill(1)
+	return idx
+}
+
+// find returns the domain-order position of the piece containing x, i.e. the
+// first j with ends[j] ≥ x. The caller guarantees 1 ≤ x ≤ n, so a containing
+// piece always exists. The loop is the Eytzinger lower-bound walk: one
+// comparison per tree level, no closure, and a data-dependent increment the
+// compiler can lower to a conditional move.
+func (idx *queryIndex) find(x int) int {
+	k := len(idx.ends)
+	j := 1
+	for j <= k {
+		step := 0
+		if idx.eytz[j] < x {
+			step = 1
+		}
+		j = 2*j + step
+	}
+	// Undo the virtual descent: strip the trailing 1-bits (right turns past
+	// the answer) and the final level bit to land on the lower-bound slot.
+	j >>= bits.TrailingZeros(^uint(j)) + 1
+	return int(idx.rank[j])
+}
+
+// findFrom is find with a locality fast path for sorted or clustered query
+// batches: if x lands in the piece found by the previous query in the batch
+// (or the one immediately after it), no search runs. The result is the same
+// position find returns — the fast path only short-circuits the walk.
+func (idx *queryIndex) findFrom(last, x int) int {
+	if last >= 0 && last < len(idx.ends) && x <= idx.ends[last] {
+		if last == 0 || x > idx.ends[last-1] {
+			return last
+		}
+	} else if next := last + 1; last >= 0 && next < len(idx.ends) &&
+		x > idx.ends[next-1] && x <= idx.ends[next] {
+		return next
+	}
+	return idx.find(x)
+}
+
+// lo returns the first domain point of piece j.
+func (idx *queryIndex) lo(j int) int {
+	if j == 0 {
+		return 1
+	}
+	return idx.ends[j-1] + 1
+}
+
+// rangeSum returns Σ_{i=a}^{b} h(i) for a validated 1 ≤ a ≤ b ≤ n in O(log k):
+// two point locations, then O(1) arithmetic — the two partial edge pieces
+// computed directly (so sub-piece queries never difference large prefixes)
+// plus the prefix-mass difference of the whole pieces strictly between them.
+func (idx *queryIndex) rangeSum(a, b int) float64 {
+	pa := idx.find(a)
+	if b <= idx.ends[pa] {
+		return float64(b-a+1) * idx.values[pa]
+	}
+	pb := idx.find(b)
+	left := float64(idx.ends[pa]-a+1) * idx.values[pa]
+	mid := idx.prefix[pb] - idx.prefix[pa+1]
+	right := float64(b-idx.lo(pb)+1) * idx.values[pb]
+	return left + mid + right
+}
+
+// index returns the histogram's query index, building it on first use.
+// Publication is a CompareAndSwap on an atomic pointer: concurrent first
+// queries may each build an index, but every build is identical (a pure
+// function of the immutable pieces) and exactly one survives, so readers
+// never observe a partially built structure and results are deterministic.
+func (h *Histogram) index() *queryIndex {
+	if idx := h.idx.Load(); idx != nil {
+		return idx
+	}
+	idx := buildQueryIndex(h.pieces)
+	if h.idx.CompareAndSwap(nil, idx) {
+		return idx
+	}
+	return h.idx.Load()
+}
+
+// invalidateIndex drops a previously built index after the pieces change
+// (only UnmarshalJSON mutates a histogram in place).
+func (h *Histogram) invalidateIndex() { h.idx.Store(nil) }
+
+// PieceIndex returns the position (in Pieces() order) of the piece containing
+// x ∈ [1, n], in O(log pieces) with no allocation. It panics on out-of-range
+// x, like At.
+func (h *Histogram) PieceIndex(x int) int {
+	if x < 1 || x > h.n {
+		panic(fmt.Sprintf("core: Histogram.PieceIndex(%d) out of [1, %d]", x, h.n))
+	}
+	return h.index().find(x)
+}
+
+// RangeSum returns the exact sum Σ_{i=a}^{b} h(i) over the inclusive range
+// [a, b] ⊆ [1, n] in O(log pieces) time and zero allocations: two indexed
+// point locations plus O(1) prefix-mass arithmetic. For a synopsis histogram
+// this is the range-count estimate under the standard uniform-spread
+// assumption. It panics if the range is invalid; error-returning validation
+// lives in the synopsis layer.
+func (h *Histogram) RangeSum(a, b int) float64 {
+	if a < 1 || b > h.n || a > b {
+		panic(fmt.Sprintf("core: Histogram.RangeSum(%d, %d) invalid for [1, %d]", a, b, h.n))
+	}
+	return h.index().rangeSum(a, b)
+}
+
+// batchWorkers resolves a Workers knob against a batch size: parallel
+// dispatch below MinGrain queries costs more than it saves.
+func batchWorkers(workers, batch int) int {
+	w := parallel.Resolve(workers)
+	if batch < parallel.MinGrain {
+		return 1
+	}
+	return w
+}
+
+// atChunk answers the point queries xs[lo:hi] into out[lo:hi]: the serial
+// kernel both the single-threaded batch path and every parallel worker run.
+// It is a standalone function (not a closure) so the serial path stays
+// allocation-free.
+func (idx *queryIndex) atChunk(n int, xs []int, out []float64, lo, hi int) {
+	last := -1
+	for qi := lo; qi < hi; qi++ {
+		x := xs[qi]
+		if x < 1 || x > n {
+			panic(fmt.Sprintf("core: Histogram.AtBatch point %d out of [1, %d]", x, n))
+		}
+		last = idx.findFrom(last, x)
+		out[qi] = idx.values[last]
+	}
+}
+
+// rangeSumChunk answers the range queries [as[i], bs[i]] for i in [lo, hi)
+// into out: the shared serial/parallel batch kernel, with the sorted-query
+// locality fast path on the left endpoints.
+func (idx *queryIndex) rangeSumChunk(n int, as, bs []int, out []float64, lo, hi int) {
+	last := -1
+	for qi := lo; qi < hi; qi++ {
+		a, b := as[qi], bs[qi]
+		if a < 1 || b > n || a > b {
+			panic(fmt.Sprintf("core: Histogram.RangeSumBatch range [%d, %d] invalid for [1, %d]", a, b, n))
+		}
+		pa := idx.findFrom(last, a)
+		last = pa
+		if b <= idx.ends[pa] {
+			out[qi] = float64(b-a+1) * idx.values[pa]
+			continue
+		}
+		pb := idx.find(b)
+		left := float64(idx.ends[pa]-a+1) * idx.values[pa]
+		mid := idx.prefix[pb] - idx.prefix[pa+1]
+		right := float64(b-idx.lo(pb)+1) * idx.values[pb]
+		out[qi] = left + mid + right
+	}
+}
+
+// AtBatch evaluates h at every point of xs, writing results into out (which
+// is grown if shorter than xs) and returning it. Each query produces the
+// bit-identical value At returns, for every workers setting: 0 means all
+// cores, 1 forces the serial path. Consecutive queries hitting the same
+// piece skip the search entirely, so sorted batches run fastest; the serial
+// path with a reused output slice performs zero allocations. Panics on
+// out-of-range points, like At.
+func (h *Histogram) AtBatch(xs []int, out []float64, workers int) []float64 {
+	if cap(out) < len(xs) {
+		out = make([]float64, len(xs))
+	}
+	out = out[:len(xs)]
+	idx := h.index()
+	w := batchWorkers(workers, len(xs))
+	if w <= 1 {
+		idx.atChunk(h.n, xs, out, 0, len(xs))
+		return out
+	}
+	parallel.ForChunks(w, len(xs), w, func(_, lo, hi int) {
+		idx.atChunk(h.n, xs, out, lo, hi)
+	})
+	return out
+}
+
+// RangeSumBatch answers the ranges [as[i], bs[i]] into out (grown if needed)
+// and returns it. Per-query results are bit-identical to RangeSum for every
+// workers setting; the batch only amortizes index access and exploits
+// sorted-query locality on the left endpoints, and the serial path with a
+// reused output slice performs zero allocations. Panics on invalid ranges
+// or if len(as) ≠ len(bs).
+func (h *Histogram) RangeSumBatch(as, bs []int, out []float64, workers int) []float64 {
+	if len(as) != len(bs) {
+		panic(fmt.Sprintf("core: Histogram.RangeSumBatch: %d starts vs %d ends", len(as), len(bs)))
+	}
+	if cap(out) < len(as) {
+		out = make([]float64, len(as))
+	}
+	out = out[:len(as)]
+	idx := h.index()
+	w := batchWorkers(workers, len(as))
+	if w <= 1 {
+		idx.rangeSumChunk(h.n, as, bs, out, 0, len(as))
+		return out
+	}
+	parallel.ForChunks(w, len(as), w, func(_, lo, hi int) {
+		idx.rangeSumChunk(h.n, as, bs, out, lo, hi)
+	})
+	return out
+}

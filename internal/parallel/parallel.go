@@ -101,4 +101,3 @@ func forChunksParallel(workers, n, chunks int, fn func(ci, lo, hi int)) {
 	}
 	wg.Wait()
 }
-

@@ -40,9 +40,19 @@ type Maintainer struct {
 	// Current compacted summary (nil before the first compaction: the
 	// buffer alone holds all mass).
 	summary *core.Histogram
-	// Buffered updates since the last compaction, keyed by point.
-	buffer map[int]float64
-	// bufferCap triggers compaction.
+	// Buffered updates since the last compaction: a flat append-only log,
+	// deduplicated (same point, summed weights) at compaction time. Compared
+	// to the map it replaced, Add is one slice append — no hashing, no
+	// re-hash churn at steady state once the backing array has grown to
+	// bufferCap — and compaction iterates updates in a deterministic order.
+	buffer []sparse.Entry
+	// scratch holds the deduplicated buffer between compactions so the
+	// dedup pass allocates nothing at steady state.
+	scratch []sparse.Entry
+	// bufferCap triggers compaction once len(buffer) reaches it. With the
+	// append-only log this counts buffered *updates*, not distinct points,
+	// so compaction cadence is independent of how concentrated the stream
+	// is.
 	bufferCap int
 
 	updates     int
@@ -68,7 +78,7 @@ func NewMaintainer(n, k, bufferCap int, opts core.Options) (*Maintainer, error) 
 	}
 	return &Maintainer{
 		n: n, k: k, opts: opts,
-		buffer:    make(map[int]float64, bufferCap),
+		buffer:    make([]sparse.Entry, 0, bufferCap),
 		bufferCap: bufferCap,
 	}, nil
 }
@@ -80,7 +90,7 @@ func (m *Maintainer) Add(i int, w float64) error {
 	if i < 1 || i > m.n {
 		return fmt.Errorf("stream: point %d out of [1, %d]", i, m.n)
 	}
-	m.buffer[i] += w
+	m.buffer = append(m.buffer, sparse.Entry{Index: i, Value: w})
 	m.updates++
 	if len(m.buffer) >= m.bufferCap {
 		return m.Compact()
@@ -107,20 +117,37 @@ func (m *Maintainer) Compact() error {
 		return err
 	}
 	m.summary = res.Histogram
-	m.buffer = make(map[int]float64, m.bufferCap)
+	m.buffer = m.buffer[:0]
 	m.compactions++
 	return nil
+}
+
+// dedupedBuffer collapses the update log into entries sorted by point with
+// duplicate points summed (in log order, so the float result is
+// deterministic). Points whose deltas cancel to zero are kept — like the map
+// buffer before it, a touched point stays a refinement singleton. The result
+// lives in m.scratch and is valid until the next call.
+func (m *Maintainer) dedupedBuffer() []sparse.Entry {
+	dst := m.scratch[:0]
+	dst = append(dst, m.buffer...)
+	sort.SliceStable(dst, func(i, j int) bool { return dst[i].Index < dst[j].Index })
+	out := dst[:0]
+	for _, e := range dst {
+		if len(out) > 0 && out[len(out)-1].Index == e.Index {
+			out[len(out)-1].Value += e.Value
+			continue
+		}
+		out = append(out, e)
+	}
+	m.scratch = dst
+	return out
 }
 
 // combined builds the refinement partition of (summary pieces ∪ buffered
 // singletons) with the statistics of "summary as piecewise-constant truth
 // plus buffered deltas".
 func (m *Maintainer) combined() (interval.Partition, []sparse.Stat) {
-	points := make([]int, 0, len(m.buffer))
-	for i := range m.buffer {
-		points = append(points, i)
-	}
-	sort.Ints(points)
+	points := m.dedupedBuffer()
 
 	var pieces []core.Piece
 	if m.summary != nil {
@@ -148,16 +175,38 @@ func (m *Maintainer) combined() (interval.Partition, []sparse.Stat) {
 	}
 	for _, pc := range pieces {
 		lo := pc.Lo
-		for pi < len(points) && points[pi] <= pc.Hi {
-			p := points[pi]
+		for pi < len(points) && points[pi].Index <= pc.Hi {
+			p := points[pi].Index
 			emit(lo, p-1, pc.Value, 0, false)
-			emit(p, p, pc.Value, m.buffer[p], true)
+			emit(p, p, pc.Value, points[pi].Value, true)
 			lo = p + 1
 			pi++
 		}
 		emit(lo, pc.Hi, pc.Value, 0, false)
 	}
 	return part, stats
+}
+
+// EstimateRange returns the maintained vector's sum over [a, b] — summary
+// mass plus pending buffered deltas — without forcing a compaction, so the
+// serving path never pays a merging run. Cost is O(log pieces) for the
+// summary (via the histogram query index) plus O(len(buffer)) for the
+// pending deltas; the buffer is bounded by bufferCap, so the added term is
+// a constant chosen at construction time.
+func (m *Maintainer) EstimateRange(a, b int) (float64, error) {
+	if a < 1 || b > m.n || a > b {
+		return 0, fmt.Errorf("stream: range [%d, %d] invalid for domain [1, %d]", a, b, m.n)
+	}
+	var total float64
+	if m.summary != nil {
+		total = m.summary.RangeSum(a, b)
+	}
+	for _, e := range m.buffer {
+		if a <= e.Index && e.Index <= b {
+			total += e.Value
+		}
+	}
+	return total, nil
 }
 
 // Summary returns the current O(k)-piece summary, compacting pending

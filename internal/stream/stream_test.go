@@ -248,3 +248,175 @@ func TestMergeIdentity(t *testing.T) {
 		}
 	}
 }
+
+func TestMaintainerEstimateRangeExactOnStepStream(t *testing.T) {
+	// Stream a k-step vector the maintainer can represent with zero error;
+	// EstimateRange must then return exact range sums — whether the queried
+	// mass sits in the compacted summary, the pending buffer, or both.
+	levels := []float64{4, 9, 2, 7}
+	n := 400
+	m, err := NewMaintainer(n, len(levels)+1, 64, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, n)
+	prefix := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		v := levels[(i-1)*len(levels)/n]
+		truth[i-1] = v
+		if err := m.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+		prefix[i] = prefix[i-1] + v
+	}
+	compactionsBefore := m.Compactions()
+	for _, q := range [][2]int{{1, n}, {1, 1}, {n, n}, {50, 150}, {99, 301}, {100, 100}} {
+		got, err := m.EstimateRange(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := prefix[q[1]] - prefix[q[0]-1]
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("EstimateRange(%d, %d) = %v, want %v", q[0], q[1], got, want)
+		}
+	}
+	if m.Compactions() != compactionsBefore {
+		t.Fatal("EstimateRange must not force a compaction")
+	}
+}
+
+func TestMaintainerEstimateRangeUsesPendingBuffer(t *testing.T) {
+	m, err := NewMaintainer(100, 2, 1024, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All updates pending in the buffer: no compaction has happened.
+	for _, p := range []int{10, 10, 20, 90} {
+		if err := m.Add(p, 2.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Compactions() != 0 {
+		t.Fatal("updates should still be buffered")
+	}
+	got, err := m.EstimateRange(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7.5 {
+		t.Fatalf("buffered EstimateRange = %v, want 7.5 (two stacked updates at 10, one at 20)", got)
+	}
+	if _, err := m.EstimateRange(0, 5); err == nil {
+		t.Fatal("invalid range should error")
+	}
+	if _, err := m.EstimateRange(7, 3); err == nil {
+		t.Fatal("reversed range should error")
+	}
+}
+
+func TestMaintainerBufferDedupMatchesPreSummedStream(t *testing.T) {
+	// Duplicated points in the update log must compact to the identical
+	// summary a pre-summed stream produces: dedup is exact, not lossy.
+	n := 300
+	build := func(updates [][2]float64) *core.Histogram {
+		m, err := NewMaintainer(n, 4, 1<<20, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range updates {
+			if err := m.Add(int(u[0]), u[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h, err := m.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	r := rng.New(353)
+	var dup [][2]float64
+	sums := map[int]float64{}
+	for i := 0; i < 4000; i++ {
+		p := 1 + r.Intn(40) // heavy duplication: 40 hot points
+		w := r.Float64()
+		dup = append(dup, [2]float64{float64(p), w})
+		sums[p] += w
+	}
+	var pre [][2]float64
+	for p := 1; p <= n; p++ {
+		if w, ok := sums[p]; ok {
+			pre = append(pre, [2]float64{float64(p), w})
+		}
+	}
+	hd, hp := build(dup), build(pre)
+	if hd.NumPieces() != hp.NumPieces() {
+		t.Fatalf("dedup summary has %d pieces, pre-summed %d", hd.NumPieces(), hp.NumPieces())
+	}
+	for i := 1; i <= n; i++ {
+		a, b := hd.At(i), hp.At(i)
+		if math.Abs(a-b) > 1e-12*(1+math.Abs(b)) {
+			t.Fatalf("At(%d): dedup %v vs pre-summed %v", i, a, b)
+		}
+	}
+}
+
+func TestMaintainerDeterministicAcrossRuns(t *testing.T) {
+	// The flat buffer iterates in a deterministic order (unlike the map it
+	// replaced), so two identical streams must produce bit-identical
+	// summaries.
+	run := func() *core.Histogram {
+		r := rng.New(359)
+		m, err := NewMaintainer(500, 6, 128, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3000; i++ {
+			if err := m.Add(1+r.Intn(500), r.NormFloat64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h, err := m.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	h1, h2 := run(), run()
+	if h1.NumPieces() != h2.NumPieces() {
+		t.Fatalf("piece counts differ: %d vs %d", h1.NumPieces(), h2.NumPieces())
+	}
+	p1, p2 := h1.Pieces(), h2.Pieces()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("piece %d differs: %+v vs %+v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestMaintainerAddSteadyStateAllocs(t *testing.T) {
+	// Once the buffer's backing array has grown to bufferCap, Add between
+	// compactions is a bare append: zero allocations.
+	m, err := NewMaintainer(1000, 4, 512, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(367)
+	for i := 0; i < 2048; i++ { // grow buffer and scratch through compactions
+		if err := m.Add(1+r.Intn(1000), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	point := 1 + r.Intn(1000)
+	if allocs := testing.AllocsPerRun(100, func() {
+		// 100 < bufferCap runs, so no compaction triggers inside the window.
+		if err := m.Add(point, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("buffered Add allocates %v/op at steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,79 @@
+package synopsis
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// rangeBatcher is the optional fast path a synopsis can provide for bulk
+// serving: answer all ranges [as[i], bs[i]] with one validated pass.
+// Implementations must return per-query results bit-identical to calling
+// EstimateRange query by query, for every workers setting.
+type rangeBatcher interface {
+	estimateRangeBatch(as, bs []int, workers int) ([]float64, error)
+}
+
+// EstimateRangeBatch answers the ranges [as[i], bs[i]] in bulk: one index,
+// sorted-query locality on the histogram path, and optional fan-out across
+// workers goroutines (0 = all cores, 1 = serial — the same convention as
+// Options.Workers). Every element of the result is bit-identical to the
+// corresponding single EstimateRange call, so batching is purely a
+// throughput lever. Synopses without a native bulk path fall back to a
+// serial query loop.
+func EstimateRangeBatch(s Synopsis, as, bs []int, workers int) ([]float64, error) {
+	if len(as) != len(bs) {
+		return nil, fmt.Errorf("synopsis: batch shape mismatch: %d starts, %d ends", len(as), len(bs))
+	}
+	if rb, ok := s.(rangeBatcher); ok {
+		return rb.estimateRangeBatch(as, bs, workers)
+	}
+	out := make([]float64, len(as))
+	for i := range as {
+		est, err := s.EstimateRange(as[i], bs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = est
+	}
+	return out, nil
+}
+
+// checkRanges validates every query up front so the panic-on-invalid core
+// batch kernels only ever see clean input.
+func checkRanges(as, bs []int, n int) error {
+	for i := range as {
+		if err := checkRange(as[i], bs[i], n); err != nil {
+			return fmt.Errorf("batch query %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (s histogramSynopsis) estimateRangeBatch(as, bs []int, workers int) ([]float64, error) {
+	if err := checkRanges(as, bs, s.h.N()); err != nil {
+		return nil, err
+	}
+	return s.h.RangeSumBatch(as, bs, nil, workers), nil
+}
+
+// estimateRangeBatch serves the wavelet estimator's prefix path in bulk:
+// each query is two O(1) prefix lookups, so the batch only amortizes
+// validation and fans the loop out across workers.
+func (s waveletSynopsis) estimateRangeBatch(as, bs []int, workers int) ([]float64, error) {
+	n := s.pre.N()
+	if err := checkRanges(as, bs, n); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(as))
+	w := parallel.Resolve(workers)
+	if len(as) < parallel.MinGrain {
+		w = 1
+	}
+	parallel.ForChunks(w, len(as), w, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = s.pre.Sum(as[i], bs[i])
+		}
+	})
+	return out, nil
+}

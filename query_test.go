@@ -1,0 +1,133 @@
+package histapprox
+
+import (
+	"math"
+	"testing"
+)
+
+// queryColumn builds a deterministic skewed frequency vector for the
+// public-API query tests.
+func queryColumn(n int) []float64 {
+	freq := make([]float64, n)
+	state := uint64(2027)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	for i := range freq {
+		freq[i] = math.Floor(10 * next())
+		if i%97 == 0 {
+			freq[i] += 500 // heavy hitters
+		}
+	}
+	return freq
+}
+
+func TestPublicRangeSumAndBatches(t *testing.T) {
+	freq := queryColumn(5000)
+	h, _, err := Fit(freq, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RangeSum agrees with summing At over the range.
+	for _, q := range [][2]int{{1, 5000}, {1, 1}, {4999, 5000}, {123, 4567}} {
+		var want float64
+		for x := q[0]; x <= q[1]; x++ {
+			want += h.At(x)
+		}
+		got := h.RangeSum(q[0], q[1])
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("RangeSum(%d, %d) = %v, pointwise sum %v", q[0], q[1], got, want)
+		}
+	}
+	// Batched paths are bit-identical to single queries for every worker
+	// count at the public API level too.
+	xs := make([]int, 0, 2500)
+	as := make([]int, 0, 2500)
+	bs := make([]int, 0, 2500)
+	for x := 1; x <= 5000; x += 2 {
+		xs = append(xs, x)
+		hi := x + 37
+		if hi > 5000 {
+			hi = 5000
+		}
+		as = append(as, x)
+		bs = append(bs, hi)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		vs := h.AtBatch(xs, nil, workers)
+		for i, x := range xs {
+			if vs[i] != h.At(x) {
+				t.Fatalf("workers=%d: AtBatch[%d] != At(%d)", workers, i, x)
+			}
+		}
+		rs := h.RangeSumBatch(as, bs, nil, workers)
+		for i := range as {
+			if rs[i] != h.RangeSum(as[i], bs[i]) {
+				t.Fatalf("workers=%d: RangeSumBatch[%d] != RangeSum", workers, i)
+			}
+		}
+	}
+}
+
+func TestEstimateRangesAcrossEstimators(t *testing.T) {
+	freq := queryColumn(4096)
+	builders := map[string]func() (SelectivityEstimator, error){
+		"voptimal":  func() (SelectivityEstimator, error) { return NewSelectivityEstimator(freq, 12) },
+		"equiwidth": func() (SelectivityEstimator, error) { return NewEquiWidthEstimator(freq, 25) },
+		"equidepth": func() (SelectivityEstimator, error) { return NewEquiDepthEstimator(freq, 25) },
+		"wavelet":   func() (SelectivityEstimator, error) { return NewWaveletEstimator(freq, 50) },
+	}
+	as := make([]int, 0, 3000)
+	bs := make([]int, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		a := 1 + (i*131)%4096
+		b := a + (i*17)%(4096-a+1)
+		as = append(as, a)
+		bs = append(bs, b)
+	}
+	for name, build := range builders {
+		est, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := EstimateRanges(est, as, bs, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range as {
+				want, err := est.EstimateRange(as[i], bs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i] != want {
+					t.Fatalf("%s workers=%d: EstimateRanges[%d] = %v, single = %v",
+						name, workers, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamingEstimateRangeWithoutCompaction(t *testing.T) {
+	sh, err := NewStreamingHistogram(1000, 8, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i := 1; i <= 1000; i++ {
+		w := float64(1 + i%5)
+		total += w
+		if err := sh.Add(i, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sh.EstimateRange(1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-total) > 1e-6*total {
+		t.Fatalf("streaming EstimateRange(1, 1000) = %v, streamed mass %v", got, total)
+	}
+}

@@ -4,6 +4,17 @@ import (
 	"repro/internal/synopsis"
 )
 
+// EstimateRanges answers a batch of range-count queries [as[i], bs[i]] from
+// one synopsis: the whole batch shares a single query index, consecutive
+// queries exploit sorted-query locality, and workers goroutines fan the
+// batch out (0 = all cores, 1 = serial — the Options.Workers convention).
+// Every element is bit-identical to the corresponding single EstimateRange
+// call; batching only buys throughput. This is the serving entry point for
+// the build-once/query-millions shape of selectivity estimation.
+func EstimateRanges(est SelectivityEstimator, as, bs []int, workers int) ([]float64, error) {
+	return synopsis.EstimateRangeBatch(est, as, bs, workers)
+}
+
 // SelectivityEstimator answers approximate range-count queries over a column
 // from an O(k)-bucket synopsis — the database application that motivates the
 // paper (Section 1). Build one with NewSelectivityEstimator (near-V-optimal
