@@ -1,0 +1,188 @@
+package histapprox
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Ingestion benchmarks: the write side of the maintenance story.
+// Sub-benchmark names are benchstat-friendly
+// (BenchmarkIngestAdd/mode=serial, BenchmarkIngestAddBatch/shards=8, …) so
+// future PRs can diff intake throughput cell by cell. Per-op cost includes
+// the amortized compactions; allocs/op is reported and is 0 at steady state
+// for the serial engine (the scratch-threaded compaction path).
+
+const (
+	benchIngestN   = 100000
+	benchIngestCap = 4096
+)
+
+func benchIngestStream(count int) (points []int, weights []float64) {
+	state := uint64(8209)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	points = make([]int, count)
+	weights = make([]float64, count)
+	for i := range points {
+		points[i] = 1 + int(next())%benchIngestN
+		if next()%10 == 0 {
+			weights[i] = -1
+		} else {
+			weights[i] = 1
+		}
+	}
+	return points, weights
+}
+
+// BenchmarkIngestAdd measures single-update intake, compactions included.
+// The serial cell runs on the inline-compacting Maintainer, the sharded
+// cells on the background-compacting engine.
+func BenchmarkIngestAdd(b *testing.B) {
+	points, weights := benchIngestStream(1 << 16)
+	b.Run("mode=serial", func(b *testing.B) {
+		m, err := NewStreamingHistogram(benchIngestN, 32, benchIngestCap, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the scratch through real compactions before measuring.
+		for i := range points {
+			if err := m.Add(points[i], weights[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u := i & (len(points) - 1)
+			if err := m.Add(points[u], weights[u]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := NewShardedMaintainer(benchIngestN, 32, shards, benchIngestCap, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range points {
+				if err := s.Add(points[i], weights[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := i & (len(points) - 1)
+				if err := s.Add(points[u], weights[u]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngestAddBatch measures bulk intake: one lock acquisition per
+// touched shard per 1024-update batch.
+func BenchmarkIngestAddBatch(b *testing.B) {
+	points, weights := benchIngestStream(1 << 16)
+	const batch = 1024
+	b.Run("mode=serial", func(b *testing.B) {
+		m, err := NewStreamingHistogram(benchIngestN, 32, benchIngestCap, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AddBatch(points, weights); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := (i * batch) & (len(points) - 1)
+			if err := m.AddBatch(points[lo:lo+batch], weights[lo:lo+batch]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+	})
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := NewShardedMaintainer(benchIngestN, 32, shards, benchIngestCap, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.AddBatch(points, weights); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := (i * batch) & (len(points) - 1)
+				if err := s.AddBatch(points[lo:lo+batch], weights[lo:lo+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkIngestCompaction isolates one full compaction cycle of the
+// serial engine: fill the buffer to capacity and fold it into the summary.
+// The headline assertion — 0 allocs/op at steady state — is enforced by
+// TestMaintainerCompactionSteadyStateAllocs in internal/stream; this cell
+// tracks the wall-clock cost per cycle.
+func BenchmarkIngestCompaction(b *testing.B) {
+	points, weights := benchIngestStream(benchIngestCap)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	m, err := NewStreamingHistogram(benchIngestN, 32, benchIngestCap, &opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycle := func() {
+		for i := range points {
+			if err := m.Add(points[i], weights[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		cycle() // warm the compaction scratch
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}
+
+// BenchmarkIngestMergeAll measures the k-way global merge at Summary time
+// across shard counts: one refinement sweep + one recompaction per tree
+// node instead of a pairwise chain.
+func BenchmarkIngestMergeAll(b *testing.B) {
+	for _, m := range []int{2, 8, 64} {
+		hs := make([]*Histogram, m)
+		for i := range hs {
+			data := make([]float64, 8192)
+			for j := range data {
+				data[j] = float64((i*31+j*7)%97) / 9.7
+			}
+			h, _, err := Fit(data, 32, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hs[i] = h
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MergeSummaries(hs, 32, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

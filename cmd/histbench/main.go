@@ -16,6 +16,11 @@
 //	                                  # k ∈ {10, 100, 1000}; records
 //	                                  # BENCH_query.json
 //	histbench -query OUT.json -quick  # small smoke grid (CI)
+//	histbench -ingest OUT.json        # run the ingestion sweep instead:
+//	                                  # serial vs sharded intake, single vs
+//	                                  # batch, compaction pause percentiles;
+//	                                  # records BENCH_ingest.json
+//	histbench -ingest OUT.json -quick # small smoke grid (CI)
 package main
 
 import (
@@ -35,9 +40,14 @@ func main() {
 	trials := flag.Int("trials", 0, "minimum timing repetitions per cell (0 = the sweep's own default)")
 	parallelOut := flag.String("parallel", "", "run the parallel-engine sweep and write its JSON report to this file")
 	queryOut := flag.String("query", "", "run the query-serving sweep and write its JSON report to this file")
-	quick := flag.Bool("quick", false, "with -query: small smoke grid instead of the full sweep")
+	ingestOut := flag.String("ingest", "", "run the ingestion sweep and write its JSON report to this file")
+	quick := flag.Bool("quick", false, "with -query/-ingest: small smoke grid instead of the full sweep")
 	flag.Parse()
 
+	if *ingestOut != "" {
+		runIngest(*ingestOut, *trials, *quick)
+		return
+	}
 	if *queryOut != "" {
 		runQuery(*queryOut, *trials, *quick)
 		return
@@ -93,6 +103,41 @@ func runQuery(outPath string, trials int, quick bool) {
 	for _, pt := range rep.Points {
 		fmt.Printf("%-12s k=%-5d pieces=%-5d workers=%-2d batch=%-5d  %9.1f ns/query  %12.0f qps\n",
 			pt.Workload, pt.K, pt.Pieces, pt.Workers, pt.Batch, pt.NsPerQuery, pt.QPS)
+	}
+	if rep.Note != "" {
+		fmt.Println("note:", rep.Note)
+	}
+	fmt.Printf("report written to %s (total %v)\n", outPath, time.Since(start).Round(time.Millisecond))
+}
+
+// runIngest sweeps the intake engines (serial Maintainer vs Sharded at the
+// configured shard counts, single updates vs batches) and writes the JSON
+// throughput + pause-percentile trajectory.
+func runIngest(outPath string, trials int, quick bool) {
+	cfg := bench.DefaultIngestConfig()
+	if quick {
+		cfg = bench.QuickIngestConfig()
+	}
+	if trials > 0 {
+		cfg.MinTrials = trials
+	}
+	fmt.Println("Sharded ingestion engine — intake throughput")
+	fmt.Println("(serial = inline compactions; sharded = hashed shards, background")
+	fmt.Println(" compaction behind a double-buffered log; pauses are ingest stalls)")
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	rep := bench.RunIngestBench(cfg)
+	if err := bench.WriteIngestJSON(f, rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range rep.Points {
+		fmt.Printf("%-8s shards=%-2d %-7s batch=%-5d  %7.1f ns/update  %12.0f upd/s  compacts=%-5d pauses=%d (p99 %.0f µs)\n",
+			pt.Mode, pt.Shards, pt.Workload, pt.Batch, pt.NsPerUpdate, pt.UpdatesPerSec,
+			pt.Compactions, pt.PauseCount, pt.PauseP99Us)
 	}
 	if rep.Note != "" {
 		fmt.Println("note:", rep.Note)

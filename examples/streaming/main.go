@@ -75,39 +75,44 @@ func main() {
 	fmt.Printf("direct fit: %d pieces, l2 error %8.1f  (batch over the final vector)\n\n",
 		direct.NumPieces(), directErr)
 
-	// --- Part 2: mergeable summaries across shards. ---
-	shards := 4
-	perShard := make([]*histapprox.Histogram, shards)
+	// --- Part 2: sharded multi-core intake + k-way mergeable summaries. ---
+	// The Sharded engine hashes updates across per-core shards and runs
+	// compactions on background goroutines behind a double-buffered log, so
+	// AddBatch never waits for a merging run while compaction keeps up.
+	sharded, err := histapprox.NewShardedMaintainer(n, k, 4, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	shardTruth := make([]float64, n)
-	for s := 0; s < shards; s++ {
-		m, err := histapprox.NewStreamingHistogram(n, k, 0, nil)
-		if err != nil {
-			log.Fatal(err)
+	batch := make([]int, 0, 1024)
+	ingestStart := time.Now()
+	for u := 0; u < 400_000; u++ {
+		point := 1 + int(float64(n)*math.Pow(next(), 2.5)) // skewed
+		if point > n {
+			point = n
 		}
-		for u := 0; u < 100_000; u++ {
-			point := 1 + int(float64(n)*math.Pow(next(), 2.5)) // skewed
-			if point > n {
-				point = n
-			}
-			shardTruth[point-1]++
-			if err := m.Add(point, 1); err != nil {
+		shardTruth[point-1]++
+		batch = append(batch, point)
+		if len(batch) == cap(batch) {
+			if err := sharded.AddBatch(batch, nil); err != nil {
 				log.Fatal(err)
 			}
-		}
-		perShard[s], err = m.Summary()
-		if err != nil {
-			log.Fatal(err)
+			batch = batch[:0]
 		}
 	}
-	combined := perShard[0]
-	for s := 1; s < shards; s++ {
-		combined, err = histapprox.MergeHistograms(combined, perShard[s], k, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
+	if err := sharded.AddBatch(batch, nil); err != nil {
+		log.Fatal(err)
 	}
+	combined, err := sharded.Summary() // MergeSummaries over the shard summaries
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sharded.Stats()
+	fmt.Printf("sharded intake: %d updates on %d shards in %v (%d background compactions, %d pauses)\n",
+		st.Updates, st.Shards, time.Since(ingestStart).Round(time.Millisecond),
+		st.Compactions, st.PauseCount)
 	fmt.Printf("merged %d shard summaries: %d pieces, l2 error vs union %8.1f\n",
-		shards, combined.NumPieces(), combined.L2DistToDense(shardTruth))
+		st.Shards, combined.NumPieces(), combined.L2DistToDense(shardTruth))
 
 	// Quantiles straight from the merged summary.
 	cdf, err := histapprox.NewCDF(combined)

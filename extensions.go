@@ -27,10 +27,46 @@ func NewStreamingHistogram(n, k, bufferCap int, opts *Options) (*StreamingHistog
 // MergeHistograms combines the summaries of two disjoint data sets over the
 // same domain into one O(k)-piece summary: the pointwise sum is formed
 // exactly on the common refinement of the two partitions, then recompacted
-// with one merging run. Use it as the combiner of a parallel aggregation
-// tree.
+// with one merging run. For more than two summaries use MergeSummaries,
+// which sweeps the m-way refinement in one pass.
 func MergeHistograms(h1, h2 *Histogram, k int, opts *Options) (*Histogram, error) {
 	return stream.Merge(h1, h2, k, resolveOpts(opts))
+}
+
+// MergeSummaries combines any number of histogram summaries of disjoint
+// data sets over the same domain into one O(k)-piece summary: a single
+// sweep over the m-way common refinement plus one recompaction (instead of
+// the pairwise chain's m−1 refine-and-recompact steps), recursing through a
+// deterministic parallel aggregation tree for large m. The output is
+// bit-identical for every opts.Workers value. Pass nil opts for
+// DefaultOptions.
+func MergeSummaries(hs []*Histogram, k int, opts *Options) (*Histogram, error) {
+	return stream.MergeAll(hs, k, resolveOpts(opts))
+}
+
+// ShardedHistogram is the multi-core streaming intake engine: point updates
+// hash across per-core shards, each an independently compacting
+// StreamingHistogram whose merging runs happen on background goroutines
+// behind a double-buffered update log — Add/AddBatch never block on a
+// merging run while compaction keeps up. Summary merges the per-shard
+// summaries through MergeSummaries, so the global result carries the same
+// merging guarantee as the serial maintainer. All methods are safe for
+// concurrent use; Stats reports throughput counters and recent
+// compaction/pause durations for capacity planning.
+type ShardedHistogram = stream.Sharded
+
+// IngestStats is a snapshot of a ShardedHistogram's ingestion counters and
+// recent compaction/pause durations.
+type IngestStats = stream.IngestStats
+
+// NewShardedMaintainer builds a sharded streaming maintainer over [1, n]
+// targeting k-piece global summaries. shards ≤ 0 picks one shard per core;
+// bufferCap is the per-shard compaction period (0 picks the default);
+// nil opts means DefaultOptions. For a fixed shard count and a fixed
+// single-producer update order the global summary is bit-identical across
+// runs.
+func NewShardedMaintainer(n, k, shards, bufferCap int, opts *Options) (*ShardedHistogram, error) {
+	return stream.NewSharded(n, k, shards, bufferCap, resolveOpts(opts))
 }
 
 // --- Quantile queries from a summary. ---

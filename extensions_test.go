@@ -57,6 +57,84 @@ func TestMergeHistogramsFacade(t *testing.T) {
 	}
 }
 
+func TestShardedMaintainerFacade(t *testing.T) {
+	s, err := NewShardedMaintainer(1000, 6, 4, 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d", s.Shards())
+	}
+	points := make([]int, 0, 256)
+	total := 0.0
+	for i := 1; i <= 1000; i++ {
+		if err := s.Add(i, 2); err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, i)
+		total += 2
+		if len(points) == 256 {
+			if err := s.AddBatch(points, nil); err != nil {
+				t.Fatal(err)
+			}
+			total += 256
+			points = points[:0]
+		}
+	}
+	if err := s.AddBatch(points, nil); err != nil {
+		t.Fatal(err)
+	}
+	total += float64(len(points))
+	est, err := s.EstimateRange(1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-total) > 1e-6 {
+		t.Fatalf("EstimateRange(1, n) = %v, want %v", est, total)
+	}
+	h, err := s.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Mass()-total) > 1e-6 {
+		t.Fatalf("summary mass %v, want %v", h.Mass(), total)
+	}
+	st := s.Stats()
+	if st.Updates != s.Updates() || st.Shards != 4 {
+		t.Fatalf("stats snapshot %+v inconsistent", st)
+	}
+}
+
+func TestMergeSummariesFacade(t *testing.T) {
+	// Four quarter summaries merge into the whole in one k-way pass.
+	n := 800
+	parts := make([]*Histogram, 4)
+	for q := 0; q < 4; q++ {
+		data := make([]float64, n)
+		for i := q * n / 4; i < (q+1)*n/4; i++ {
+			data[i] = float64(q + 1)
+		}
+		h, _, err := Fit(data, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[q] = h
+	}
+	merged, err := MergeSummaries(parts, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 4; q++ {
+		mid := q*n/4 + n/8
+		if v := merged.At(mid); math.Abs(v-float64(q+1)) > 1e-9 {
+			t.Fatalf("quarter %d value %v", q, v)
+		}
+	}
+	if _, err := MergeSummaries(nil, 2, nil); err == nil {
+		t.Fatal("empty merge should error")
+	}
+}
+
 func TestCDFFacade(t *testing.T) {
 	data := make([]float64, 100)
 	for i := range data {

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// IngestPoint is one (mode, shards, workload) throughput cell of the
+// ingestion benchmark: how fast the maintenance engine absorbs a stream of
+// point updates, in updates/sec, plus the compaction-pause tail.
+type IngestPoint struct {
+	// Mode is "serial" (the single-goroutine Maintainer, inline
+	// compactions) or "sharded" (the Sharded engine, background
+	// compactions behind a double-buffered log).
+	Mode string `json:"mode"`
+	// Shards is the shard count P (1 for serial).
+	Shards int `json:"shards"`
+	// Workload is "single" (one Add per update) or "batch" (AddBatch).
+	Workload string `json:"workload"`
+	// Batch is the updates per ingestion call (1 for single).
+	Batch int `json:"batch"`
+	// Updates is the stream length ingested per timed run (including the
+	// final Summary call).
+	Updates       int     `json:"updates"`
+	NsPerUpdate   float64 `json:"ns_per_update"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Compactions   int     `json:"compactions"`
+	// CompactP50Us/P99Us are percentiles of the compaction durations (µs):
+	// for serial mode every compaction is an inline ingest pause; for
+	// sharded mode it is background work that only stalls ingest when a
+	// full buffer gets ahead of it. Percentiles are computed over the
+	// engines' duration rings — the most recent ≤512 samples per shard —
+	// while the counts are exact totals.
+	CompactP50Us float64 `json:"compact_p50_us"`
+	CompactP99Us float64 `json:"compact_p99_us"`
+	// PauseCount / PauseP50Us / PauseP99Us describe the stalls the ingest
+	// path actually observed: the double-buffer waits for sharded mode,
+	// the inline compactions themselves for serial mode. PauseCount is the
+	// exact event total (not capped by the percentile sample window).
+	PauseCount int     `json:"pause_count"`
+	PauseP50Us float64 `json:"pause_p50_us"`
+	PauseP99Us float64 `json:"pause_p99_us"`
+}
+
+// IngestReport is the BENCH_ingest.json payload. GoMaxProcs/NumCPU make
+// single-core CI cells interpretable: with one hardware thread background
+// compaction cannot overlap ingest, so sharded cells certify overhead
+// bounds and bit-determinism rather than speedups.
+type IngestReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numcpu"`
+	GoVersion  string        `json:"goversion"`
+	Note       string        `json:"note,omitempty"`
+	Points     []IngestPoint `json:"points"`
+}
+
+// IngestConfig controls the ingestion benchmark sweep.
+type IngestConfig struct {
+	// N is the value-domain size, K the global summary size.
+	N, K int
+	// BufferCap is the per-shard compaction period.
+	BufferCap int
+	// Updates is the stream length per timed run.
+	Updates int
+	// Shards lists the Sharded shard counts to sweep (the serial Maintainer
+	// is always measured as the baseline).
+	Shards []int
+	// Batch is the AddBatch call size for the batch workload.
+	Batch int
+	// MinTrials and MinTotal control timing accuracy per cell.
+	MinTrials int
+	MinTotal  time.Duration
+}
+
+// DefaultIngestConfig is the acceptance sweep: 2M updates per run at
+// shards ∈ {1, 2, 8}, single vs 1024-update batches.
+func DefaultIngestConfig() IngestConfig {
+	return IngestConfig{
+		N:         200_000,
+		K:         32,
+		BufferCap: 4096,
+		Updates:   2_000_000,
+		Shards:    []int{1, 2, 8},
+		Batch:     1024,
+		MinTrials: 3,
+		MinTotal:  500 * time.Millisecond,
+	}
+}
+
+// QuickIngestConfig is the CI smoke grid: the same cells at a fraction of
+// the stream length, so the whole ingest path runs headlessly in seconds.
+func QuickIngestConfig() IngestConfig {
+	return IngestConfig{
+		N:         20_000,
+		K:         16,
+		BufferCap: 1024,
+		Updates:   100_000,
+		Shards:    []int{1, 2, 8},
+		Batch:     512,
+		MinTrials: 1,
+		MinTotal:  10 * time.Millisecond,
+	}
+}
+
+// ingestWorkload pre-generates the deterministic update stream: a skewed
+// hot band drifting across the domain (the shape a live counter workload
+// has), with ~10% deletions.
+type ingestWorkload struct {
+	points  []int
+	weights []float64
+}
+
+func buildIngestWorkload(n, updates int) ingestWorkload {
+	r := rng.New(uint64(n)*29 + uint64(updates))
+	w := ingestWorkload{
+		points:  make([]int, updates),
+		weights: make([]float64, updates),
+	}
+	for i := 0; i < updates; i++ {
+		center := 1 + (n-1)*i/updates
+		p := center + int(float64(n)*0.05*(r.Float64()-0.5))
+		if r.Float64() < 0.3 { // background uniform traffic
+			p = 1 + r.Intn(n)
+		}
+		if p < 1 {
+			p = 1
+		}
+		if p > n {
+			p = n
+		}
+		w.points[i] = p
+		if r.Float64() < 0.1 {
+			w.weights[i] = -1
+		} else {
+			w.weights[i] = 1
+		}
+	}
+	return w
+}
+
+// durPercentileUs returns the q-quantile of ds in microseconds (0 when no
+// samples were recorded).
+func durPercentileUs(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}
+
+// RunIngestBench sweeps the intake engines over the configured grid and
+// reports per-cell throughput and pause percentiles. Every timed run
+// ingests the full workload into a fresh engine and ends with Summary(),
+// so buffered tails and final merges are always paid inside the
+// measurement.
+func RunIngestBench(cfg IngestConfig) IngestReport {
+	rep := IngestReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	if rep.GoMaxProcs < 2 {
+		rep.Note = "single-core environment: background compaction cannot overlap ingest and " +
+			"sharded cells > serial certify overhead only; regenerate on a multi-core host for speedups"
+	}
+	wl := buildIngestWorkload(cfg.N, cfg.Updates)
+	opts := core.DefaultOptions()
+
+	type runStats struct {
+		compactions, pauseCount int
+		compactDur, pauses      []time.Duration
+	}
+	// Cells are timed best-of-N (same trial policy TimeIt uses, but keeping
+	// the minimum instead of the mean): each run ingests an identical
+	// deterministic stream, so the fastest trial is the least
+	// scheduler-perturbed measurement of the same work — the right
+	// comparator for cells that differ by a few percent.
+	record := func(mode string, shards int, workload string, batch int, run func() runStats) {
+		var rs runStats
+		trials := cfg.MinTrials
+		if trials < 1 {
+			trials = 1
+		}
+		var best time.Duration
+		var total time.Duration
+		for trial := 0; trial < trials || total < cfg.MinTotal; trial++ {
+			start := time.Now()
+			cur := run()
+			elapsed := time.Since(start)
+			total += elapsed
+			if best == 0 || elapsed < best {
+				// Keep the stats of the trial the timing describes: pause
+				// counts and tails are scheduling-dependent per run.
+				best, rs = elapsed, cur
+			}
+			if trial >= 100 {
+				break
+			}
+		}
+		nsPerUpdate := float64(best.Nanoseconds()) / float64(cfg.Updates)
+		rep.Points = append(rep.Points, IngestPoint{
+			Mode:          mode,
+			Shards:        shards,
+			Workload:      workload,
+			Batch:         batch,
+			Updates:       cfg.Updates,
+			NsPerUpdate:   nsPerUpdate,
+			UpdatesPerSec: 1e9 / nsPerUpdate,
+			Compactions:   rs.compactions,
+			CompactP50Us:  durPercentileUs(rs.compactDur, 0.50),
+			CompactP99Us:  durPercentileUs(rs.compactDur, 0.99),
+			PauseCount:    rs.pauseCount,
+			PauseP50Us:    durPercentileUs(rs.pauses, 0.50),
+			PauseP99Us:    durPercentileUs(rs.pauses, 0.99),
+		})
+	}
+
+	// Serial Maintainer baseline: every inline compaction is a pause, so
+	// the exact pause count is the compaction counter (the duration ring
+	// keeps only the most recent ≤512 samples for the percentiles).
+	record("serial", 1, "single", 1, func() runStats {
+		m, err := stream.NewMaintainer(cfg.N, cfg.K, cfg.BufferCap, opts)
+		must(err)
+		for i, p := range wl.points {
+			must(m.Add(p, wl.weights[i]))
+		}
+		_, err = m.Summary()
+		must(err)
+		d := m.CompactionDurations(nil)
+		return runStats{m.Compactions(), m.Compactions(), d, d}
+	})
+	record("serial", 1, "batch", cfg.Batch, func() runStats {
+		m, err := stream.NewMaintainer(cfg.N, cfg.K, cfg.BufferCap, opts)
+		must(err)
+		for lo := 0; lo < len(wl.points); lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > len(wl.points) {
+				hi = len(wl.points)
+			}
+			must(m.AddBatch(wl.points[lo:hi], wl.weights[lo:hi]))
+		}
+		_, err = m.Summary()
+		must(err)
+		d := m.CompactionDurations(nil)
+		return runStats{m.Compactions(), m.Compactions(), d, d}
+	})
+
+	for _, shards := range cfg.Shards {
+		shards := shards
+		record("sharded", shards, "single", 1, func() runStats {
+			s, err := stream.NewSharded(cfg.N, cfg.K, shards, cfg.BufferCap, opts)
+			must(err)
+			for i, p := range wl.points {
+				must(s.Add(p, wl.weights[i]))
+			}
+			_, err = s.Summary()
+			must(err)
+			st := s.Stats()
+			return runStats{st.Compactions, st.PauseCount, st.CompactionDurations, st.Pauses}
+		})
+		record("sharded", shards, "batch", cfg.Batch, func() runStats {
+			s, err := stream.NewSharded(cfg.N, cfg.K, shards, cfg.BufferCap, opts)
+			must(err)
+			for lo := 0; lo < len(wl.points); lo += cfg.Batch {
+				hi := lo + cfg.Batch
+				if hi > len(wl.points) {
+					hi = len(wl.points)
+				}
+				must(s.AddBatch(wl.points[lo:hi], wl.weights[lo:hi]))
+			}
+			_, err = s.Summary()
+			must(err)
+			st := s.Stats()
+			return runStats{st.Compactions, st.PauseCount, st.CompactionDurations, st.Pauses}
+		})
+	}
+	return rep
+}
+
+// WriteIngestJSON renders the report as indented JSON — the
+// BENCH_ingest.json trajectory recorded at the repository root.
+func WriteIngestJSON(w io.Writer, rep IngestReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -352,32 +352,22 @@ func ConstructHistogram(q *sparse.Func, k int, opts Options) (Result, error) {
 // interval summarizes. This is the entry point for mergeable and streaming
 // summaries (internal/stream), where the "input" is itself a previously
 // built histogram plus buffered updates. The partition and stats slices are
-// not retained or modified.
+// not retained or modified. Repeated callers (compaction loops) should hold
+// a SummaryScratch and call its Construct method instead: same loop, same
+// bit-identical output, but the scratch and output buffers are reused so
+// steady-state compaction allocates nothing.
 func ConstructHistogramFromSummary(n int, p interval.Partition, stats []sparse.Stat, k int, opts Options) (Result, error) {
-	if err := opts.validate(); err != nil {
+	var s SummaryScratch
+	sr, err := s.Construct(n, p, stats, k, opts)
+	if err != nil {
 		return Result{}, err
 	}
-	if k < 1 {
-		return Result{}, fmt.Errorf("core: k must be ≥ 1, got %d", k)
-	}
-	if err := p.Validate(n); err != nil {
-		return Result{}, fmt.Errorf("core: %w", err)
-	}
-	if len(stats) != len(p) {
-		return Result{}, fmt.Errorf("core: %d stats for %d intervals", len(stats), len(p))
-	}
-	m := &mergeState{
-		ivs:     append([]interval.Interval(nil), p...),
-		stats:   append([]sparse.Stat(nil), stats...),
-		workers: parallel.Resolve(opts.Workers),
-	}
-	m.initPasses()
-	target := opts.TargetPieces(k)
-	keep := opts.KeepBudget(k)
-	rounds := 0
-	for m.len() > target {
-		m.pairRound(keep)
-		rounds++
-	}
-	return m.finish(n, rounds), nil
+	// The scratch is function-local and never reused, so its output
+	// buffers are safe to hand out directly; NewHistogram copies anyway.
+	return Result{
+		Partition: sr.Partition,
+		Histogram: NewHistogram(n, sr.Partition, sr.Values),
+		Error:     sr.Error,
+		Rounds:    sr.Rounds,
+	}, nil
 }

@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// mergeFanout is the width of MergeAll's aggregation tree: up to this many
+// summaries are combined by one flat refinement sweep + one recompaction.
+// Beyond it, summaries are grouped (fixed boundaries, so the result is
+// independent of scheduling) and the groups' outputs merged recursively —
+// the parallel aggregation tree of the mergeable-summaries setting. 8 keeps
+// each sweep's refinement at most ~8·(2k+γ) intervals, comfortably one
+// merging run, while a tree over 1024 shards is only 4 levels deep.
+const mergeFanout = 8
+
+// Merge combines two histogram summaries of *disjoint* data sets over the
+// same domain into one O(k)-piece summary. The pointwise sum h1 + h2 is
+// formed exactly on the common refinement of the two partitions and then
+// recompacted with one merging run. It is MergeAll for the two-summary
+// case (bit-identical output).
+func Merge(h1, h2 *core.Histogram, k int, opts core.Options) (*core.Histogram, error) {
+	if h1.N() != h2.N() {
+		return nil, fmt.Errorf("stream: merging summaries over [1,%d] and [1,%d]", h1.N(), h2.N())
+	}
+	return flatMerge([]*core.Histogram{h1, h2}, h1.N(), k, opts)
+}
+
+// MergeAll combines any number of histogram summaries of disjoint data sets
+// over the same domain into one O(k)-piece summary.
+//
+// Up to mergeFanout summaries are merged by a single pass: one sweep over
+// the m-way common refinement of all partitions (each output interval's
+// value is the sum of the m covering pieces, accumulated in input order, so
+// the result is deterministic) followed by one recompaction — replacing the
+// pairwise chain Merge(Merge(h1, h2), h3)… whose repeated 2-way refinements
+// and intermediate recompactions cost O(m²) refinement work and compound
+// m−1 approximation steps. Larger inputs recurse through an aggregation
+// tree with fixed group boundaries, the groups merged on opts.Workers
+// goroutines (0 = all cores); the output is bit-identical for every worker
+// count because grouping and accumulation order never depend on scheduling.
+func MergeAll(hs []*core.Histogram, k int, opts core.Options) (*core.Histogram, error) {
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("stream: MergeAll needs at least one summary")
+	}
+	n := hs[0].N()
+	for _, h := range hs[1:] {
+		if h.N() != n {
+			return nil, fmt.Errorf("stream: merging summaries over [1,%d] and [1,%d]", n, h.N())
+		}
+	}
+	for len(hs) > mergeFanout {
+		// One tree level: fixed equal groups of ≤ mergeFanout summaries,
+		// merged independently (and concurrently when workers allow).
+		groups := (len(hs) + mergeFanout - 1) / mergeFanout
+		next := make([]*core.Histogram, groups)
+		errs := make([]error, groups)
+		w := parallel.Resolve(opts.Workers)
+		src := hs
+		parallel.ForChunks(w, len(src), groups, func(ci, lo, hi int) {
+			next[ci], errs[ci] = flatMerge(src[lo:hi], n, k, opts)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		hs = next
+	}
+	return flatMerge(hs, n, k, opts)
+}
+
+// flatMerge is the single-pass m-way combiner: sweep the common refinement
+// of all m partitions left to right (the next boundary is the minimum of
+// the m cursors' piece ends), summing values in input order, then recompact
+// the refinement with one merging run. O(R·m) for R refinement intervals;
+// callers keep m ≤ mergeFanout so R ≤ m·maxPieces stays one compaction's
+// worth of input.
+func flatMerge(hs []*core.Histogram, n, k int, opts core.Options) (*core.Histogram, error) {
+	m := len(hs)
+	pieces := make([][]core.Piece, m)
+	idx := make([]int, m)
+	total := 0
+	for i, h := range hs {
+		pieces[i] = h.Pieces()
+		total += h.NumPieces()
+	}
+	part := make(interval.Partition, 0, total)
+	stats := make([]sparse.Stat, 0, total)
+	lo := 1
+	for lo <= n {
+		hi := n
+		v := 0.0
+		for i := 0; i < m; i++ {
+			pc := &pieces[i][idx[i]]
+			if pc.Hi < hi {
+				hi = pc.Hi
+			}
+			v += pc.Value
+		}
+		length := float64(hi - lo + 1)
+		part = append(part, interval.New(lo, hi))
+		stats = append(stats, sparse.Stat{Len: hi - lo + 1, Sum: v * length, SumSq: v * v * length})
+		for i := 0; i < m; i++ {
+			if pieces[i][idx[i]].Hi == hi {
+				idx[i]++
+			}
+		}
+		lo = hi + 1
+	}
+	res, err := core.ConstructHistogramFromSummary(n, part, stats, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Histogram, nil
+}

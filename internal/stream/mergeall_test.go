@@ -1,0 +1,299 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// mergeFixture builds m per-shard dense vectors plus their sum, exercising
+// the adversarial shapes the k-way merge must survive: empty shards,
+// single-point shards, negative/deletion weights, and ordinary noisy steps.
+func mergeFixture(t *testing.T, r *rng.RNG, n, m int) (shards [][]float64, sum []float64) {
+	t.Helper()
+	sum = make([]float64, n)
+	shards = make([][]float64, m)
+	for s := range shards {
+		q := make([]float64, n)
+		switch s % 4 {
+		case 0: // empty shard: the zero summary
+		case 1: // single-point shard
+			q[r.Intn(n)] = 5 + r.Float64()
+		case 2: // deletions: net-negative mass on a band
+			lo := r.Intn(n / 2)
+			for i := lo; i < lo+n/4; i++ {
+				q[i] = -1 - r.Float64()
+			}
+		default: // noisy steps
+			levels := []float64{2, 7, 1, 9}
+			for i := range q {
+				q[i] = levels[i*len(levels)/n] + 0.3*r.NormFloat64()
+			}
+		}
+		shards[s] = q
+		for i, v := range q {
+			sum[i] += v
+		}
+	}
+	return shards, sum
+}
+
+// summarize fits each shard vector to a k-piece summary.
+func summarize(t *testing.T, shards [][]float64, k int, opts core.Options) []*core.Histogram {
+	t.Helper()
+	hs := make([]*core.Histogram, len(shards))
+	for i, q := range shards {
+		res, err := core.ConstructHistogram(sparse.FromDense(q), k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs[i] = res.Histogram
+	}
+	return hs
+}
+
+// pairwiseChain is the legacy oracle: fold the summaries through 2-way
+// Merge calls left to right.
+func pairwiseChain(t *testing.T, hs []*core.Histogram, k int, opts core.Options) *core.Histogram {
+	t.Helper()
+	acc := hs[0]
+	var err error
+	for _, h := range hs[1:] {
+		acc, err = Merge(acc, h, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc
+}
+
+func TestMergeAllTwoWayBitIdenticalToMerge(t *testing.T) {
+	// For two summaries the flat sweep IS Merge: outputs must match bit for
+	// bit (same refinement, same value order, same recompaction).
+	r := rng.New(601)
+	for trial := 0; trial < 10; trial++ {
+		shards, _ := mergeFixture(t, r, 600, 2)
+		hs := summarize(t, shards, 5, core.DefaultOptions())
+		want, err := Merge(hs[0], hs[1], 5, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MergeAll(hs, 5, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumPieces() != want.NumPieces() {
+			t.Fatalf("trial %d: %d pieces vs %d", trial, got.NumPieces(), want.NumPieces())
+		}
+		gp, wp := got.Pieces(), want.Pieces()
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("trial %d: piece %d = %+v, want %+v", trial, i, gp[i], wp[i])
+			}
+		}
+	}
+}
+
+func TestMergeAllAgainstPairwiseOracleAndGuarantee(t *testing.T) {
+	// Property test across shard counts spanning the flat sweep and the
+	// aggregation tree, on adversarial fixtures (empty shards, single-point
+	// shards, negative weights):
+	//  - mass is preserved exactly (merging is exact on the refinement),
+	//  - within one flat sweep (m ≤ fanout) the result satisfies the
+	//    merging guarantee ‖out − sum‖₂ ≤ √(1+δ)·opt_k(sum) against the
+	//    exact summed input,
+	//  - the tree result stays within a small factor of the pairwise-chain
+	//    oracle (it compounds ⌈log m⌉ recompactions, the chain m−1).
+	r := rng.New(607)
+	n, k := 240, 4
+	opts := core.DefaultOptions() // δ = 1 → guarantee factor √2
+	for _, m := range []int{1, 3, 5, 8, 17, 40} {
+		shards, sumShards := mergeFixture(t, r, n, m)
+		hs := summarize(t, shards, k, opts)
+
+		// The merged target: the sum of the *summaries* (what MergeAll
+		// actually combines — each summary already differs from its shard
+		// vector by its own fit error).
+		sumSummaries := make([]float64, n)
+		for _, h := range hs {
+			for i := 1; i <= n; i++ {
+				sumSummaries[i-1] += h.At(i)
+			}
+		}
+		_ = sumShards
+
+		all, err := MergeAll(hs, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain := pairwiseChain(t, hs, k, opts)
+
+		var wantMass float64
+		for _, h := range hs {
+			wantMass += h.Mass()
+		}
+		if !numeric.AlmostEqual(all.Mass(), wantMass, 1e-9) {
+			t.Fatalf("m=%d: MergeAll mass %v, want %v", m, all.Mass(), wantMass)
+		}
+
+		errAll := all.L2DistToDense(sumSummaries)
+		errChain := chain.L2DistToDense(sumSummaries)
+		if m <= 8 {
+			// Single recompaction: the paper's guarantee applies verbatim.
+			_, opt, err := baseline.ExactDP(sumSummaries, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errAll > math.Sqrt2*opt+1e-9 {
+				t.Fatalf("m=%d: MergeAll error %v breaks the √2·opt_k=%v merging guarantee", m, errAll, opt)
+			}
+		}
+		if errAll > 3*errChain+1e-9 {
+			t.Fatalf("m=%d: MergeAll error %v far above pairwise-chain oracle %v", m, errAll, errChain)
+		}
+	}
+}
+
+func TestMergeAllBitIdenticalAcrossWorkers(t *testing.T) {
+	// The aggregation tree's grouping is a pure function of the input
+	// count, so the result must be bit-identical for every worker count.
+	r := rng.New(613)
+	shards, _ := mergeFixture(t, r, 500, 40)
+	var ref *core.Histogram
+	for _, w := range []int{1, 2, 8} {
+		opts := core.DefaultOptions()
+		opts.Workers = w
+		hs := summarize(t, shards, 6, opts)
+		got, err := MergeAll(hs, 6, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if got.NumPieces() != ref.NumPieces() {
+			t.Fatalf("workers=%d: %d pieces vs %d", w, got.NumPieces(), ref.NumPieces())
+		}
+		gp, rp := got.Pieces(), ref.Pieces()
+		for i := range gp {
+			if gp[i] != rp[i] {
+				t.Fatalf("workers=%d: piece %d = %+v, want %+v", w, i, gp[i], rp[i])
+			}
+		}
+	}
+}
+
+func TestMergeAllAgainstSerialMaintainerOnConcatenatedStream(t *testing.T) {
+	// Feed m disjoint update streams to m Maintainers and MergeAll their
+	// summaries; feed the concatenation to one serial Maintainer. Both are
+	// approximations of the same final vector and both must satisfy the
+	// same drift bound against it — the sharded path gives up nothing
+	// beyond the serial maintenance guarantee.
+	r := rng.New(617)
+	n, k, m := 1500, 6, 5
+	truth := make([]float64, n)
+	type upd struct {
+		p int
+		w float64
+	}
+	streams := make([][]upd, m)
+	for s := range streams {
+		if s == 2 {
+			continue // an empty shard stream
+		}
+		count := 3000 + r.Intn(2000)
+		for u := 0; u < count; u++ {
+			p := 1 + r.Intn(n)
+			w := r.Float64() * 2
+			if r.Float64() < 0.15 {
+				w = -w // deletions
+			}
+			streams[s] = append(streams[s], upd{p, w})
+			truth[p-1] += w
+		}
+	}
+
+	perShard := make([]*core.Histogram, 0, m)
+	serial, err := NewMaintainer(n, k, 128, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range streams {
+		sm, err := NewMaintainer(n, k, 128, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range st {
+			if err := sm.Add(u.p, u.w); err != nil {
+				t.Fatal(err)
+			}
+			if err := serial.Add(u.p, u.w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h, err := sm.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		perShard = append(perShard, h)
+	}
+	merged, err := MergeAll(perShard, k, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialH, err := serial.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !numeric.AlmostEqual(merged.Mass(), serialH.Mass(), 1e-6) {
+		t.Fatalf("merged mass %v vs serial %v", merged.Mass(), serialH.Mass())
+	}
+	direct, err := core.ConstructHistogram(sparse.FromDense(truth), k, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedErr := merged.L2DistToDense(truth)
+	serialErr := serialH.L2DistToDense(truth)
+	bound := 3*direct.Error + 1e-9
+	if serialErr > bound {
+		t.Fatalf("serial maintainer error %v vs direct %v — baseline drift bound broken", serialErr, direct.Error)
+	}
+	if mergedErr > bound {
+		t.Fatalf("MergeAll error %v vs direct %v — sharded drift bound broken (serial: %v)",
+			mergedErr, direct.Error, serialErr)
+	}
+}
+
+func TestMergeAllValidation(t *testing.T) {
+	if _, err := MergeAll(nil, 2, core.DefaultOptions()); err == nil {
+		t.Fatal("empty input should error")
+	}
+	a, err := core.ConstructHistogram(sparse.FromDense([]float64{1, 2}), 1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.ConstructHistogram(sparse.FromDense([]float64{1, 2, 3}), 1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeAll([]*core.Histogram{a.Histogram, b.Histogram}, 1, core.DefaultOptions()); err == nil {
+		t.Fatal("domain mismatch should error")
+	}
+	// A single summary round-trips through the sweep + no-op recompaction.
+	one, err := MergeAll([]*core.Histogram{b.Histogram}, 1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if !numeric.AlmostEqual(one.At(i), b.Histogram.At(i), 1e-12) {
+			t.Fatalf("single-summary MergeAll changed value at %d", i)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 // Gilbert et al. [GGI+02] that the paper's introduction cites as a driving
 // application.
 //
-// Two primitives:
+// Three primitives:
 //
 //   - Maintainer ingests a stream of point updates (i, w) over [1, n],
 //     buffering them and periodically recompacting (previous summary +
@@ -12,34 +12,131 @@
 //     cost is O(1); the summary is always within the merging guarantee of
 //     the *summarized* stream, with bounded drift against the true stream
 //     (each compaction flattens inside pieces whose SSE the merging step
-//     already certified small).
+//     already certified small). Single-goroutine; Sharded is the
+//     multi-core front end.
 //
-//   - Merge combines the summaries of two disjoint data partitions into one:
-//     the sum of two histograms is a histogram on the common refinement of
-//     their partitions (exactly — no approximation), which is then
-//     recompacted to O(k) pieces. This is the "mergeable summaries" shape
-//     used by parallel aggregation trees.
+//   - Merge / MergeAll combine the summaries of disjoint data partitions
+//     into one: the sum of histograms is a histogram on the common
+//     refinement of their partitions (exactly — no approximation), which is
+//     then recompacted to O(k) pieces. MergeAll sweeps the m-way refinement
+//     in a single pass and recurses through a deterministic aggregation
+//     tree for large m. This is the "mergeable summaries" shape used by
+//     parallel aggregation trees.
+//
+//   - Sharded scales intake across cores: updates hash to per-core shards,
+//     each an independently compacting Maintainer whose merging runs happen
+//     on a background goroutine behind a double-buffered update log, so the
+//     ingest path never blocks on a merging run while compaction keeps up.
 package stream
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/sparse"
 )
 
+// summaryView is the compacted summary in the flat form the maintenance hot
+// path works with: the partition, the per-piece values, and the prefix
+// masses that make range sums O(log pieces). The backing arrays belong to
+// the maintainer's compaction scratch (double-buffered), so a view stays
+// readable while the *next* compaction builds its successor — the property
+// Sharded's lock-scoped readers rely on.
+type summaryView struct {
+	part   interval.Partition
+	values []float64
+	// prefix[i] is the total mass of pieces 0..i-1; len(prefix) = pieces+1.
+	prefix []float64
+	// err is the ℓ2 error the last merging run certified against its
+	// summarized input.
+	err float64
+}
+
+func (v *summaryView) empty() bool { return len(v.part) == 0 }
+
+// find returns the index of the piece containing x.
+func (v *summaryView) find(x int) int {
+	return sort.Search(len(v.part), func(i int) bool { return v.part[i].Hi >= x })
+}
+
+// rangeSum returns the summary's mass over [a, b] in O(log pieces) with no
+// allocation: two piece locations plus a prefix-mass difference.
+func (v *summaryView) rangeSum(a, b int) float64 {
+	i := v.find(a)
+	j := v.find(b)
+	if i == j {
+		return float64(b-a+1) * v.values[i]
+	}
+	total := float64(v.part[i].Hi-a+1)*v.values[i] + float64(b-v.part[j].Lo+1)*v.values[j]
+	return total + v.prefix[j] - v.prefix[i+1]
+}
+
+// ringCap bounds the duration rings below: enough samples for stable tail
+// percentiles without unbounded growth on long-lived streams.
+const ringCap = 512
+
+// durRing records the most recent ringCap durations of a recurring event
+// (compactions, ingest stalls) plus the total event count.
+type durRing struct {
+	buf [ringCap]int64
+	n   int
+}
+
+func (r *durRing) add(d time.Duration) {
+	r.buf[r.n%ringCap] = int64(d)
+	r.n++
+}
+
+// count returns the total number of events recorded, which may exceed the
+// ringCap samples snapshot retains.
+func (r *durRing) count() int { return r.n }
+
+// snapshot appends the recorded durations (up to ringCap, unordered) to dst.
+func (r *durRing) snapshot(dst []time.Duration) []time.Duration {
+	m := r.n
+	if m > ringCap {
+		m = ringCap
+	}
+	for i := 0; i < m; i++ {
+		dst = append(dst, time.Duration(r.buf[i]))
+	}
+	return dst
+}
+
 // Maintainer ingests point updates and maintains an O(k)-piece histogram
-// summary of the accumulated frequency vector.
+// summary of the accumulated frequency vector. It is single-goroutine; use
+// Sharded for concurrent multi-core intake.
 type Maintainer struct {
 	n    int
 	k    int
 	opts core.Options
 
-	// Current compacted summary (nil before the first compaction: the
-	// buffer alone holds all mass).
-	summary *core.Histogram
+	// view is the current compacted summary (empty before the first
+	// compaction: the buffer alone holds all mass). Its backing arrays live
+	// in compactor's double-buffered output plus prefixBufs below.
+	view summaryView
+	// staged is the successor view built by stageLog and published by
+	// installStaged — split so Sharded can run the heavy build off-lock and
+	// the cheap install under its shard lock.
+	staged   summaryView
+	stagedOK bool
+	// compactor owns the merging-run scratch; reusing it across compactions
+	// is what makes the steady-state compaction path allocation-free.
+	compactor core.SummaryScratch
+	// prefixBufs double-buffers the prefix masses the same way the
+	// compactor double-buffers partitions: stageLog writes the buffer the
+	// live view is not reading.
+	prefixBufs [2][]float64
+	curPrefix  int
+	// hist memoizes the materialized Summary() histogram until the next
+	// compaction invalidates it.
+	hist *core.Histogram
+
 	// Buffered updates since the last compaction: a flat append-only log,
 	// deduplicated (same point, summed weights) at compaction time. Compared
 	// to the map it replaced, Add is one slice append — no hashing, no
@@ -49,6 +146,11 @@ type Maintainer struct {
 	// scratch holds the deduplicated buffer between compactions so the
 	// dedup pass allocates nothing at steady state.
 	scratch []sparse.Entry
+	// partScratch/statsScratch hold the refinement partition combined()
+	// emits, reused across compactions (previously rebuilt from nil every
+	// call — the last allocation on the compaction path).
+	partScratch  interval.Partition
+	statsScratch []sparse.Stat
 	// bufferCap triggers compaction once len(buffer) reaches it. With the
 	// append-only log this counts buffered *updates*, not distinct points,
 	// so compaction cadence is independent of how concentrated the stream
@@ -57,6 +159,21 @@ type Maintainer struct {
 
 	updates     int
 	compactions int
+	compactDur  durRing
+}
+
+// resolveBufferCap applies the shared default: 0 or negative picks a buffer
+// proportional to the summary size (8× the merging target, at least 64),
+// which keeps the amortized per-update cost constant.
+func resolveBufferCap(bufferCap, k int, opts core.Options) int {
+	if bufferCap > 0 {
+		return bufferCap
+	}
+	bufferCap = 8 * opts.TargetPieces(k)
+	if bufferCap < 64 {
+		return 64
+	}
+	return bufferCap
 }
 
 // NewMaintainer builds a maintainer for the domain [1, n] targeting k-piece
@@ -64,22 +181,27 @@ type Maintainer struct {
 // proportional to the summary size (8× the merging target), which keeps the
 // amortized per-update cost constant.
 func NewMaintainer(n, k, bufferCap int, opts core.Options) (*Maintainer, error) {
+	m, err := newMaintainer(n, k, bufferCap, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.buffer = make([]sparse.Entry, 0, m.bufferCap)
+	return m, nil
+}
+
+// newMaintainer is NewMaintainer without the update-log allocation — the
+// summarizing core shared with Sharded, whose shards bring their own
+// double-buffered logs.
+func newMaintainer(n, k, bufferCap int, opts core.Options) (*Maintainer, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("stream: domain size %d < 1", n)
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("stream: k must be ≥ 1, got %d", k)
 	}
-	if bufferCap <= 0 {
-		bufferCap = 8 * opts.TargetPieces(k)
-		if bufferCap < 64 {
-			bufferCap = 64
-		}
-	}
 	return &Maintainer{
 		n: n, k: k, opts: opts,
-		buffer:    make([]sparse.Entry, 0, bufferCap),
-		bufferCap: bufferCap,
+		bufferCap: resolveBufferCap(bufferCap, k, opts),
 	}, nil
 }
 
@@ -98,11 +220,49 @@ func (m *Maintainer) Add(i int, w float64) error {
 	return nil
 }
 
+// AddBatch records points[i] += weights[i] for every i; a nil weights slice
+// means unit weight for every point. The batch is validated up front (no
+// partial ingestion on a bad point) and then appended with compactions
+// triggered at the usual cadence, amortizing the per-call overhead of Add
+// across the whole batch.
+func (m *Maintainer) AddBatch(points []int, weights []float64) error {
+	if weights != nil && len(weights) != len(points) {
+		return fmt.Errorf("stream: %d weights for %d points", len(weights), len(points))
+	}
+	for _, p := range points {
+		if p < 1 || p > m.n {
+			return fmt.Errorf("stream: point %d out of [1, %d]", p, m.n)
+		}
+	}
+	w := 1.0
+	for i, p := range points {
+		if weights != nil {
+			w = weights[i]
+		}
+		m.buffer = append(m.buffer, sparse.Entry{Index: p, Value: w})
+		if len(m.buffer) >= m.bufferCap {
+			if err := m.Compact(); err != nil {
+				return err
+			}
+		}
+	}
+	m.updates += len(points)
+	return nil
+}
+
 // Updates returns the number of updates ingested.
 func (m *Maintainer) Updates() int { return m.updates }
 
 // Compactions returns how many times the summary has been recompacted.
 func (m *Maintainer) Compactions() int { return m.compactions }
+
+// CompactionDurations appends the durations of the most recent compactions
+// (up to 512) to dst and returns it — the raw material of the ingestion
+// benchmark's pause percentiles: for the inline-compacting Maintainer every
+// compaction is an ingest pause.
+func (m *Maintainer) CompactionDurations(dst []time.Duration) []time.Duration {
+	return m.compactDur.snapshot(dst)
+}
 
 // Compact folds the buffer into the summary now. It is called automatically
 // when the buffer fills; callers only need it before reading an up-to-date
@@ -111,14 +271,72 @@ func (m *Maintainer) Compact() error {
 	if len(m.buffer) == 0 {
 		return nil
 	}
-	part, stats := m.combined()
-	res, err := core.ConstructHistogramFromSummary(m.n, part, stats, m.k, m.opts)
+	start := time.Now()
+	if err := m.stageLog(m.buffer); err != nil {
+		return err
+	}
+	m.installStaged()
+	m.compactDur.add(time.Since(start))
+	m.buffer = m.buffer[:0]
+	return nil
+}
+
+// stageLog runs the heavy half of a compaction: dedup the update log, build
+// the refinement of (current summary ∪ log singletons), run the merging
+// loop, and compute the successor view's prefix masses — all into scratch
+// the live view does not reference. It does not publish: installStaged
+// flips the maintainer to the staged view. The split lets Sharded run
+// stageLog on a background goroutine while readers keep serving the old
+// view, with only the cheap install inside the shard lock. The log is read,
+// never retained or modified.
+func (m *Maintainer) stageLog(log []sparse.Entry) error {
+	part, stats := m.combined(log)
+	res, err := m.compactor.Construct(m.n, part, stats, m.k, m.opts)
 	if err != nil {
 		return err
 	}
-	m.summary = res.Histogram
-	m.buffer = m.buffer[:0]
+	pre := m.prefixBufs[1-m.curPrefix]
+	if cap(pre) < len(res.Partition)+1 {
+		pre = make([]float64, 0, len(res.Partition)+1)
+	}
+	pre = pre[:0]
+	pre = append(pre, 0)
+	for i, iv := range res.Partition {
+		pre = append(pre, pre[i]+float64(iv.Len())*res.Values[i])
+	}
+	m.prefixBufs[1-m.curPrefix] = pre
+	m.staged = summaryView{part: res.Partition, values: res.Values, prefix: pre, err: res.Error}
+	m.stagedOK = true
+	return nil
+}
+
+// installStaged publishes the view stageLog built. O(1): a few word writes,
+// cheap enough to run under a shard lock.
+func (m *Maintainer) installStaged() {
+	if !m.stagedOK {
+		return
+	}
+	m.curPrefix = 1 - m.curPrefix
+	m.view = m.staged
+	m.staged = summaryView{}
+	m.stagedOK = false
+	m.hist = nil
 	m.compactions++
+}
+
+// compactLog folds an external update log into the summary synchronously:
+// stage + install. Sharded's drain path uses it for the final sub-capacity
+// buffer.
+func (m *Maintainer) compactLog(log []sparse.Entry) error {
+	if len(log) == 0 {
+		return nil
+	}
+	start := time.Now()
+	if err := m.stageLog(log); err != nil {
+		return err
+	}
+	m.installStaged()
+	m.compactDur.add(time.Since(start))
 	return nil
 }
 
@@ -126,11 +344,13 @@ func (m *Maintainer) Compact() error {
 // duplicate points summed (in log order, so the float result is
 // deterministic). Points whose deltas cancel to zero are kept — like the map
 // buffer before it, a touched point stays a refinement singleton. The result
-// lives in m.scratch and is valid until the next call.
-func (m *Maintainer) dedupedBuffer() []sparse.Entry {
+// lives in m.scratch and is valid until the next call. The sort is
+// slices.SortStableFunc on a concrete comparator: no reflection, no
+// per-call closure allocations (the comparator captures nothing).
+func (m *Maintainer) dedupedBuffer(log []sparse.Entry) []sparse.Entry {
 	dst := m.scratch[:0]
-	dst = append(dst, m.buffer...)
-	sort.SliceStable(dst, func(i, j int) bool { return dst[i].Index < dst[j].Index })
+	dst = append(dst, log...)
+	slices.SortStableFunc(dst, func(a, b sparse.Entry) int { return cmp.Compare(a.Index, b.Index) })
 	out := dst[:0]
 	for _, e := range dst {
 		if len(out) > 0 && out[len(out)-1].Index == e.Index {
@@ -143,124 +363,111 @@ func (m *Maintainer) dedupedBuffer() []sparse.Entry {
 	return out
 }
 
+// combineEmit accumulates the refinement partition and statistics combined()
+// produces. A plain struct with methods (rather than closures over locals)
+// keeps the emit path free of captured-variable heap traffic.
+type combineEmit struct {
+	part  interval.Partition
+	stats []sparse.Stat
+}
+
+// piece emits a flat run [lo, hi] at summary value v.
+func (c *combineEmit) piece(lo, hi int, v float64) {
+	if lo > hi {
+		return
+	}
+	c.part = append(c.part, interval.New(lo, hi))
+	length := float64(hi - lo + 1)
+	c.stats = append(c.stats, sparse.Stat{Len: hi - lo + 1, Sum: v * length, SumSq: v * v * length})
+}
+
+// singleton emits the touched point p with value v+delta.
+func (c *combineEmit) singleton(p int, v, delta float64) {
+	c.part = append(c.part, interval.New(p, p))
+	s := v + delta
+	c.stats = append(c.stats, sparse.Stat{Len: 1, Sum: s, SumSq: s * s})
+}
+
 // combined builds the refinement partition of (summary pieces ∪ buffered
 // singletons) with the statistics of "summary as piecewise-constant truth
-// plus buffered deltas".
-func (m *Maintainer) combined() (interval.Partition, []sparse.Stat) {
-	points := m.dedupedBuffer()
+// plus buffered deltas". The returned slices are maintainer-owned scratch,
+// valid until the next call.
+func (m *Maintainer) combined(log []sparse.Entry) (interval.Partition, []sparse.Stat) {
+	points := m.dedupedBuffer(log)
 
-	var pieces []core.Piece
-	if m.summary != nil {
-		pieces = m.summary.Pieces()
-	} else {
-		pieces = []core.Piece{{Interval: interval.New(1, m.n), Value: 0}}
-	}
-
-	var part interval.Partition
-	var stats []sparse.Stat
+	c := combineEmit{part: m.partScratch[:0], stats: m.statsScratch[:0]}
 	pi := 0
-	emit := func(lo, hi int, v float64, delta float64, hasDelta bool) {
-		if lo > hi {
-			return
-		}
-		part = append(part, interval.New(lo, hi))
-		length := hi - lo + 1
-		st := sparse.Stat{Len: length, Sum: v * float64(length), SumSq: v * v * float64(length)}
-		if hasDelta {
-			// Singleton with value v+delta.
-			st.Sum = v + delta
-			st.SumSq = (v + delta) * (v + delta)
-		}
-		stats = append(stats, st)
-	}
-	for _, pc := range pieces {
-		lo := pc.Lo
-		for pi < len(points) && points[pi].Index <= pc.Hi {
+	refine := func(lo, hi int, v float64) {
+		for pi < len(points) && points[pi].Index <= hi {
 			p := points[pi].Index
-			emit(lo, p-1, pc.Value, 0, false)
-			emit(p, p, pc.Value, points[pi].Value, true)
+			c.piece(lo, p-1, v)
+			c.singleton(p, v, points[pi].Value)
 			lo = p + 1
 			pi++
 		}
-		emit(lo, pc.Hi, pc.Value, 0, false)
+		c.piece(lo, hi, v)
 	}
-	return part, stats
+	if m.view.empty() {
+		// No compaction yet: one zero piece spans the domain.
+		refine(1, m.n, 0)
+	} else {
+		for idx, iv := range m.view.part {
+			refine(iv.Lo, iv.Hi, m.view.values[idx])
+		}
+	}
+	m.partScratch, m.statsScratch = c.part, c.stats
+	return c.part, c.stats
 }
 
 // EstimateRange returns the maintained vector's sum over [a, b] — summary
 // mass plus pending buffered deltas — without forcing a compaction, so the
 // serving path never pays a merging run. Cost is O(log pieces) for the
-// summary (via the histogram query index) plus O(len(buffer)) for the
-// pending deltas; the buffer is bounded by bufferCap, so the added term is
-// a constant chosen at construction time.
+// summary (two binary searches plus a prefix-mass difference) plus a linear
+// scan of the pending update log: O(p) for p buffered updates, which is
+// O(bufferCap) in the worst case (a compaction is imminent) and short-
+// circuits to the summary lookup alone when the buffer is empty — len(buffer)
+// is the running pending-update count, so the empty check is free.
 func (m *Maintainer) EstimateRange(a, b int) (float64, error) {
 	if a < 1 || b > m.n || a > b {
 		return 0, fmt.Errorf("stream: range [%d, %d] invalid for domain [1, %d]", a, b, m.n)
 	}
 	var total float64
-	if m.summary != nil {
-		total = m.summary.RangeSum(a, b)
+	if !m.view.empty() {
+		total = m.view.rangeSum(a, b)
 	}
-	for _, e := range m.buffer {
-		if a <= e.Index && e.Index <= b {
-			total += e.Value
+	if len(m.buffer) > 0 {
+		for _, e := range m.buffer {
+			if a <= e.Index && e.Index <= b {
+				total += e.Value
+			}
 		}
 	}
 	return total, nil
 }
 
+// materialize returns the compacted summary as an immutable Histogram,
+// memoized until the next compaction. Pending buffered updates are NOT
+// included; callers compact first (Summary does).
+func (m *Maintainer) materialize() *core.Histogram {
+	if m.hist == nil {
+		if m.view.empty() {
+			m.hist = core.NewHistogram(m.n,
+				interval.Partition{interval.New(1, m.n)}, []float64{0})
+		} else {
+			// NewHistogram copies, so the returned histogram survives any
+			// number of later compactions recycling the view's arrays.
+			m.hist = core.NewHistogram(m.n, m.view.part, m.view.values)
+		}
+	}
+	return m.hist
+}
+
 // Summary returns the current O(k)-piece summary, compacting pending
-// buffered updates first.
+// buffered updates first. The returned histogram is immutable and remains
+// valid (and correct for the stream seen so far) after further updates.
 func (m *Maintainer) Summary() (*core.Histogram, error) {
 	if err := m.Compact(); err != nil {
 		return nil, err
 	}
-	if m.summary == nil {
-		// No updates yet: the zero histogram.
-		return core.NewHistogram(m.n,
-			interval.Partition{interval.New(1, m.n)}, []float64{0}), nil
-	}
-	return m.summary, nil
-}
-
-// Merge combines two histogram summaries of *disjoint* data sets over the
-// same domain into one O(k)-piece summary. The pointwise sum h1 + h2 is
-// formed exactly on the common refinement of the two partitions and then
-// recompacted with one merging run.
-func Merge(h1, h2 *core.Histogram, k int, opts core.Options) (*core.Histogram, error) {
-	if h1.N() != h2.N() {
-		return nil, fmt.Errorf("stream: merging summaries over [1,%d] and [1,%d]", h1.N(), h2.N())
-	}
-	n := h1.N()
-	p1, p2 := h1.Pieces(), h2.Pieces()
-	var part interval.Partition
-	var stats []sparse.Stat
-	i, j := 0, 0
-	lo := 1
-	for lo <= n {
-		hi := p1[i].Hi
-		if p2[j].Hi < hi {
-			hi = p2[j].Hi
-		}
-		v := p1[i].Value + p2[j].Value
-		length := hi - lo + 1
-		part = append(part, interval.New(lo, hi))
-		stats = append(stats, sparse.Stat{
-			Len:   length,
-			Sum:   v * float64(length),
-			SumSq: v * v * float64(length),
-		})
-		if p1[i].Hi == hi {
-			i++
-		}
-		if p2[j].Hi == hi {
-			j++
-		}
-		lo = hi + 1
-	}
-	res, err := core.ConstructHistogramFromSummary(n, part, stats, k, opts)
-	if err != nil {
-		return nil, err
-	}
-	return res.Histogram, nil
+	return m.materialize(), nil
 }

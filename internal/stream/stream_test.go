@@ -394,6 +394,118 @@ func TestMaintainerDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+func TestMaintainerAddBatchMatchesAdd(t *testing.T) {
+	// Batch and single-update ingestion share the buffer and compaction
+	// cadence exactly, so for the same update sequence the summaries are
+	// bit-identical.
+	build := func(batch bool) *core.Histogram {
+		r := rng.New(397)
+		m, err := NewMaintainer(700, 5, 96, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		points := make([]int, 5000)
+		weights := make([]float64, 5000)
+		for i := range points {
+			points[i], weights[i] = 1+r.Intn(700), r.NormFloat64()
+		}
+		if batch {
+			for lo := 0; lo < len(points); lo += 777 { // batches straddle compactions
+				hi := lo + 777
+				if hi > len(points) {
+					hi = len(points)
+				}
+				if err := m.AddBatch(points[lo:hi], weights[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			for i := range points {
+				if err := m.Add(points[i], weights[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		h, err := m.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	hb, ha := build(true), build(false)
+	if hb.NumPieces() != ha.NumPieces() {
+		t.Fatalf("batch %d pieces vs single %d", hb.NumPieces(), ha.NumPieces())
+	}
+	pb, pa := hb.Pieces(), ha.Pieces()
+	for i := range pb {
+		if pb[i] != pa[i] {
+			t.Fatalf("piece %d differs: batch %+v vs single %+v", i, pb[i], pa[i])
+		}
+	}
+}
+
+func TestMaintainerAddBatchUnitWeightsAndValidation(t *testing.T) {
+	m, err := NewMaintainer(100, 2, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddBatch([]int{3, 3, 7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.EstimateRange(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("unit-weight batch mass = %v, want 3", got)
+	}
+	if err := m.AddBatch([]int{5, 101}, nil); err == nil {
+		t.Fatal("out-of-range point should error")
+	}
+	if got, _ := m.EstimateRange(1, 100); got != 3 {
+		t.Fatalf("failed batch must not partially ingest: mass %v", got)
+	}
+	if err := m.AddBatch([]int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("weights length mismatch should error")
+	}
+}
+
+func TestMaintainerCompactionSteadyStateAllocs(t *testing.T) {
+	// The whole compaction cycle — fill the buffer, dedup, build the
+	// refinement, run the merging loop, publish the new summary — allocates
+	// nothing once the maintainer's scratch (dedup buffer, refinement
+	// partition/stats, SummaryScratch, prefix double buffer) has grown to
+	// the working-set size.
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	m, err := NewMaintainer(1000, 4, 256, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(389)
+	points := make([]int, 256)
+	for i := range points {
+		points[i] = 1 + r.Intn(1000)
+	}
+	cycle := func() {
+		for _, p := range points {
+			// The last Add of each cycle triggers the inline compaction.
+			if err := m.Add(p, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 8; i++ { // warm every scratch buffer through real cycles
+		cycle()
+	}
+	if m.Compactions() < 8 {
+		t.Fatalf("warmup ran %d compactions, want ≥ 8", m.Compactions())
+	}
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Fatalf("steady-state ingest+compaction cycle allocates %v/op, want 0", allocs)
+	}
+}
+
 func TestMaintainerAddSteadyStateAllocs(t *testing.T) {
 	// Once the buffer's backing array has grown to bufferCap, Add between
 	// compactions is a bare append: zero allocations.
