@@ -21,6 +21,13 @@
 //	                                  # batch, compaction pause percentiles;
 //	                                  # records BENCH_ingest.json
 //	histbench -ingest OUT.json -quick # small smoke grid (CI)
+//	histbench -codec OUT.json         # run the codec sweep instead: binary
+//	                                  # envelope vs JSON encode/decode
+//	                                  # throughput and bytes-per-piece at
+//	                                  # k ∈ {10, 100, 1000}, plus maintainer
+//	                                  # checkpoint cells; records
+//	                                  # BENCH_codec.json
+//	histbench -codec OUT.json -quick  # small smoke grid (CI)
 package main
 
 import (
@@ -41,9 +48,14 @@ func main() {
 	parallelOut := flag.String("parallel", "", "run the parallel-engine sweep and write its JSON report to this file")
 	queryOut := flag.String("query", "", "run the query-serving sweep and write its JSON report to this file")
 	ingestOut := flag.String("ingest", "", "run the ingestion sweep and write its JSON report to this file")
-	quick := flag.Bool("quick", false, "with -query/-ingest: small smoke grid instead of the full sweep")
+	codecOut := flag.String("codec", "", "run the codec sweep and write its JSON report to this file")
+	quick := flag.Bool("quick", false, "with -query/-ingest/-codec: small smoke grid instead of the full sweep")
 	flag.Parse()
 
+	if *codecOut != "" {
+		runCodec(*codecOut, *trials, *quick)
+		return
+	}
 	if *ingestOut != "" {
 		runIngest(*ingestOut, *trials, *quick)
 		return
@@ -75,6 +87,44 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runCodec sweeps the snapshot/wire layer (binary envelope vs JSON on
+// histogram synopses, maintainer checkpoints) and writes the JSON size +
+// throughput trajectory.
+func runCodec(outPath string, trials int, quick bool) {
+	cfg := bench.DefaultCodecConfig()
+	if quick {
+		cfg = bench.QuickCodecConfig()
+	}
+	if trials > 0 {
+		cfg.MinTrials = trials
+	}
+	fmt.Println("Versioned binary codec — snapshot size and throughput")
+	fmt.Println("(binary = HSYN envelope: varint/delta boundaries, XOR-packed raw-bits")
+	fmt.Println(" values, CRC-32C footer; round-trips are bit-identical on both codecs)")
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	rep := bench.RunCodecBench(cfg)
+	if err := bench.WriteCodecJSON(f, rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range rep.Points {
+		ratio := ""
+		if pt.RatioVsJSON > 0 {
+			ratio = fmt.Sprintf("  %5.3f of JSON", pt.RatioVsJSON)
+		}
+		fmt.Printf("%-10s %-6s k=%-5d %7d bytes  enc %8.1f MB/s  dec %8.1f MB/s%s\n",
+			pt.Object, pt.Codec, pt.K, pt.Bytes, pt.EncodeMBps, pt.DecodeMBps, ratio)
+	}
+	if rep.Note != "" {
+		fmt.Println("note:", rep.Note)
+	}
+	fmt.Printf("report written to %s (total %v)\n", outPath, time.Since(start).Round(time.Millisecond))
 }
 
 // runQuery sweeps the serving path (point, range, and batched queries at

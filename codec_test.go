@@ -1,0 +1,249 @@
+package histapprox
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/*_v1.bin golden fixtures from the current encoders")
+
+// codecData is the deterministic vector behind the public-API codec tests
+// and golden fixtures (a fixed LCG, so bytes are stable across platforms).
+func codecData(n int) []float64 {
+	q := make([]float64, n)
+	state := uint64(40499)
+	for i := range q {
+		state = state*6364136223846793005 + 1442695040888963407
+		q[i] = 1 + float64(state>>40)/float64(1<<24)
+	}
+	return q
+}
+
+// codecStream is a deterministic update stream over [1, n].
+func codecStream(n, total int) ([]int, []float64) {
+	points := make([]int, total)
+	weights := make([]float64, total)
+	state := uint64(1889)
+	for i := range points {
+		state = state*6364136223846793005 + 1442695040888963407
+		points[i] = 1 + int(state>>33)%n
+		weights[i] = 1 + float64(state>>50)/1024
+		if i%13 == 0 {
+			weights[i] = -weights[i]
+		}
+	}
+	return points, weights
+}
+
+// goldenObjects builds one deterministic instance of every encodable type,
+// keyed by fixture name. Workers is pinned to 1 so fixture bytes cannot
+// depend on the machine's core count even in principle.
+func goldenObjects(t *testing.T) map[string]any {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Workers = 1
+	q := codecData(600)
+
+	h, _, err := Fit(q, 5, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := FitMultiscaleWorkers(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, _, err := FitPolynomial(q, 3, 2, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := NewCDF(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := NewWaveletSynopsis(q, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewSelectivityEstimator(q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	points, weights := codecStream(600, 500)
+	maint, err := NewStreamingHistogram(600, 4, 64, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedMaintainer(600, 4, 3, 64, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if err := maint.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	return map[string]any{
+		"histogram":  h,
+		"hierarchy":  hier,
+		"poly":       poly,
+		"cdf":        cdf,
+		"wavelet":    wave,
+		"estimator":  est,
+		"maintainer": maint,
+		"sharded":    sharded,
+	}
+}
+
+// TestEncodeDecodeDispatch round-trips every encodable type through the
+// tag-dispatched top-level Encode/Decode and checks the decoded object is
+// the right concrete type and re-encodes to identical bytes.
+func TestEncodeDecodeDispatch(t *testing.T) {
+	for name, obj := range goldenObjects(t) {
+		var buf bytes.Buffer
+		if err := Encode(&buf, obj); err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		blob := append([]byte{}, buf.Bytes()...)
+		back, err := Decode(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		if fmt.Sprintf("%T", back) != fmt.Sprintf("%T", obj) {
+			t.Fatalf("%s: decoded %T, want %T", name, back, obj)
+		}
+		buf.Reset()
+		if err := Encode(&buf, back); err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if !bytes.Equal(blob, buf.Bytes()) {
+			t.Fatalf("%s: encode→decode→encode bytes differ", name)
+		}
+	}
+
+	if err := Encode(&bytes.Buffer{}, 42); err == nil {
+		t.Fatal("Encode accepted an int")
+	}
+}
+
+// TestGoldenFixturesV1 pins the version-1 byte format: every type's encoding
+// of a fixed object must match the committed fixture bit-for-bit, and the
+// committed fixture must keep decoding — the compatibility contract future
+// format versions have to honor. Regenerate (only on a deliberate format
+// change, with a version bump) via: go test -run Golden . -update-golden
+func TestGoldenFixturesV1(t *testing.T) {
+	for name, obj := range goldenObjects(t) {
+		path := filepath.Join("testdata", name+"_v1.bin")
+		var buf bytes.Buffer
+		if err := Encode(&buf, obj); err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		if *updateGolden {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden fixture (run with -update-golden): %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: encoding changed: %d bytes vs %d-byte fixture — format v1 must stay stable",
+				name, buf.Len(), len(want))
+		}
+		if _, err := Decode(bytes.NewReader(want)); err != nil {
+			t.Errorf("%s: committed v1 fixture no longer decodes: %v", name, err)
+		}
+	}
+}
+
+// TestNewShardedMaintainerDefaultsShards is the regression test for the
+// shards ≤ 0 convention: like Options.Workers, non-positive means one shard
+// per core (runtime.GOMAXPROCS(0)), never an error.
+func TestNewShardedMaintainerDefaultsShards(t *testing.T) {
+	for _, shards := range []int{0, -1, -100} {
+		s, err := NewShardedMaintainer(1000, 4, shards, 0, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got, want := s.Shards(), runtime.GOMAXPROCS(0); got != want {
+			t.Fatalf("shards=%d: got %d shards, want GOMAXPROCS = %d", shards, got, want)
+		}
+	}
+	s, err := NewShardedMaintainer(1000, 4, 5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 5 {
+		t.Fatalf("explicit shard count not honored: %d", s.Shards())
+	}
+}
+
+// TestStreamingCheckpointFacade exercises the public snapshot API end to
+// end: snapshot → restore → resume must match the uninterrupted run's
+// summary bit-for-bit.
+func TestStreamingCheckpointFacade(t *testing.T) {
+	const n, total = 2000, 4000
+	points, weights := codecStream(n, total)
+	straight, err := NewStreamingHistogram(n, 5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashy, err := NewStreamingHistogram(n, 5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total/2; i++ {
+		if err := straight.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := crashy.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ckpt bytes.Buffer
+	if err := Encode(&ckpt, crashy); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStreamingHistogram(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := total / 2; i < total; i++ {
+		if err := straight.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hw, err := straight.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := restored.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.NumPieces() != hg.NumPieces() {
+		t.Fatalf("pieces %d vs %d", hg.NumPieces(), hw.NumPieces())
+	}
+	for i, pc := range hw.Pieces() {
+		gpc := hg.Pieces()[i]
+		if gpc.Interval != pc.Interval || math.Float64bits(gpc.Value) != math.Float64bits(pc.Value) {
+			t.Fatalf("piece %d differs after restore+resume", i)
+		}
+	}
+}

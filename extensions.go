@@ -60,11 +60,14 @@ type ShardedHistogram = stream.Sharded
 type IngestStats = stream.IngestStats
 
 // NewShardedMaintainer builds a sharded streaming maintainer over [1, n]
-// targeting k-piece global summaries. shards ≤ 0 picks one shard per core;
-// bufferCap is the per-shard compaction period (0 picks the default);
-// nil opts means DefaultOptions. For a fixed shard count and a fixed
-// single-producer update order the global summary is bit-identical across
-// runs.
+// targeting k-piece global summaries. shards ≤ 0 defaults to one shard per
+// core — runtime.GOMAXPROCS(0), the same convention as Options.Workers —
+// never an error; bufferCap is the per-shard compaction period (0 picks the
+// default); nil opts means DefaultOptions. For a fixed shard count and a
+// fixed single-producer update order the global summary is bit-identical
+// across runs (note the per-core default makes the shard count — and hence
+// the exact floating-point results — machine-dependent; pass an explicit
+// positive count for cross-machine reproducibility).
 func NewShardedMaintainer(n, k, shards, bufferCap int, opts *Options) (*ShardedHistogram, error) {
 	return stream.NewSharded(n, k, shards, bufferCap, resolveOpts(opts))
 }

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+)
+
+// CodecPoint is one (object, codec, k) cell of the codec benchmark:
+// serialized size and encode/decode throughput for a built synopsis.
+type CodecPoint struct {
+	// Object is "histogram" (the JSON-comparable synopsis) or "maintainer"
+	// (a mid-stream checkpoint: summary view + pending update log — binary
+	// only, there is no JSON form to compare against).
+	Object string `json:"object"`
+	// Codec is "binary" (the internal/codec envelope) or "json".
+	Codec  string `json:"codec"`
+	K      int    `json:"k"`
+	Pieces int    `json:"pieces"`
+	N      int    `json:"n"`
+	// Bytes is the serialized size; BytesPerPiece normalizes it by the piece
+	// count (the O(k)-numbers promise, measured).
+	Bytes         int     `json:"bytes"`
+	BytesPerPiece float64 `json:"bytes_per_piece"`
+	// RatioVsJSON is Bytes over the JSON cell's Bytes for the same object
+	// and k (only on binary cells with a JSON counterpart). The acceptance
+	// bar is ≤ 1/3 at k = 1000.
+	RatioVsJSON float64 `json:"ratio_vs_json,omitempty"`
+	EncodeNs    float64 `json:"encode_ns"`
+	DecodeNs    float64 `json:"decode_ns"`
+	// EncodeMBps / DecodeMBps are throughput over the serialized size.
+	EncodeMBps float64 `json:"encode_mbps"`
+	DecodeMBps float64 `json:"decode_mbps"`
+}
+
+// CodecReport is the BENCH_codec.json payload.
+type CodecReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	GoVersion  string       `json:"goversion"`
+	Note       string       `json:"note,omitempty"`
+	Points     []CodecPoint `json:"points"`
+}
+
+// CodecConfig controls the codec benchmark sweep.
+type CodecConfig struct {
+	// N is the value-domain size of the synthetic column.
+	N int
+	// Ks lists the summary sizes to sweep.
+	Ks []int
+	// StreamUpdates is the number of updates fed to the maintainer cells.
+	StreamUpdates int
+	MinTrials     int
+	MinTotal      time.Duration
+}
+
+// DefaultCodecConfig sweeps k ∈ {10, 100, 1000} over a 200k-value domain —
+// the acceptance sweep: the binary k = 1000 histogram cell must come in at
+// ≤ 1/3 of the JSON bytes.
+func DefaultCodecConfig() CodecConfig {
+	return CodecConfig{
+		N:             200_000,
+		Ks:            []int{10, 100, 1000},
+		StreamUpdates: 200_000,
+		MinTrials:     5,
+		MinTotal:      200 * time.Millisecond,
+	}
+}
+
+// QuickCodecConfig is the CI smoke grid.
+func QuickCodecConfig() CodecConfig {
+	return CodecConfig{
+		N:             20_000,
+		Ks:            []int{10, 100},
+		StreamUpdates: 20_000,
+		MinTrials:     2,
+		MinTotal:      10 * time.Millisecond,
+	}
+}
+
+// CodecBenchHistogram builds the benchmark's k-piece synopsis: a learned-
+// style summary of a non-negative frequency vector normalized to total mass
+// 1, so piece values are full-precision small doubles — the shape the
+// paper's synopses actually ship (and the shape the acceptance ratio is
+// defined on). Exported so the acceptance test pins the same workload the
+// recorded BENCH_codec.json cells used.
+func CodecBenchHistogram(n, k int) *core.Histogram {
+	r := rng.New(uint64(n)*7 + uint64(k))
+	q := make([]float64, n)
+	var total float64
+	for i := range q {
+		q[i] = math.Abs(1 + 0.5*r.NormFloat64())
+		total += q[i]
+	}
+	for i := range q {
+		q[i] /= total
+	}
+	res, err := core.ConstructHistogram(sparse.FromDense(q), k, core.PaperOptions())
+	must(err)
+	return res.Histogram
+}
+
+// codecCell times one encode/decode pair and appends the cell.
+func (rep *CodecReport) codecCell(cfg CodecConfig, object, codecName string, k, pieces int,
+	encode func(io.Writer), decode func([]byte)) *CodecPoint {
+	var buf bytes.Buffer
+	encode(&buf)
+	blob := append([]byte{}, buf.Bytes()...)
+	decode(blob) // warm up + sanity
+
+	encElapsed := TimeIt(func() {
+		buf.Reset()
+		encode(&buf)
+	}, cfg.MinTrials, cfg.MinTotal)
+	decElapsed := TimeIt(func() { decode(blob) }, cfg.MinTrials, cfg.MinTotal)
+
+	encNs := float64(encElapsed.Nanoseconds())
+	decNs := float64(decElapsed.Nanoseconds())
+	rep.Points = append(rep.Points, CodecPoint{
+		Object: object, Codec: codecName, K: k, Pieces: pieces, N: cfg.N,
+		Bytes:         len(blob),
+		BytesPerPiece: float64(len(blob)) / float64(pieces),
+		EncodeNs:      encNs,
+		DecodeNs:      decNs,
+		EncodeMBps:    float64(len(blob)) / encNs * 1e9 / 1e6,
+		DecodeMBps:    float64(len(blob)) / decNs * 1e9 / 1e6,
+	})
+	return &rep.Points[len(rep.Points)-1]
+}
+
+// RunCodecBench sweeps the binary codec against the JSON baseline on
+// histogram synopses, plus binary-only maintainer checkpoint cells, over the
+// configured k grid.
+func RunCodecBench(cfg CodecConfig) CodecReport {
+	rep := CodecReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Note: "histogram cells compare the versioned binary envelope against the JSON form " +
+			"on a learned-style mass-1 summary; maintainer cells checkpoint a mid-stream " +
+			"engine (summary + pending log), binary only",
+	}
+	for _, k := range cfg.Ks {
+		h := CodecBenchHistogram(cfg.N, k)
+		pieces := h.NumPieces()
+
+		jsonBytes := rep.codecCell(cfg, "histogram", "json", k, pieces,
+			func(w io.Writer) {
+				blob, err := json.Marshal(h)
+				must(err)
+				_, err = w.Write(blob)
+				must(err)
+			},
+			func(blob []byte) {
+				var back core.Histogram
+				must(json.Unmarshal(blob, &back))
+			}).Bytes
+		binPt := rep.codecCell(cfg, "histogram", "binary", k, pieces,
+			func(w io.Writer) {
+				_, err := h.WriteTo(w)
+				must(err)
+			},
+			func(blob []byte) {
+				_, err := core.DecodeHistogram(bytes.NewReader(blob))
+				must(err)
+			})
+		binPt.RatioVsJSON = float64(binPt.Bytes) / float64(jsonBytes)
+
+		// Maintainer checkpoint: summary view + a half-full pending log.
+		m, err := stream.NewMaintainer(cfg.N, k, 0, core.DefaultOptions())
+		must(err)
+		r := rng.New(uint64(k) + 99)
+		for i := 0; i < cfg.StreamUpdates; i++ {
+			must(m.Add(1+r.Intn(cfg.N), 1+r.NormFloat64()/8))
+		}
+		ckpt := rep.codecCell(cfg, "maintainer", "binary", k, pieces,
+			func(w io.Writer) { must(m.Snapshot(w)) },
+			func(blob []byte) {
+				_, err := stream.RestoreMaintainer(bytes.NewReader(blob))
+				must(err)
+			})
+		ckpt.Pieces = 0 // piece count varies with buffer state; bytes carry the story
+		ckpt.BytesPerPiece = 0
+	}
+	return rep
+}
+
+// WriteCodecJSON writes the report as indented JSON.
+func WriteCodecJSON(w io.Writer, rep CodecReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

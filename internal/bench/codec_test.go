@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestCodecSizeAcceptanceK1000 pins the PR's acceptance bar on exactly the
+// workload the recorded BENCH_codec.json cells use: at k = 1000 the binary
+// envelope must be at most 1/3 the bytes of the JSON form.
+func TestCodecSizeAcceptanceK1000(t *testing.T) {
+	h := CodecBenchHistogram(DefaultCodecConfig().N, 1000)
+	jsonBlob, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if 3*buf.Len() > len(jsonBlob) {
+		t.Fatalf("binary = %d bytes, JSON = %d bytes (ratio %.3f): want ≤ 1/3",
+			buf.Len(), len(jsonBlob), float64(buf.Len())/float64(len(jsonBlob)))
+	}
+	t.Logf("k=1000: binary %d bytes (%.1f/piece), JSON %d bytes, ratio %.3f",
+		buf.Len(), float64(buf.Len())/float64(h.NumPieces()), len(jsonBlob),
+		float64(buf.Len())/float64(len(jsonBlob)))
+}
+
+// TestCodecBenchQuickRuns smoke-tests the sweep end to end on the CI grid:
+// every cell must carry positive sizes and rates, and binary histogram cells
+// must beat JSON on bytes at every recorded k.
+func TestCodecBenchQuickRuns(t *testing.T) {
+	rep := RunCodecBench(QuickCodecConfig())
+	if len(rep.Points) == 0 {
+		t.Fatal("no cells recorded")
+	}
+	for _, pt := range rep.Points {
+		if pt.Bytes <= 0 || pt.EncodeMBps <= 0 || pt.DecodeMBps <= 0 {
+			t.Fatalf("degenerate cell: %+v", pt)
+		}
+		if pt.Object == "histogram" && pt.Codec == "binary" && pt.RatioVsJSON >= 1 {
+			t.Fatalf("binary not smaller than JSON at k=%d: ratio %.3f", pt.K, pt.RatioVsJSON)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCodecJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back CodecReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+}

@@ -74,6 +74,38 @@ func Project(entries []sparse.Entry, a, b, d int) (Projection, error) {
 	}, nil
 }
 
+// FromCoeffs rebuilds a Projection from its stored state — interval, degree,
+// Gram-basis coefficients, and squared error — recomputing the basis, which
+// is derived state. It is the decode-side constructor of the binary codec:
+// Eval on the result is bit-identical to the original projection's (the same
+// coefficients drive the same recurrence). Shape and range are validated;
+// the coefficient values themselves are trusted, like every stored float.
+func FromCoeffs(a, b, d int, coeffs []float64, errSq float64) (Projection, error) {
+	if a < 1 || a > b {
+		return Projection{}, fmt.Errorf("cheby: invalid interval [%d, %d]", a, b)
+	}
+	if d < 0 {
+		return Projection{}, fmt.Errorf("cheby: negative degree %d", d)
+	}
+	n := b - a + 1
+	dEff := d
+	if dEff > n-1 {
+		dEff = n - 1
+	}
+	if len(coeffs) != dEff+1 {
+		return Projection{}, fmt.Errorf("cheby: %d coefficients for effective degree %d on [%d, %d]",
+			len(coeffs), dEff, a, b)
+	}
+	if math.IsNaN(errSq) || math.IsInf(errSq, 0) || errSq < 0 {
+		return Projection{}, fmt.Errorf("cheby: invalid squared error %v", errSq)
+	}
+	basis, err := NewBasis(n, dEff)
+	if err != nil {
+		return Projection{}, err
+	}
+	return Projection{A: a, B: b, D: d, Coeffs: coeffs, ErrSq: errSq, basis: basis}, nil
+}
+
 // Eval returns the fitted polynomial's value at the absolute index i (which
 // may lie outside [A, B]; the polynomial extrapolates).
 func (p Projection) Eval(i int) float64 { return p.EvalAt(float64(i)) }

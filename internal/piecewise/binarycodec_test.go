@@ -1,0 +1,117 @@
+package piecewise
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func TestPiecewisePolyBinaryRoundTrip(t *testing.T) {
+	r := rng.New(808)
+	fixtures := map[string][]float64{
+		"quadratic + noise": func() []float64 {
+			q := make([]float64, 400)
+			for i := range q {
+				x := float64(i) / 400
+				q[i] = 3*x*x - 2*x + 0.25*r.NormFloat64()
+			}
+			return q
+		}(),
+		"tiny": {1, 2},
+		"sparse spikes": func() []float64 {
+			q := make([]float64, 300)
+			for i := 0; i < len(q); i += 41 {
+				q[i] = float64(i)
+			}
+			return q
+		}(),
+	}
+	for name, q := range fixtures {
+		for _, d := range []int{0, 1, 3} {
+			res, err := FitPiecewisePoly(sparse.FromDense(q), 4, d, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s d=%d: fit: %v", name, d, err)
+			}
+			f := res.Func
+			var buf bytes.Buffer
+			if n, err := f.WriteTo(&buf); err != nil || n != int64(buf.Len()) {
+				t.Fatalf("%s d=%d: WriteTo = %d, %v", name, d, n, err)
+			}
+			blob := append([]byte{}, buf.Bytes()...)
+			back, err := Decode(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatalf("%s d=%d: decode: %v", name, d, err)
+			}
+			// encode→decode→encode bit-identity.
+			buf.Reset()
+			if _, err := back.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, buf.Bytes()) {
+				t.Fatalf("%s d=%d: re-encoded bytes differ", name, d)
+			}
+			// Every point evaluates bit-identically; Error matches.
+			if back.NumPieces() != f.NumPieces() || back.N() != f.N() {
+				t.Fatalf("%s d=%d: shape differs", name, d)
+			}
+			for i := 1; i <= f.N(); i++ {
+				if math.Float64bits(back.At(i)) != math.Float64bits(f.At(i)) {
+					t.Fatalf("%s d=%d: At(%d) = %v, want %v", name, d, i, back.At(i), f.At(i))
+				}
+			}
+			if math.Float64bits(back.Error()) != math.Float64bits(f.Error()) {
+				t.Fatalf("%s d=%d: Error differs", name, d)
+			}
+		}
+	}
+}
+
+func TestPiecewiseConstOracleRoundTrip(t *testing.T) {
+	q := sparse.FromDense([]float64{1, 1, 5, 5, 5, 2})
+	res, err := ConstructGeneralHistogram(q, 2, core.DefaultOptions(), NewHistOracle(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := res.Func.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= q.N(); i++ {
+		if back.At(i) != res.Func.At(i) {
+			t.Fatalf("At(%d) differs", i)
+		}
+	}
+}
+
+func TestPiecewiseBinaryRejectsMalformed(t *testing.T) {
+	q := sparse.FromDense([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	res, err := FitPiecewisePoly(q, 2, 1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := res.Func.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := Decode(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d/%d", cut, len(good))
+		}
+	}
+	for pos := 6; pos < len(good)-1; pos++ {
+		bad := append([]byte{}, good...)
+		bad[pos] ^= 0x08
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d decoded silently", pos)
+		}
+	}
+}

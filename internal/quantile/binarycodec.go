@@ -1,0 +1,74 @@
+package quantile
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// The CDF's wire payload is exactly its histogram's payload: the prefix
+// masses and total are derived state, rebuilt (in the same accumulation
+// order, hence bit-identically) by New on decode.
+
+// EncodePayload writes the CDF's wire payload.
+func EncodePayload(w *codec.Writer, c *CDF) {
+	core.EncodeHistogramPayload(w, c.h)
+}
+
+// DecodePayload reads and validates a CDF payload, enforcing everything New
+// enforces: a well-formed partition, non-negative pieces, positive total
+// mass.
+func DecodePayload(r *codec.Reader) (*CDF, error) {
+	h, err := core.DecodeHistogramPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	c, err := New(h)
+	if err != nil {
+		return nil, fmt.Errorf("quantile: decoding CDF: %w", err)
+	}
+	return c, nil
+}
+
+// WriteTo encodes the CDF as one binary envelope (see internal/codec) and
+// implements io.WriterTo.
+func (c *CDF) WriteTo(w io.Writer) (int64, error) {
+	enc := codec.NewWriter(w, codec.TagCDF)
+	EncodePayload(enc, c)
+	err := enc.Close()
+	return enc.Len(), err
+}
+
+// ReadFrom decodes one binary envelope into the receiver and implements
+// io.ReaderFrom. Validation happens before the receiver is touched; a
+// restored CDF answers At / Quantile / Median / Summary bit-identically.
+func (c *CDF) ReadFrom(r io.Reader) (int64, error) {
+	dec := codec.NewReader(r)
+	tag, err := dec.Header()
+	if err != nil {
+		return dec.Len(), err
+	}
+	if tag != codec.TagCDF {
+		return dec.Len(), fmt.Errorf("quantile: envelope holds type tag %d, not a CDF", tag)
+	}
+	fresh, err := DecodePayload(dec)
+	if err != nil {
+		return dec.Len(), err
+	}
+	if err := dec.Close(); err != nil {
+		return dec.Len(), err
+	}
+	*c = *fresh
+	return dec.Len(), nil
+}
+
+// Decode reads one CDF envelope from r.
+func Decode(r io.Reader) (*CDF, error) {
+	c := new(CDF)
+	if _, err := c.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,79 @@
+package quantile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func TestCDFBinaryRoundTrip(t *testing.T) {
+	r := rng.New(515)
+	q := make([]float64, 500)
+	for i := range q {
+		q[i] = math.Abs(r.NormFloat64()) + 0.01
+	}
+	res, err := core.ConstructHistogram(sparse.FromDense(q), 8, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(res.Histogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if n, err := c.WriteTo(&buf); err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo = %d, %v", n, err)
+	}
+	blob := append([]byte{}, buf.Bytes()...)
+	back, err := Decode(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := back.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, buf.Bytes()) {
+		t.Fatal("re-encoded bytes differ")
+	}
+	if math.Float64bits(back.Total()) != math.Float64bits(c.Total()) {
+		t.Fatalf("Total = %v, want %v", back.Total(), c.Total())
+	}
+	for x := 0; x <= 500; x += 7 {
+		want, err1 := c.At(x)
+		got, err2 := back.At(x)
+		if err1 != nil || err2 != nil || math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("At(%d) = %v (%v), want %v (%v)", x, got, err2, want, err1)
+		}
+	}
+	for p := 0.05; p <= 1; p += 0.05 {
+		want, err1 := c.Quantile(p)
+		got, err2 := back.Quantile(p)
+		if err1 != nil || err2 != nil || got != want {
+			t.Fatalf("Quantile(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestCDFBinaryRejectsNegativeMass(t *testing.T) {
+	// A histogram with a negative piece is a valid histogram but not a valid
+	// CDF; the CDF decoder must enforce its own construction invariants.
+	h := core.NewHistogram(10,
+		interval.Partition{interval.New(1, 5), interval.New(6, 10)},
+		[]float64{1, -1})
+	var buf bytes.Buffer
+	w := codec.NewWriter(&buf, codec.TagCDF)
+	core.EncodeHistogramPayload(w, h)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("decoded a CDF with negative piece mass")
+	}
+}

@@ -1,0 +1,372 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/sparse"
+)
+
+// This file implements checkpoint/restore for the streaming intake engines:
+// a Maintainer or Sharded can be snapshotted mid-stream — summary views AND
+// the pending (uncompacted) update logs — and restored in a fresh process
+// that resumes bit-identically: the restored engine produces the same
+// summaries, the same EstimateRange answers, and the same future compaction
+// groupings as the uninterrupted run, because a snapshot never forces a
+// compaction (that would change when merging runs happen and therefore what
+// they see).
+//
+// What is persisted: configuration (n, k, options, buffer capacity, shard
+// count), the installed summary view per maintainer (partition, values,
+// certified error — prefix masses are derived and rebuilt in the same
+// accumulation order, hence bit-identically), the pending update log in
+// arrival order (dedup order is part of the floating-point semantics), and
+// the updates/compactions counters. Timing telemetry (compaction/pause
+// duration rings) is not state and starts empty after a restore.
+
+// encodeConfig writes the engine configuration shared by both checkpoint
+// payloads.
+func encodeConfig(w *codec.Writer, n, k int, opts core.Options, bufferCap int) {
+	w.Int(n)
+	w.Int(k)
+	w.Float64(opts.Delta)
+	w.Float64(opts.Gamma)
+	w.Varint(int64(opts.Workers))
+	w.Int(bufferCap)
+}
+
+func decodeConfig(r *codec.Reader) (n, k int, opts core.Options, bufferCap int, err error) {
+	if n, err = r.Int(); err != nil {
+		return
+	}
+	if k, err = r.Int(); err != nil {
+		return
+	}
+	if opts.Delta, err = r.FiniteFloat64(); err != nil {
+		return
+	}
+	if opts.Gamma, err = r.FiniteFloat64(); err != nil {
+		return
+	}
+	var workers int64
+	if workers, err = r.Varint(); err != nil {
+		return
+	}
+	opts.Workers = int(workers)
+	if bufferCap, err = r.Int(); err != nil {
+		return
+	}
+	if n < 1 || k < 1 {
+		err = fmt.Errorf("stream: checkpoint with n=%d, k=%d", n, k)
+		return
+	}
+	if err = opts.Validate(); err != nil {
+		return
+	}
+	if bufferCap < 1 {
+		err = fmt.Errorf("stream: checkpoint with buffer capacity %d", bufferCap)
+	}
+	return
+}
+
+// maintainerState is one maintainer's snapshot-relevant state in flat form:
+// the installed view, the counters, and a pending update log (the
+// Maintainer's own buffer, or the owning shard's active log).
+type maintainerState struct {
+	updates     int
+	compactions int
+	hasView     bool
+	ends        []int
+	values      []float64
+	viewErr     float64
+	log         []sparse.Entry
+}
+
+// captureState copies the maintainer's snapshot-relevant state. The copies
+// make the capture safe to encode after the owner's lock is released: the
+// view's backing arrays are double-buffered compaction scratch that the next
+// compaction recycles.
+func captureState(m *Maintainer, log []sparse.Entry) maintainerState {
+	st := maintainerState{
+		updates:     m.updates,
+		compactions: m.compactions,
+		hasView:     !m.view.empty(),
+		log:         append([]sparse.Entry(nil), log...),
+	}
+	if st.hasView {
+		st.ends = m.view.part.Boundaries()
+		st.values = append([]float64(nil), m.view.values...)
+		st.viewErr = m.view.err
+	}
+	return st
+}
+
+func (st *maintainerState) encode(w *codec.Writer) {
+	w.Int(st.updates)
+	w.Int(st.compactions)
+	if st.hasView {
+		w.Byte(1)
+		w.DeltaInts(st.ends)
+		w.PackedFloat64s(st.values)
+		w.Float64(st.viewErr)
+	} else {
+		w.Byte(0)
+	}
+	w.Int(len(st.log))
+	idxs := make([]int, len(st.log))
+	vals := make([]float64, len(st.log))
+	for i, e := range st.log {
+		idxs[i] = e.Index
+		vals[i] = e.Value
+	}
+	for _, idx := range idxs {
+		w.Int(idx)
+	}
+	w.PackedFloat64s(vals)
+}
+
+func decodeState(r *codec.Reader, n int) (maintainerState, error) {
+	var st maintainerState
+	var err error
+	if st.updates, err = r.Int(); err != nil {
+		return st, err
+	}
+	if st.compactions, err = r.Int(); err != nil {
+		return st, err
+	}
+	flag, err := r.ReadByte()
+	if err != nil {
+		return st, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		st.hasView = true
+		if st.ends, err = r.DeltaInts(); err != nil {
+			return st, err
+		}
+		if st.values, err = r.PackedFloat64s(); err != nil {
+			return st, err
+		}
+		if len(st.values) != len(st.ends) {
+			return st, fmt.Errorf("stream: %d view values for %d pieces", len(st.values), len(st.ends))
+		}
+		if st.viewErr, err = r.FiniteFloat64(); err != nil {
+			return st, err
+		}
+		if st.viewErr < 0 {
+			return st, fmt.Errorf("stream: negative summary error %v", st.viewErr)
+		}
+	default:
+		return st, fmt.Errorf("stream: bad view flag %d", flag)
+	}
+	logLen, err := r.SliceLen()
+	if err != nil {
+		return st, err
+	}
+	idxs := make([]int, logLen)
+	for i := range idxs {
+		if idxs[i], err = r.Int(); err != nil {
+			return st, err
+		}
+		if idxs[i] < 1 || idxs[i] > n {
+			return st, fmt.Errorf("stream: buffered point %d out of [1, %d]", idxs[i], n)
+		}
+	}
+	vals, err := r.PackedFloat64s()
+	if err != nil {
+		return st, err
+	}
+	if len(vals) != logLen {
+		return st, fmt.Errorf("stream: %d buffered values for %d points", len(vals), logLen)
+	}
+	st.log = make([]sparse.Entry, logLen)
+	for i := range st.log {
+		st.log[i] = sparse.Entry{Index: idxs[i], Value: vals[i]}
+	}
+	return st, nil
+}
+
+// apply installs the decoded state on a freshly constructed maintainer. The
+// prefix masses are recomputed with the same left-to-right accumulation
+// stageLog uses, so the restored view serves bit-identical range sums.
+func (st *maintainerState) apply(m *Maintainer) error {
+	m.updates = st.updates
+	m.compactions = st.compactions
+	if !st.hasView {
+		return nil
+	}
+	part, err := interval.FromBoundaries(m.n, st.ends)
+	if err != nil {
+		return fmt.Errorf("stream: checkpoint summary: %w", err)
+	}
+	pre := make([]float64, 0, len(part)+1)
+	pre = append(pre, 0)
+	for i, iv := range part {
+		pre = append(pre, pre[i]+float64(iv.Len())*st.values[i])
+	}
+	m.prefixBufs[m.curPrefix] = pre
+	m.view = summaryView{part: part, values: st.values, prefix: pre, err: st.viewErr}
+	return nil
+}
+
+// Snapshot writes a checkpoint of the maintainer — summary view plus the
+// pending update log, without compacting — as one binary envelope (see
+// internal/codec). A maintainer restored from it resumes bit-identically:
+// feeding both the original and the restored maintainer the same subsequent
+// updates yields identical summaries, compaction cadence, and EstimateRange
+// answers.
+func (m *Maintainer) Snapshot(w io.Writer) error {
+	enc := codec.NewWriter(w, codec.TagMaintainer)
+	encodeConfig(enc, m.n, m.k, m.opts, m.bufferCap)
+	st := captureState(m, m.buffer)
+	st.encode(enc)
+	return enc.Close()
+}
+
+// DecodeMaintainerPayload reads and validates a maintainer checkpoint
+// payload (everything between envelope header and footer) and rebuilds the
+// maintainer. Exported for the top-level tag dispatcher.
+func DecodeMaintainerPayload(dec *codec.Reader) (*Maintainer, error) {
+	n, k, opts, bufferCap, err := decodeConfig(dec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := decodeState(dec, n)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMaintainer(n, k, bufferCap, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.apply(m); err != nil {
+		return nil, err
+	}
+	capHint := m.bufferCap
+	if len(st.log) > capHint {
+		capHint = len(st.log)
+	}
+	m.buffer = make([]sparse.Entry, 0, capHint)
+	m.buffer = append(m.buffer, st.log...)
+	return m, nil
+}
+
+// RestoreMaintainer reads a Maintainer checkpoint written by Snapshot and
+// rebuilds the maintainer, validating configuration, summary partition, and
+// buffered updates as strictly as the JSON decoders validate theirs.
+func RestoreMaintainer(r io.Reader) (*Maintainer, error) {
+	dec := codec.NewReader(r)
+	tag, err := dec.Header()
+	if err != nil {
+		return nil, err
+	}
+	if tag != codec.TagMaintainer {
+		return nil, fmt.Errorf("stream: envelope holds type tag %d, not a maintainer checkpoint", tag)
+	}
+	m, err := DecodeMaintainerPayload(dec)
+	if err != nil {
+		return nil, err
+	}
+	if err := dec.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Snapshot writes a checkpoint of the sharded engine as one binary envelope:
+// every shard's installed summary view plus its pending update log. It does
+// not force any compaction — in-flight background compactions are waited
+// out (work the uninterrupted run performs anyway), but buffered updates
+// stay buffered, so the restored engine's future compaction groupings (and
+// therefore its floating-point results) match the uninterrupted run's
+// exactly. Shards are captured one at a time under their locks, giving the
+// same per-shard consistency Summary offers under concurrent ingestion.
+func (s *Sharded) Snapshot(w io.Writer) error {
+	states := make([]maintainerState, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		for sh.compacting {
+			sh.cond.Wait()
+		}
+		if sh.err != nil {
+			err := sh.err
+			sh.mu.Unlock()
+			return err
+		}
+		states[i] = captureState(sh.m, sh.active)
+		states[i].updates = sh.updates
+		sh.mu.Unlock()
+	}
+	enc := codec.NewWriter(w, codec.TagSharded)
+	encodeConfig(enc, s.n, s.k, s.opts, s.shards[0].bufCap)
+	enc.Int(len(states))
+	for i := range states {
+		states[i].encode(enc)
+	}
+	return enc.Close()
+}
+
+// DecodeShardedPayload reads and validates a sharded checkpoint payload and
+// rebuilds the engine. Exported for the top-level tag dispatcher.
+func DecodeShardedPayload(dec *codec.Reader) (*Sharded, error) {
+	n, k, opts, bufferCap, err := decodeConfig(dec)
+	if err != nil {
+		return nil, err
+	}
+	shardCount, err := dec.SliceLen()
+	if err != nil {
+		return nil, err
+	}
+	if shardCount < 1 {
+		return nil, fmt.Errorf("stream: checkpoint with %d shards", shardCount)
+	}
+	states := make([]maintainerState, shardCount)
+	for i := range states {
+		if states[i], err = decodeState(dec, n); err != nil {
+			return nil, err
+		}
+	}
+	s, err := NewSharded(n, k, shardCount, bufferCap, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, sh := range s.shards {
+		st := &states[i]
+		if err := st.apply(sh.m); err != nil {
+			return nil, fmt.Errorf("stream: shard %d: %w", i, err)
+		}
+		sh.updates = st.updates
+		if len(st.log) > cap(sh.active) {
+			sh.active = make([]sparse.Entry, 0, len(st.log))
+		}
+		sh.active = append(sh.active[:0], st.log...)
+	}
+	return s, nil
+}
+
+// RestoreSharded reads a Sharded checkpoint written by Snapshot and rebuilds
+// the engine with the same shard count (point-to-shard routing is a pure
+// function of the shard count, so restored shards continue receiving exactly
+// the points they held before).
+func RestoreSharded(r io.Reader) (*Sharded, error) {
+	dec := codec.NewReader(r)
+	tag, err := dec.Header()
+	if err != nil {
+		return nil, err
+	}
+	if tag != codec.TagSharded {
+		return nil, fmt.Errorf("stream: envelope holds type tag %d, not a sharded checkpoint", tag)
+	}
+	s, err := DecodeShardedPayload(dec)
+	if err != nil {
+		return nil, err
+	}
+	if err := dec.Close(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

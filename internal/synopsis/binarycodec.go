@@ -1,0 +1,98 @@
+package synopsis
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/wavelet"
+)
+
+// Estimator kinds on the wire: every Synopsis implementation in this package
+// is either histogram-backed (VOptimal, EquiWidth, EquiDepth — one shape
+// once built) or wavelet-backed. Values are part of the format: never
+// renumber.
+const (
+	estHistogram byte = 0
+	estWavelet   byte = 1
+)
+
+// EncodeEstimatorPayload writes a range estimator's stored state: a kind
+// byte, then the histogram payload or the wavelet-coefficient payload. The
+// wavelet estimator's prefix-sum table is derived state and is rebuilt on
+// decode, so the wire cost stays O(pieces), never O(n).
+func EncodeEstimatorPayload(w *codec.Writer, s Synopsis) error {
+	switch est := s.(type) {
+	case histogramSynopsis:
+		w.Byte(estHistogram)
+		core.EncodeHistogramPayload(w, est.h)
+		return nil
+	case waveletSynopsis:
+		w.Byte(estWavelet)
+		wavelet.EncodePayload(w, est.ws)
+		return nil
+	default:
+		return fmt.Errorf("synopsis: unencodable estimator type %T", s)
+	}
+}
+
+// DecodeEstimatorPayload reads and validates an estimator payload,
+// rebuilding derived serving state (the wavelet reconstruction's prefix
+// sums) with the same code path that built the original — restored
+// estimators answer every EstimateRange bit-identically.
+func DecodeEstimatorPayload(r *codec.Reader) (Synopsis, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case estHistogram:
+		h, err := core.DecodeHistogramPayload(r)
+		if err != nil {
+			return nil, err
+		}
+		return histogramSynopsis{h: h}, nil
+	case estWavelet:
+		ws, err := wavelet.DecodePayload(r)
+		if err != nil {
+			return nil, err
+		}
+		s, err := fromSynopsis(ws)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("synopsis: unknown estimator kind %d", kind)
+	}
+}
+
+// EncodeEstimator writes one estimator envelope (see internal/codec) to w.
+func EncodeEstimator(w io.Writer, s Synopsis) error {
+	enc := codec.NewWriter(w, codec.TagEstimator)
+	if err := EncodeEstimatorPayload(enc, s); err != nil {
+		return err
+	}
+	return enc.Close()
+}
+
+// DecodeEstimator reads one estimator envelope from r.
+func DecodeEstimator(r io.Reader) (Synopsis, error) {
+	dec := codec.NewReader(r)
+	tag, err := dec.Header()
+	if err != nil {
+		return nil, err
+	}
+	if tag != codec.TagEstimator {
+		return nil, fmt.Errorf("synopsis: envelope holds type tag %d, not an estimator", tag)
+	}
+	s, err := DecodeEstimatorPayload(dec)
+	if err != nil {
+		return nil, err
+	}
+	if err := dec.Close(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

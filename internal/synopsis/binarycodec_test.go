@@ -1,0 +1,68 @@
+package synopsis
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestEstimatorBinaryRoundTrip(t *testing.T) {
+	r := rng.New(4242)
+	values := make([]int, 20000)
+	for i := range values {
+		v := int(math.Abs(r.NormFloat64())*150) + 1
+		if v > 1000 {
+			v = 1000
+		}
+		values[i] = v
+	}
+	freq, err := Frequencies(values, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builders := map[string]func() (Synopsis, error){
+		"voptimal":  func() (Synopsis, error) { return VOptimal(freq, 12) },
+		"equiwidth": func() (Synopsis, error) { return EquiWidth(freq, 24) },
+		"equidepth": func() (Synopsis, error) { return EquiDepth(freq, 24) },
+		"wavelet":   func() (Synopsis, error) { return Wavelet(freq, 48) },
+	}
+	for name, build := range builders {
+		s, err := build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeEstimator(&buf, s); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		blob := append([]byte{}, buf.Bytes()...)
+		back, err := DecodeEstimator(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		buf.Reset()
+		if err := EncodeEstimator(&buf, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, buf.Bytes()) {
+			t.Fatalf("%s: re-encoded bytes differ", name)
+		}
+		if back.Pieces() != s.Pieces() || back.N() != s.N() {
+			t.Fatalf("%s: shape differs: pieces %d vs %d, n %d vs %d",
+				name, back.Pieces(), s.Pieces(), back.N(), s.N())
+		}
+		// Every range estimate must be bit-identical.
+		for a := 1; a <= 1000; a += 73 {
+			for b := a; b <= 1000; b += 131 {
+				want, err1 := s.EstimateRange(a, b)
+				got, err2 := back.EstimateRange(a, b)
+				if err1 != nil || err2 != nil || math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s: EstimateRange(%d, %d) = %v (%v), want %v (%v)",
+						name, a, b, got, err2, want, err1)
+				}
+			}
+		}
+	}
+}

@@ -9,12 +9,24 @@ import (
 
 // waveletSynopsis adapts a B-term Haar synopsis to the Synopsis interface so
 // it can be compared against the histogram estimators query-for-query. Range
-// counts are answered from the reconstructed frequency vector's prefix sums
-// (the stored synopsis is the B coefficients; the prefix table is derived
-// state, rebuilt on load).
+// counts are answered from the reconstructed frequency vector's prefix sums.
+// The stored state — what the binary codec persists — is the B coefficients;
+// the prefix table is derived, rebuilt deterministically on load.
 type waveletSynopsis struct {
-	b   int
+	ws  *wavelet.Synopsis
 	pre *numeric.PrefixSSE
+}
+
+// fromSynopsis derives the serving state (the reconstruction's prefix sums)
+// from a wavelet synopsis — shared by the constructor and the decoder, so a
+// restored estimator is built by exactly the code path that built the
+// original.
+func fromSynopsis(ws *wavelet.Synopsis) (waveletSynopsis, error) {
+	rec, err := ws.Reconstruct()
+	if err != nil {
+		return waveletSynopsis{}, fmt.Errorf("synopsis: %w", err)
+	}
+	return waveletSynopsis{ws: ws, pre: numeric.NewPrefixSSE(rec)}, nil
 }
 
 // Wavelet builds a B-term Haar wavelet synopsis of the frequency vector with
@@ -30,11 +42,11 @@ func Wavelet(freq []float64, b int) (Synopsis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("synopsis: %w", err)
 	}
-	rec, err := ws.Reconstruct()
+	s, err := fromSynopsis(ws)
 	if err != nil {
-		return nil, fmt.Errorf("synopsis: %w", err)
+		return nil, err
 	}
-	return waveletSynopsis{b: ws.B(), pre: numeric.NewPrefixSSE(rec)}, nil
+	return s, nil
 }
 
 // EstimateRange implements Synopsis.
@@ -47,7 +59,7 @@ func (s waveletSynopsis) EstimateRange(a, b int) (float64, error) {
 
 // Pieces implements Synopsis: the stored coefficient count (comparable to
 // 2× a histogram's piece count in numbers stored).
-func (s waveletSynopsis) Pieces() int { return s.b }
+func (s waveletSynopsis) Pieces() int { return s.ws.B() }
 
 // N implements Synopsis.
 func (s waveletSynopsis) N() int { return s.pre.N() }

@@ -1,0 +1,86 @@
+package wavelet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSynopsisBinaryRoundTrip(t *testing.T) {
+	fixtures := map[string][]float64{
+		"single":     {3.5},
+		"dyadic":     {1, 1, 2, 2, 8, 8, 8, 8},
+		"non-dyadic": {0.5, -1.5, 2.25, 7, 7, 7.125},
+		"long ramp": func() []float64 {
+			q := make([]float64, 300)
+			for i := range q {
+				q[i] = float64(i) * 0.01
+			}
+			return q
+		}(),
+	}
+	for name, q := range fixtures {
+		for _, b := range []int{1, 3, 1000} {
+			s, err := NewSynopsis(q, b)
+			if err != nil {
+				t.Fatalf("%s b=%d: %v", name, b, err)
+			}
+			var buf bytes.Buffer
+			if n, err := s.WriteTo(&buf); err != nil || n != int64(buf.Len()) {
+				t.Fatalf("%s b=%d: WriteTo = %d, %v", name, b, n, err)
+			}
+			blob := append([]byte{}, buf.Bytes()...)
+			back, err := Decode(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatalf("%s b=%d: decode: %v", name, b, err)
+			}
+			buf.Reset()
+			if _, err := back.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, buf.Bytes()) {
+				t.Fatalf("%s b=%d: re-encoded bytes differ", name, b)
+			}
+			if back.B() != s.B() || back.N() != s.N() {
+				t.Fatalf("%s b=%d: shape differs", name, b)
+			}
+			if math.Float64bits(back.Error()) != math.Float64bits(s.Error()) {
+				t.Fatalf("%s b=%d: Error = %v, want %v", name, b, back.Error(), s.Error())
+			}
+			want, err1 := s.Reconstruct()
+			got, err2 := back.Reconstruct()
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s b=%d: reconstruct: %v, %v", name, b, err1, err2)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s b=%d: reconstruction differs at %d", name, b, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSynopsisBinaryRejectsMalformed(t *testing.T) {
+	s, err := NewSynopsis([]float64{1, 2, 3, 4, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := Decode(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d/%d", cut, len(good))
+		}
+	}
+	for pos := 6; pos < len(good)-1; pos++ {
+		bad := append([]byte{}, good...)
+		bad[pos] ^= 0x04
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d decoded silently", pos)
+		}
+	}
+}
