@@ -28,6 +28,13 @@
 //	                                  # checkpoint cells; records
 //	                                  # BENCH_codec.json
 //	histbench -codec OUT.json -quick  # small smoke grid (CI)
+//	histbench -serve OUT.json         # run the HTTP serving sweep instead:
+//	                                  # p50/p99 request latency and qps for
+//	                                  # point/range/batch workloads, JSON vs
+//	                                  # binary bodies, 1/8/64 concurrent
+//	                                  # clients against a live loopback
+//	                                  # server; records BENCH_serve.json
+//	histbench -serve OUT.json -quick  # small smoke grid (CI)
 package main
 
 import (
@@ -49,9 +56,14 @@ func main() {
 	queryOut := flag.String("query", "", "run the query-serving sweep and write its JSON report to this file")
 	ingestOut := flag.String("ingest", "", "run the ingestion sweep and write its JSON report to this file")
 	codecOut := flag.String("codec", "", "run the codec sweep and write its JSON report to this file")
-	quick := flag.Bool("quick", false, "with -query/-ingest/-codec: small smoke grid instead of the full sweep")
+	serveOut := flag.String("serve", "", "run the HTTP serving sweep and write its JSON report to this file")
+	quick := flag.Bool("quick", false, "with -query/-ingest/-codec/-serve: small smoke grid instead of the full sweep")
 	flag.Parse()
 
+	if *serveOut != "" {
+		runServe(*serveOut, *quick)
+		return
+	}
 	if *codecOut != "" {
 		runCodec(*codecOut, *trials, *quick)
 		return
@@ -87,6 +99,36 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runServe hammers the HTTP serving layer over loopback and writes the
+// latency/throughput trajectory.
+func runServe(outPath string, quick bool) {
+	cfg := bench.DefaultServeConfig()
+	if quick {
+		cfg = bench.QuickServeConfig()
+	}
+	fmt.Println("HTTP serving layer — request latency and query throughput")
+	fmt.Println("(loopback httptest server; answers verified against in-process calls;")
+	fmt.Println(" binary bodies are the HSYN batch frames, JSON is encoding/json)")
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	rep := bench.RunServeBench(cfg)
+	if err := bench.WriteServeJSON(f, rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range rep.Points {
+		fmt.Printf("%-12s %-7s conc=%-3d batch=%-5d  p50 %8.1f µs  p99 %8.1f µs  %9.0f rps  %12.0f qps\n",
+			pt.Workload, pt.Codec, pt.Concurrency, pt.Batch, pt.P50Us, pt.P99Us, pt.RPS, pt.QPS)
+	}
+	if rep.Note != "" {
+		fmt.Println("note:", rep.Note)
+	}
+	fmt.Printf("report written to %s (total %v)\n", outPath, time.Since(start).Round(time.Millisecond))
 }
 
 // runCodec sweeps the snapshot/wire layer (binary envelope vs JSON on

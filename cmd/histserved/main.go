@@ -1,0 +1,155 @@
+// Command histserved serves synopses over HTTP: host checkpoint files
+// and/or fresh streaming intake engines, then answer point/range queries,
+// ingest update batches, and replicate snapshots.
+//
+// Usage:
+//
+//	histserved -addr :8157 \
+//	    -load latency=latency_v1.bin \         # restore any snapshot file
+//	    -load col=estimator_v1.bin \
+//	    -sharded events=1000000,64             # fresh intake engine: n,k[,shards[,bufcap]]
+//
+// Endpoints (see the package documentation of repro's serving layer):
+//
+//	GET  /v1                        list hosted synopses
+//	GET  /v1/{name}/at?x=42         one point query
+//	POST /v1/{name}/at              batch point queries (JSON or binary body)
+//	GET  /v1/{name}/range?a=1&b=99  one range query
+//	POST /v1/{name}/range           batch range queries
+//	POST /v1/{name}/add             ingest updates (streaming engines)
+//	GET  /v1/{name}/snapshot        download the binary snapshot
+//	PUT  /v1/{name}/snapshot        hot-swap from a pushed snapshot
+//
+// Snapshots are the library's versioned binary envelopes, so files written
+// by one process (or fetched from another histserved) restore directly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	histapprox "repro"
+)
+
+// nameValue parses a repeatable "name=value" flag.
+func nameValue(raw, flagName string) (name, value string, err error) {
+	name, value, ok := strings.Cut(raw, "=")
+	if !ok || name == "" || value == "" {
+		return "", "", fmt.Errorf("-%s wants name=value, got %q", flagName, raw)
+	}
+	return name, value, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("histserved: ")
+
+	addr := flag.String("addr", ":8157", "listen address")
+	workers := flag.Int("workers", 1, "per-request batch fan-out (≤ 0 = all cores; 1 is usually best under concurrent load)")
+	maxBatch := flag.Int("max-batch", 0, "max queries/updates per request body (0 = default)")
+
+	var hosted []string
+	boot := func(fn func() error) {
+		if err := fn(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var loads, shardeds []string
+	flag.Func("load", "host a snapshot file as name=path (repeatable)", func(raw string) error {
+		loads = append(loads, raw)
+		return nil
+	})
+	flag.Func("sharded", "host a fresh sharded intake engine as name=n,k[,shards[,bufcap]] (repeatable)", func(raw string) error {
+		shardeds = append(shardeds, raw)
+		return nil
+	})
+	flag.Parse()
+
+	srv := histapprox.NewSynopsisServer(&histapprox.ServeConfig{Workers: *workers, MaxBatch: *maxBatch})
+
+	for _, raw := range loads {
+		raw := raw
+		boot(func() error {
+			name, path, err := nameValue(raw, "load")
+			if err != nil {
+				return err
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := srv.Load(name, f); err != nil {
+				return fmt.Errorf("loading %s: %w", path, err)
+			}
+			hosted = append(hosted, name+" ("+path+")")
+			return nil
+		})
+	}
+	for _, raw := range shardeds {
+		raw := raw
+		boot(func() error {
+			name, spec, err := nameValue(raw, "sharded")
+			if err != nil {
+				return err
+			}
+			parts := strings.Split(spec, ",")
+			if len(parts) < 2 || len(parts) > 4 {
+				return fmt.Errorf("-sharded wants name=n,k[,shards[,bufcap]], got %q", raw)
+			}
+			nums := make([]int, 4)
+			for i, p := range parts {
+				if nums[i], err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
+					return fmt.Errorf("-sharded %q: %w", raw, err)
+				}
+			}
+			engine, err := histapprox.NewShardedMaintainer(nums[0], nums[1], nums[2], nums[3], nil)
+			if err != nil {
+				return err
+			}
+			if err := srv.Host(name, engine); err != nil {
+				return err
+			}
+			hosted = append(hosted, fmt.Sprintf("%s (sharded n=%d k=%d shards=%d)", name, nums[0], nums[1], engine.Shards()))
+			return nil
+		})
+	}
+	if len(hosted) == 0 {
+		log.Print("warning: nothing hosted at boot; push snapshots via PUT /v1/{name}/snapshot")
+	}
+	for _, h := range hosted {
+		log.Printf("hosting %s", h)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/synopsis"
+)
+
+// ServePoint is one (workload, codec, concurrency) cell of the serving
+// benchmark: request latency percentiles and query throughput measured
+// against a live HTTP server over loopback.
+type ServePoint struct {
+	// Workload is "point" / "range" (one query per request) or
+	// "point_batch" / "range_batch" (Batch queries per request).
+	Workload string `json:"workload"`
+	// Codec is the request/response body format: "json" or "binary".
+	Codec string `json:"codec"`
+	// Concurrency is the number of simultaneous client goroutines.
+	Concurrency int `json:"concurrency"`
+	// Batch is the queries per request.
+	Batch int `json:"batch"`
+	// Requests is the total requests measured for this cell.
+	Requests int `json:"requests"`
+	// P50Us / P99Us are request latency percentiles in microseconds.
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+	// RPS is requests per second; QPS is queries per second (RPS × Batch).
+	RPS float64 `json:"rps"`
+	QPS float64 `json:"qps"`
+}
+
+// ServeReport is the BENCH_serve.json payload.
+type ServeReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	GoVersion  string       `json:"goversion"`
+	N          int          `json:"n"`
+	K          int          `json:"k"`
+	Note       string       `json:"note,omitempty"`
+	Points     []ServePoint `json:"points"`
+}
+
+// ServeConfig controls the serving benchmark sweep.
+type ServeConfig struct {
+	// N is the value-domain size; K the synopsis piece budget.
+	N, K int
+	// Batch is the queries per batched request.
+	Batch int
+	// Concurrency lists the simultaneous-client counts to sweep.
+	Concurrency []int
+	// Requests is the request count per cell at concurrency 1, scaled up
+	// linearly with concurrency so per-client work stays constant.
+	Requests int
+}
+
+// DefaultServeConfig is the recorded sweep: a k=1000 synopsis over 200k
+// values served to 1, 8, and 64 concurrent clients.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		N:           200_000,
+		K:           1000,
+		Batch:       512,
+		Concurrency: []int{1, 8, 64},
+		Requests:    400,
+	}
+}
+
+// QuickServeConfig is the CI smoke grid.
+func QuickServeConfig() ServeConfig {
+	return ServeConfig{
+		N:           20_000,
+		K:           100,
+		Batch:       128,
+		Concurrency: []int{1, 8},
+		Requests:    60,
+	}
+}
+
+// serveWorkload precomputes the query sets and request bodies for one cell:
+// encoding cost is the client's problem, so bodies are built once outside
+// the timed region and replayed.
+type serveWorkload struct {
+	url   string
+	ctype string
+	body  []byte
+}
+
+// RunServeBench boots the serving layer on a loopback listener, hosts a
+// V-optimal synopsis, and hammers it with every (workload, codec,
+// concurrency) cell: per-request latencies are recorded for percentiles,
+// throughput is requests (× batch) over wall clock. Responses are fully
+// read and, once per cell, decoded and spot-checked against the in-process
+// answer, so a cell can never "win" by serving garbage.
+func RunServeBench(cfg ServeConfig) ServeReport {
+	rep := ServeReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		N:          cfg.N,
+		K:          cfg.K,
+	}
+	if rep.GoMaxProcs < 2 {
+		rep.Note = "single-core environment: concurrency > 1 cells measure queueing, not parallel serving"
+	}
+
+	freq := ParallelBenchData(cfg.N, cfg.K)
+	syn, err := synopsis.VOptimal(freq, cfg.K)
+	must(err)
+	hist := syn.(interface{ Histogram() *core.Histogram }).Histogram()
+	hist.At(1) // build the query index outside every timed region
+
+	// Workers=1 per request: under concurrent load, cross-request
+	// parallelism beats intra-batch fan-out and keeps cells comparable.
+	srv := serve.NewServer(&serve.Config{Workers: 1})
+	must(srv.Host("col", hist))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wl := buildQueryWorkload(cfg.N, cfg.Batch)
+
+	type cellSpec struct {
+		workload string
+		batch    int
+		xs       []int // point queries (nil for range cells)
+		as, bs   []int // range queries (nil for point cells)
+	}
+	cells := []cellSpec{
+		{workload: "point", batch: 1, xs: wl.xs[:1]},
+		{workload: "range", batch: 1, as: wl.as[:1], bs: wl.bs[:1]},
+		{workload: "point_batch", batch: cfg.Batch, xs: wl.sortedXs},
+		{workload: "range_batch", batch: cfg.Batch, as: wl.sortedAs, bs: wl.sortedBs},
+	}
+
+	for _, cell := range cells {
+		// In-process truth for the spot check.
+		var want []float64
+		if cell.xs != nil {
+			want = hist.AtBatch(cell.xs, nil, 1)
+		} else {
+			want, err = synopsis.EstimateRangeBatch(syn, cell.as, cell.bs, 1)
+			must(err)
+		}
+		for _, codec := range []string{"json", "binary"} {
+			w := buildServeRequest(ts.URL, codec, cell.xs, cell.as, cell.bs)
+			verifyServeCell(ts.Client(), w, codec, want)
+			for _, conc := range cfg.Concurrency {
+				total := cfg.Requests * conc
+				lat := hammer(ts.Client(), w, conc, total)
+				rep.Points = append(rep.Points, summarizeServeCell(cell.workload, codec, conc, cell.batch, lat))
+			}
+		}
+	}
+	return rep
+}
+
+// buildServeRequest precomputes one cell's request bytes.
+func buildServeRequest(base, codec string, xs, as, bs []int) serveWorkload {
+	isPoint := xs != nil
+	w := serveWorkload{}
+	if isPoint {
+		w.url = base + "/v1/col/at"
+	} else {
+		w.url = base + "/v1/col/range"
+	}
+	var buf bytes.Buffer
+	if codec == "binary" {
+		w.ctype = serve.ContentBatch
+		if isPoint {
+			must(serve.EncodePointsBody(&buf, xs))
+		} else {
+			must(serve.EncodeRangesBody(&buf, as, bs))
+		}
+	} else {
+		w.ctype = serve.ContentJSON
+		enc := json.NewEncoder(&buf)
+		if isPoint {
+			must(enc.Encode(struct {
+				Points []int `json:"points"`
+			}{xs}))
+		} else {
+			must(enc.Encode(struct {
+				As []int `json:"as"`
+				Bs []int `json:"bs"`
+			}{as, bs}))
+		}
+	}
+	w.body = buf.Bytes()
+	return w
+}
+
+// verifyServeCell issues one request and checks the decoded values match the
+// in-process truth exactly.
+func verifyServeCell(hc *http.Client, w serveWorkload, codec string, want []float64) {
+	resp, err := hc.Post(w.url, w.ctype, bytes.NewReader(w.body))
+	must(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("bench: serve cell returned %s", resp.Status))
+	}
+	var got []float64
+	if codec == "binary" {
+		got, err = serve.DecodeValuesBody(resp.Body)
+		must(err)
+	} else {
+		var v struct {
+			Values []float64 `json:"values"`
+		}
+		must(json.NewDecoder(resp.Body).Decode(&v))
+		got = v.Values
+	}
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("bench: serve cell answered %d values, want %d", len(got), len(want)))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("bench: serve cell answer %d = %v, want %v", i, got[i], want[i]))
+		}
+	}
+}
+
+// hammer replays one prepared request from conc concurrent clients until
+// total requests complete, returning every request's latency.
+func hammer(hc *http.Client, w serveWorkload, conc, total int) []time.Duration {
+	perClient := total / conc
+	latencies := make([][]time.Duration, conc)
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				start := time.Now()
+				resp, err := hc.Post(w.url, w.ctype, bytes.NewReader(w.body))
+				must(err)
+				_, err = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				must(err)
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("bench: serve request returned %s", resp.Status))
+				}
+				lats = append(lats, time.Since(start))
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	return all
+}
+
+// summarizeServeCell folds raw latencies into one report point.
+func summarizeServeCell(workload, codec string, conc, batch int, lat []time.Duration) ServePoint {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(q float64) float64 {
+		return float64(sorted[int(q*float64(len(sorted)-1))].Nanoseconds()) / 1e3
+	}
+	var total time.Duration
+	for _, d := range lat {
+		total += d
+	}
+	// Wall-clock throughput: with conc in-flight requests, aggregate service
+	// time is total/conc.
+	wall := total / time.Duration(conc)
+	rps := float64(len(lat)) / wall.Seconds()
+	return ServePoint{
+		Workload:    workload,
+		Codec:       codec,
+		Concurrency: conc,
+		Batch:       batch,
+		Requests:    len(lat),
+		P50Us:       pct(0.50),
+		P99Us:       pct(0.99),
+		RPS:         rps,
+		QPS:         rps * float64(batch),
+	}
+}
+
+// WriteServeJSON renders the report as indented JSON — the BENCH_serve.json
+// trajectory recorded at the repository root.
+func WriteServeJSON(w io.Writer, rep ServeReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestServeBenchSmoke runs a minimal serving sweep end to end: the harness
+// must produce every (workload, codec, concurrency) cell with sane fields,
+// and the report must serialize. Answer correctness is asserted inside
+// RunServeBench itself (each cell is spot-checked against the in-process
+// call before it is timed).
+func TestServeBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP benchmark")
+	}
+	cfg := QuickServeConfig()
+	cfg.Requests = 12
+	cfg.Concurrency = []int{1, 2}
+	rep := RunServeBench(cfg)
+
+	wantCells := 4 * 2 * len(cfg.Concurrency) // workloads × codecs × concurrency
+	if len(rep.Points) != wantCells {
+		t.Fatalf("%d cells, want %d", len(rep.Points), wantCells)
+	}
+	for _, pt := range rep.Points {
+		if pt.Requests <= 0 || pt.QPS <= 0 || pt.RPS <= 0 {
+			t.Fatalf("degenerate cell: %+v", pt)
+		}
+		if pt.P50Us <= 0 || pt.P99Us < pt.P50Us {
+			t.Fatalf("latency percentiles out of order: %+v", pt)
+		}
+		if pt.QPS != pt.RPS*float64(pt.Batch) {
+			t.Fatalf("qps ≠ rps×batch: %+v", pt)
+		}
+		switch pt.Workload {
+		case "point", "range":
+			if pt.Batch != 1 {
+				t.Fatalf("single workload with batch %d", pt.Batch)
+			}
+		case "point_batch", "range_batch":
+			if pt.Batch != cfg.Batch {
+				t.Fatalf("batch workload with batch %d", pt.Batch)
+			}
+		default:
+			t.Fatalf("unknown workload %q", pt.Workload)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteServeJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestServeBenchRecordedBinaryBeatsJSON is the acceptance gate on the
+// RECORDED trajectory: in the committed BENCH_serve.json, every batched
+// cell's binary-body qps must be at least its JSON-body counterpart's. If a
+// re-recorded run loses a cell, fix the wire path (or re-record on a quiet
+// machine) rather than deleting the file.
+func TestServeBenchRecordedBinaryBeatsJSON(t *testing.T) {
+	blob, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Skipf("no recorded BENCH_serve.json: %v", err)
+	}
+	var rep ServeReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("recorded BENCH_serve.json does not parse: %v", err)
+	}
+	type key struct {
+		workload string
+		conc     int
+	}
+	qps := map[key]map[string]float64{}
+	for _, pt := range rep.Points {
+		k := key{pt.Workload, pt.Concurrency}
+		if qps[k] == nil {
+			qps[k] = map[string]float64{}
+		}
+		qps[k][pt.Codec] = pt.QPS
+	}
+	checked := 0
+	for k, byCodec := range qps {
+		if k.workload != "point_batch" && k.workload != "range_batch" {
+			continue
+		}
+		if byCodec["binary"] < byCodec["json"] {
+			t.Errorf("%s conc=%d: binary %.0f qps < json %.0f qps", k.workload, k.conc, byCodec["binary"], byCodec["json"])
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("recorded report has no batch cells")
+	}
+}

@@ -49,7 +49,10 @@ const Version = 1
 var Magic = [4]byte{'H', 'S', 'Y', 'N'}
 
 // Type tags identify the object inside an envelope. Values are part of the
-// wire format: never renumber, only append.
+// wire format: never renumber, only append. Tags 0xF0–0xFF are reserved for
+// the HTTP serving layer's request/response body frames (internal/serve),
+// which ride the same envelope machinery; synopsis tags must stay below
+// that range so a query body can never be mistaken for a synopsis.
 const (
 	TagHistogram     byte = 1 // core.Histogram
 	TagHierarchy     byte = 2 // core.Hierarchy

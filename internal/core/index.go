@@ -227,11 +227,14 @@ func (idx *queryIndex) rangeSumChunk(n int, as, bs []int, out []float64, lo, hi 
 
 // AtBatch evaluates h at every point of xs, writing results into out (which
 // is grown if shorter than xs) and returning it. Each query produces the
-// bit-identical value At returns, for every workers setting: 0 means all
-// cores, 1 forces the serial path. Consecutive queries hitting the same
-// piece skip the search entirely, so sorted batches run fastest; the serial
-// path with a reused output slice performs zero allocations. Panics on
-// out-of-range points, like At.
+// bit-identical value At returns, for every workers setting — the
+// Options.Workers convention: any value ≤ 0 means all cores (GOMAXPROCS),
+// 1 forces the serial path, any other positive value is used as given;
+// batches below the parallel grain run serially regardless, as a pure
+// performance heuristic. Consecutive queries hitting the same piece skip
+// the search entirely, so sorted batches run fastest; the serial path with
+// a reused output slice performs zero allocations. Panics on out-of-range
+// points, like At.
 func (h *Histogram) AtBatch(xs []int, out []float64, workers int) []float64 {
 	if cap(out) < len(xs) {
 		out = make([]float64, len(xs))
@@ -251,10 +254,12 @@ func (h *Histogram) AtBatch(xs []int, out []float64, workers int) []float64 {
 
 // RangeSumBatch answers the ranges [as[i], bs[i]] into out (grown if needed)
 // and returns it. Per-query results are bit-identical to RangeSum for every
-// workers setting; the batch only amortizes index access and exploits
-// sorted-query locality on the left endpoints, and the serial path with a
-// reused output slice performs zero allocations. Panics on invalid ranges
-// or if len(as) ≠ len(bs).
+// workers setting (the Options.Workers convention: ≤ 0 = all cores, 1 =
+// serial, other positive values as given, sub-grain batches serial); the
+// batch only amortizes index access and exploits sorted-query locality on
+// the left endpoints, and the serial path with a reused output slice
+// performs zero allocations. Panics on invalid ranges or if
+// len(as) ≠ len(bs).
 func (h *Histogram) RangeSumBatch(as, bs []int, out []float64, workers int) []float64 {
 	if len(as) != len(bs) {
 		panic(fmt.Sprintf("core: Histogram.RangeSumBatch: %d starts vs %d ends", len(as), len(bs)))

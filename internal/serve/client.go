@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Client talks to a synopsis server. The zero batch codec is JSON; Binary
+// selects the binary body format for batch calls — the two are
+// interchangeable (answers are bit-identical), binary just decodes faster
+// and ships fewer bytes. Snapshot calls always speak the binary envelope;
+// that IS the snapshot format.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://localhost:8157".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Binary selects binary bodies for At/Ranges/Add batches.
+	Binary bool
+}
+
+// NewClient builds a client for the server at base.
+func NewClient(base string, hc *http.Client, binary bool) *Client {
+	return &Client{Base: base, HTTP: hc, Binary: binary}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes a non-2xx response into an error.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e errorJSON
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("serve: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("serve: %s", resp.Status)
+}
+
+// do issues one request and returns the response on 2xx.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}
+
+// queryURL assembles /v1/{name}/{verb} with optional k.
+func (c *Client) queryURL(name, verb string, k int) string {
+	u := c.Base + "/v1/" + url.PathEscape(name) + "/" + verb
+	if k > 0 {
+		u += "?k=" + strconv.Itoa(k)
+	}
+	return u
+}
+
+// batch posts one batch body and decodes the value vector, honoring the
+// client's codec choice.
+func (c *Client) batch(u string, encodeBinary func(io.Writer) error, jsonBody any) ([]float64, error) {
+	var buf bytes.Buffer
+	ct := ContentJSON
+	if c.Binary {
+		ct = ContentBatch
+		if err := encodeBinary(&buf); err != nil {
+			return nil, err
+		}
+	} else if err := json.NewEncoder(&buf).Encode(jsonBody); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, u, &buf)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", ct)
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if c.Binary {
+		return DecodeValuesBody(resp.Body)
+	}
+	var v valuesJSON
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v.Values, nil
+}
+
+// At answers a batch of point queries against the named synopsis.
+func (c *Client) At(name string, xs []int) ([]float64, error) {
+	return c.AtForK(name, 0, xs)
+}
+
+// AtForK is At against a hosted hierarchy, resolved at piece budget k.
+func (c *Client) AtForK(name string, k int, xs []int) ([]float64, error) {
+	return c.batch(c.queryURL(name, "at", k),
+		func(w io.Writer) error { return EncodePointsBody(w, xs) },
+		pointsJSON{Points: xs})
+}
+
+// Ranges answers a batch of range queries [as[i], bs[i]].
+func (c *Client) Ranges(name string, as, bs []int) ([]float64, error) {
+	return c.RangesForK(name, 0, as, bs)
+}
+
+// RangesForK is Ranges against a hosted hierarchy at piece budget k.
+func (c *Client) RangesForK(name string, k int, as, bs []int) ([]float64, error) {
+	return c.batch(c.queryURL(name, "range", k),
+		func(w io.Writer) error { return EncodeRangesBody(w, as, bs) },
+		rangesJSON{As: as, Bs: bs})
+}
+
+// Point answers one point query via the GET form.
+func (c *Client) Point(name string, x int) (float64, error) {
+	return c.single(c.Base + "/v1/" + url.PathEscape(name) + "/at?x=" + strconv.Itoa(x))
+}
+
+// Range answers one range query via the GET form.
+func (c *Client) Range(name string, a, b int) (float64, error) {
+	return c.single(c.Base + "/v1/" + url.PathEscape(name) +
+		"/range?a=" + strconv.Itoa(a) + "&b=" + strconv.Itoa(b))
+}
+
+func (c *Client) single(u string) (float64, error) {
+	resp, err := c.http().Get(u)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return 0, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Value float64 `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return 0, err
+	}
+	return v.Value, nil
+}
+
+// Add ingests a batch of updates into the named streaming engine (nil
+// weights means unit weight per point).
+func (c *Client) Add(name string, points []int, weights []float64) error {
+	var buf bytes.Buffer
+	ct := ContentJSON
+	if c.Binary {
+		ct = ContentBatch
+		if err := EncodeAddBody(&buf, points, weights); err != nil {
+			return err
+		}
+	} else if err := json.NewEncoder(&buf).Encode(addJSON{Points: points, Weights: weights}); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/"+url.PathEscape(name)+"/add", &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ct)
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Snapshot fetches the named synopsis as one binary envelope into w — ready
+// to write to disk, decode with the library, or push to another server.
+func (c *Client) Snapshot(name string, w io.Writer) error {
+	resp, err := c.http().Get(c.Base + "/v1/" + url.PathEscape(name) + "/snapshot")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Push uploads a binary envelope, hot-swapping (or creating) the synopsis
+// served under name.
+func (c *Client) Push(name string, r io.Reader) error {
+	req, err := http.NewRequest(http.MethodPut, c.Base+"/v1/"+url.PathEscape(name)+"/snapshot", r)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ContentSnapshot)
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// List fetches the registry listing.
+func (c *Client) List() ([]NameInfo, error) {
+	resp, err := c.http().Get(c.Base + "/v1")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Synopses []NameInfo `json:"synopses"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v.Synopses, nil
+}

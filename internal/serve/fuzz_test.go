@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+)
+
+// fuzzTargets enumerates the request surface the fuzzer drives: every
+// endpoint family, with the method and paths fixed per slot so the fuzzer's
+// first byte selects a slot deterministically.
+var fuzzTargets = []struct {
+	method string
+	path   string
+}{
+	{http.MethodPost, "/v1/h/at"},
+	{http.MethodPost, "/v1/h/range"},
+	{http.MethodPost, "/v1/h/add"},
+	{http.MethodPost, "/v1/s/at"},
+	{http.MethodPost, "/v1/s/range"},
+	{http.MethodPost, "/v1/s/add"},
+	{http.MethodPut, "/v1/h/snapshot"},
+	{http.MethodPut, "/v1/s/snapshot"},
+	{http.MethodPut, "/v1/new/snapshot"},
+	{http.MethodPost, "/v1/hier/at"},
+	{http.MethodGet, "/v1/h/at?x=1"},
+	{http.MethodGet, "/v1/h/range?a=1&b=2"},
+}
+
+var fuzzContentTypes = []string{
+	ContentJSON,
+	ContentBatch,
+	ContentSnapshot,
+	"",
+	"text/plain; charset=utf-8",
+	"application/json; charset=\x7f",
+}
+
+// fuzzHandler builds one shared handler hosting a histogram, a sharded
+// engine, and a hierarchy. Shared across fuzz executions: the handler must
+// stay healthy under any request sequence, which is exactly the property
+// being fuzzed.
+var fuzzHandler = sync.OnceValue(func() http.Handler {
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	srv := NewServer(&Config{Workers: 1, MaxBatch: 1 << 12, MaxSnapshotBytes: 1 << 20})
+	data := testData(512)
+	res, err := core.ConstructHistogram(sparse.FromDense(data), 8, opts)
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.Host("h", res.Histogram); err != nil {
+		panic(err)
+	}
+	sh, err := stream.NewSharded(512, 4, 2, 64, opts)
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.Host("s", sh); err != nil {
+		panic(err)
+	}
+	if err := srv.Host("hier", core.ConstructHierarchicalHistogramWorkers(sparse.FromDense(data), 1)); err != nil {
+		panic(err)
+	}
+	return srv.Handler()
+})
+
+// FuzzServeRequest throws arbitrary bodies — malformed JSON, truncated or
+// corrupted binary frames, absurd lengths, junk snapshots — at every
+// endpoint. The contract: the handler NEVER panics (a panic fails the fuzz
+// run) and never reports a server-side failure for a client-side body; every
+// response is 2xx or 4xx.
+func FuzzServeRequest(f *testing.F) {
+	// Seed with one valid and one near-miss body per codec and shape.
+	var pts, rngs, add bytes.Buffer
+	if err := EncodePointsBody(&pts, []int{1, 2, 500}); err != nil {
+		f.Fatal(err)
+	}
+	if err := EncodeRangesBody(&rngs, []int{1, 4}, []int{3, 400}); err != nil {
+		f.Fatal(err)
+	}
+	if err := EncodeAddBody(&add, []int{5, 6}, []float64{1, -2.5}); err != nil {
+		f.Fatal(err)
+	}
+	for slot := range fuzzTargets {
+		f.Add(uint8(slot), uint8(0), []byte(`{"points":[1,2,3]}`))
+		f.Add(uint8(slot), uint8(1), pts.Bytes())
+	}
+	f.Add(uint8(1), uint8(1), rngs.Bytes())
+	f.Add(uint8(2), uint8(1), add.Bytes())
+	f.Add(uint8(0), uint8(0), []byte(`{"as":[1],"bs":[9]}`))
+	f.Add(uint8(0), uint8(1), pts.Bytes()[:len(pts.Bytes())-2]) // truncated
+	mutated := append([]byte(nil), rngs.Bytes()...)
+	mutated[len(mutated)/2] ^= 0xff
+	f.Add(uint8(4), uint8(1), mutated) // corrupted CRC
+	f.Add(uint8(6), uint8(2), []byte("HSYN\x01\x01garbage"))
+	f.Add(uint8(8), uint8(2), []byte{})
+	// Absurd length prefix: a points frame claiming 2^40 entries.
+	f.Add(uint8(0), uint8(1), []byte{'H', 'S', 'Y', 'N', 1, 0xF0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20})
+
+	handler := fuzzHandler()
+	f.Fuzz(func(t *testing.T, slot, ctype uint8, body []byte) {
+		target := fuzzTargets[int(slot)%len(fuzzTargets)]
+		ct := fuzzContentTypes[int(ctype)%len(fuzzContentTypes)]
+		req := httptest.NewRequest(target.method, target.path, bytes.NewReader(body))
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("%s %s (%q, %d body bytes): server-side status %d: %s",
+				target.method, target.path, ct, len(body), rec.Code, rec.Body.String())
+		}
+	})
+}

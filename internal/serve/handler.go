@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the HTTP handler serving the registry. Routing uses the
+// standard library mux; see the package comment for the endpoint table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1", s.handleList)
+	mux.HandleFunc("GET /v1/{name}/at", s.handleQuery)
+	mux.HandleFunc("POST /v1/{name}/at", s.handleQuery)
+	mux.HandleFunc("GET /v1/{name}/range", s.handleQuery)
+	mux.HandleFunc("POST /v1/{name}/range", s.handleQuery)
+	mux.HandleFunc("POST /v1/{name}/add", s.handleAdd)
+	mux.HandleFunc("GET /v1/{name}/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("PUT /v1/{name}/snapshot", s.handleSnapshotPut)
+	return mux
+}
+
+// JSON request/response shapes.
+type pointsJSON struct {
+	Points []int `json:"points"`
+}
+type rangesJSON struct {
+	As []int `json:"as"`
+	Bs []int `json:"bs"`
+}
+type addJSON struct {
+	Points  []int     `json:"points"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+type valuesJSON struct {
+	Values []float64 `json:"values"`
+}
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", ContentJSON)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// bodyErrStatus maps a request-body decode error to its status: an oversized
+// body (the MaxBytesReader tripping) is 413 — "shrink your batch", not
+// "malformed request" — and everything else is a plain 400.
+func bodyErrStatus(err error) int {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// writeJSON writes v as a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", ContentJSON)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// resolve loads the synopsis a request addresses, or writes the 404.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (served, bool) {
+	name := r.PathValue("name")
+	sv, ok := s.lookup(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no synopsis named %q", name)
+		return nil, false
+	}
+	return sv, true
+}
+
+// params extracts the per-request query knobs (?k= for hierarchies; the
+// batch fan-out comes from the server configuration).
+func (s *Server) params(r *http.Request) (queryParams, error) {
+	q := queryParams{workers: s.cfg.Workers}
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil {
+			return q, fmt.Errorf("bad k %q", raw)
+		}
+		q.k = k
+	}
+	return q, nil
+}
+
+// contentType parses the request's Content-Type, defaulting to JSON when the
+// header is absent.
+func contentType(r *http.Request) (string, error) {
+	raw := r.Header.Get("Content-Type")
+	if raw == "" {
+		return ContentJSON, nil
+	}
+	ct, _, err := mime.ParseMediaType(raw)
+	if err != nil {
+		return "", fmt.Errorf("bad Content-Type %q", raw)
+	}
+	return ct, nil
+}
+
+// handleList serves the registry listing.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Synopses []NameInfo `json:"synopses"`
+	}{Synopses: s.Names()})
+}
+
+// handleQuery serves /at and /range in both single (GET + URL params) and
+// batch (POST + body) form. The response codec follows the request codec.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	q, err := s.params(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	isRange := strings.HasSuffix(r.URL.Path, "/range")
+
+	if r.Method == http.MethodGet {
+		s.handleSingleQuery(w, r, sv, q, isRange)
+		return
+	}
+
+	ct, err := contentType(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxQueryBodyBytes(s.cfg.MaxBatch))
+	var values []float64
+	switch ct {
+	case ContentJSON:
+		var qerr error
+		if isRange {
+			var req rangesJSON
+			if err := decodeJSONBody(body, &req); err != nil {
+				httpError(w, bodyErrStatus(err), "%v", err)
+				return
+			}
+			if len(req.As) != len(req.Bs) {
+				httpError(w, http.StatusBadRequest, "%d starts for %d ends", len(req.As), len(req.Bs))
+				return
+			}
+			if len(req.As) > s.cfg.MaxBatch {
+				httpError(w, http.StatusBadRequest, "batch of %d exceeds the server's limit of %d", len(req.As), s.cfg.MaxBatch)
+				return
+			}
+			values, qerr = sv.rangeBatch(req.As, req.Bs, q)
+		} else {
+			var req pointsJSON
+			if err := decodeJSONBody(body, &req); err != nil {
+				httpError(w, bodyErrStatus(err), "%v", err)
+				return
+			}
+			if len(req.Points) > s.cfg.MaxBatch {
+				httpError(w, http.StatusBadRequest, "batch of %d exceeds the server's limit of %d", len(req.Points), s.cfg.MaxBatch)
+				return
+			}
+			values, qerr = sv.pointBatch(req.Points, q)
+		}
+		if qerr != nil {
+			httpError(w, http.StatusBadRequest, "%v", qerr)
+			return
+		}
+		writeJSON(w, valuesJSON{Values: values})
+	case ContentBatch:
+		var qerr error
+		if isRange {
+			as, bs, err := DecodeRangesBody(body, s.cfg.MaxBatch)
+			if err != nil {
+				httpError(w, bodyErrStatus(err), "%v", err)
+				return
+			}
+			values, qerr = sv.rangeBatch(as, bs, q)
+		} else {
+			xs, err := DecodePointsBody(body, s.cfg.MaxBatch)
+			if err != nil {
+				httpError(w, bodyErrStatus(err), "%v", err)
+				return
+			}
+			values, qerr = sv.pointBatch(xs, q)
+		}
+		if qerr != nil {
+			httpError(w, http.StatusBadRequest, "%v", qerr)
+			return
+		}
+		w.Header().Set("Content-Type", ContentBatch)
+		var buf bytes.Buffer
+		if err := EncodeValuesBody(&buf, values); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		_, _ = w.Write(buf.Bytes())
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want %q or %q)", ct, ContentJSON, ContentBatch)
+	}
+}
+
+// handleSingleQuery answers GET /at?x= and GET /range?a=&b= with a one-value
+// JSON object — the curl-friendly face of the batch machinery, answered by
+// the same adapters so single and batch answers are bit-identical.
+func (s *Server) handleSingleQuery(w http.ResponseWriter, r *http.Request, sv served, q queryParams, isRange bool) {
+	get := func(key string) (int, bool) {
+		v, err := strconv.Atoi(r.URL.Query().Get(key))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad or missing %s=%q", key, r.URL.Query().Get(key))
+			return 0, false
+		}
+		return v, true
+	}
+	var values []float64
+	var err error
+	if isRange {
+		a, ok := get("a")
+		if !ok {
+			return
+		}
+		b, ok := get("b")
+		if !ok {
+			return
+		}
+		values, err = sv.rangeBatch([]int{a}, []int{b}, q)
+	} else {
+		x, ok := get("x")
+		if !ok {
+			return
+		}
+		values, err = sv.pointBatch([]int{x}, q)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, struct {
+		Value float64 `json:"value"`
+	}{Value: values[0]})
+}
+
+// handleAdd serves ingest batches into a hosted streaming engine.
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	ing, ok := sv.(ingester)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "synopsis kind %q does not accept updates", sv.kind())
+		return
+	}
+	ct, err := contentType(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxQueryBodyBytes(s.cfg.MaxBatch))
+	var points []int
+	var weights []float64
+	switch ct {
+	case ContentJSON:
+		var req addJSON
+		if err := decodeJSONBody(body, &req); err != nil {
+			httpError(w, bodyErrStatus(err), "%v", err)
+			return
+		}
+		points, weights = req.Points, req.Weights
+	case ContentBatch:
+		if points, weights, err = DecodeAddBody(body, s.cfg.MaxBatch); err != nil {
+			httpError(w, bodyErrStatus(err), "%v", err)
+			return
+		}
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want %q or %q)", ct, ContentJSON, ContentBatch)
+		return
+	}
+	if len(points) > s.cfg.MaxBatch {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds the server's limit of %d", len(points), s.cfg.MaxBatch)
+		return
+	}
+	if weights != nil && len(weights) != len(points) {
+		httpError(w, http.StatusBadRequest, "%d weights for %d points", len(weights), len(points))
+		return
+	}
+	if err := ing.ingest(points, weights); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, struct {
+		Ingested int `json:"ingested"`
+	}{Ingested: len(points)})
+}
+
+// handleSnapshotGet streams the synopsis as one binary envelope. The
+// envelope is staged in memory first — synopses are O(k) numbers — so a
+// capture error still maps to a clean HTTP status instead of a torn body.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	var buf bytes.Buffer
+	if err := sv.snapshot(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", ContentSnapshot)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleSnapshotPut replaces (or creates) the synopsis served under a name
+// from a pushed binary envelope: decode and validate the complete
+// replacement first, then publish it with one atomic pointer store.
+// In-flight requests keep serving the object they already loaded.
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes)
+	if err := s.Load(name, body); err != nil {
+		status := http.StatusBadRequest
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	sv, _ := s.lookup(name)
+	writeJSON(w, struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	}{Name: name, Kind: sv.kind()})
+}
+
+// decodeJSONBody strictly decodes one JSON value, rejecting unknown fields,
+// trailing garbage, and oversized bodies (the MaxBytesReader surfaces here
+// as a read error).
+func decodeJSONBody(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// maxQueryBodyBytes bounds a query/ingest body: generous per-element worst
+// cases (JSON renders a float64 in ≤ 25 bytes; two of those plus separators
+// per range query) plus framing slack.
+func maxQueryBodyBytes(maxBatch int) int64 {
+	return int64(maxBatch)*64 + 4096
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// TestServeConcurrentAddRangeSnapshot hammers one served sharded maintainer
+// with parallel add, range, snapshot, and hot-swap traffic (run under -race
+// by CI). The assertions are the serving layer's consistency contract:
+//
+//   - every request succeeds (no request ever observes a half-swapped or
+//     half-compacted synopsis);
+//   - every snapshot decodes cleanly with the strict library decoder;
+//   - every snapshot is self-consistent: with unit-weight adds the
+//     maintained vector is non-negative, so the restored engine's prefix
+//     masses EstimateRange(1, x) must be non-decreasing in x, and the total
+//     mass must lie between the adds completed before the snapshot request
+//     and the adds started before its response.
+func TestServeConcurrentAddRangeSnapshot(t *testing.T) {
+	const (
+		n         = 5000
+		adders    = 4
+		rangers   = 4
+		snappers  = 2
+		perAdder  = 60 // batches per adder
+		batchSize = 50
+	)
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	engine, err := stream.NewSharded(n, 8, 4, 256, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(&Config{Workers: 1})
+	if err := srv.Host("s", engine); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var completedAdds atomic.Int64 // updates acknowledged by the server
+	var startedAdds atomic.Int64   // updates posted (ack pending or done)
+
+	var wg, addersWg sync.WaitGroup
+	errs := make(chan error, adders+rangers+snappers+1)
+
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		addersWg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			defer addersWg.Done()
+			c := NewClient(ts.URL, ts.Client(), a%2 == 0)
+			points := make([]int, batchSize)
+			for b := 0; b < perAdder; b++ {
+				for i := range points {
+					points[i] = 1 + (a*131071+b*8191+i*37)%n
+				}
+				startedAdds.Add(batchSize)
+				if err := c.Add("s", points, nil); err != nil {
+					errs <- fmt.Errorf("adder %d: %w", a, err)
+					return
+				}
+				completedAdds.Add(batchSize)
+			}
+		}(a)
+	}
+
+	done := make(chan struct{})
+	for r := 0; r < rangers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := NewClient(ts.URL, ts.Client(), r%2 == 0)
+			as := make([]int, 16)
+			bs := make([]int, 16)
+			for q := 0; ; q++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for i := range as {
+					a := 1 + (r*7919+q*211+i*97)%n
+					as[i] = a
+					bs[i] = a + (q*13+i)%(n-a+1)
+				}
+				vals, err := c.Ranges("s", as, bs)
+				if err != nil {
+					errs <- fmt.Errorf("ranger %d: %w", r, err)
+					return
+				}
+				for i, v := range vals {
+					if v < 0 || math.IsNaN(v) {
+						errs <- fmt.Errorf("ranger %d: negative/NaN mass %v for [%d, %d] under unit-weight adds", r, v, as[i], bs[i])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for s := 0; s < snappers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := NewClient(ts.URL, ts.Client(), false)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				before := completedAdds.Load()
+				var buf bytes.Buffer
+				if err := c.Snapshot("s", &buf); err != nil {
+					errs <- fmt.Errorf("snapper %d: %w", s, err)
+					return
+				}
+				after := startedAdds.Load()
+				restored, err := stream.RestoreSharded(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					errs <- fmt.Errorf("snapper %d: snapshot does not decode: %w", s, err)
+					return
+				}
+				// Monotone prefix masses on a unit-weight stream (up to
+				// float rounding of the summary arithmetic).
+				prev := -1.0
+				for _, x := range []int{1, n / 8, n / 4, n / 2, 3 * n / 4, n} {
+					v, err := restored.EstimateRange(1, x)
+					if err != nil {
+						errs <- fmt.Errorf("snapper %d: %w", s, err)
+						return
+					}
+					if v < prev-1e-6*(1+math.Abs(prev)) {
+						errs <- fmt.Errorf("snapper %d: prefix mass decreased: EstimateRange(1, %d) = %v < %v", s, x, v, prev)
+						return
+					}
+					prev = v
+				}
+				total, err := restored.EstimateRange(1, n)
+				if err != nil {
+					errs <- fmt.Errorf("snapper %d: %w", s, err)
+					return
+				}
+				// Unit weights: total mass counts absorbed updates. The
+				// snapshot must hold at least every add acknowledged before
+				// the request and at most every add started before the
+				// response (each shard is captured under its lock, so no
+				// update can be half-present).
+				if total < float64(before)-0.5 || total > float64(after)+0.5 {
+					errs <- fmt.Errorf("snapper %d: snapshot mass %v outside [%d, %d]", s, total, before, after)
+					return
+				}
+				if math.Abs(total-math.Round(total)) > 1e-6*math.Max(1, total) {
+					errs <- fmt.Errorf("snapper %d: unit-weight mass %v is not an integer", s, total)
+					return
+				}
+			}
+		}(s)
+	}
+
+	// One hot-swapper PUTs an independent histogram over a second name while
+	// the hammering runs — swaps must never disturb requests against "s".
+	swapHist := testHistogram(t, n, 10)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var blob bytes.Buffer
+		if _, err := swapHist.WriteTo(&blob); err != nil {
+			errs <- err
+			return
+		}
+		c := NewClient(ts.URL, ts.Client(), false)
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := c.Push("swap", bytes.NewReader(blob.Bytes())); err != nil {
+				errs <- fmt.Errorf("swapper: %w", err)
+				return
+			}
+			if _, err := c.Point("swap", 1+i%n); err != nil {
+				errs <- fmt.Errorf("swapper query: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Run until the adders finish, then stop the open-ended workers.
+	addersDone := make(chan struct{})
+	go func() {
+		defer close(addersDone)
+		addersWg.Wait()
+	}()
+
+	select {
+	case err := <-errs:
+		close(done)
+		wg.Wait()
+		t.Fatal(err)
+	case <-addersDone:
+		close(done)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+	}
+
+	// Final sanity: total mass equals every add issued.
+	total, err := engine.EstimateRange(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(adders * perAdder * batchSize)
+	if math.Abs(total-want) > 1e-6*want {
+		t.Fatalf("final mass %v, want %v", total, want)
+	}
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+)
+
+// Wire formats of the serving layer.
+//
+// Every endpoint speaks two body formats, negotiated by Content-Type:
+//
+//   - ContentJSON: the obvious JSON shapes ({"points": [...]},
+//     {"as": [...], "bs": [...]}, {"values": [...]}). Go's JSON encoder
+//     renders float64 with the shortest round-tripping representation, so
+//     even JSON responses parse back bit-identically.
+//   - ContentBatch: a binary frame on the same envelope machinery as the
+//     synopsis codec (magic "HSYN", format version, type tag, CRC-32C
+//     footer) with tags from the 0xF0 range reserved in internal/codec.
+//     Integers are varints; float values are the codec's XOR-packed raw
+//     IEEE-754 bits, so responses are bit-identical by construction and a
+//     truncated or corrupted body is rejected by the checksum before any
+//     result is trusted.
+//
+// Snapshot bodies (ContentSnapshot) are not defined here at all: they are
+// the PR 4 synopsis envelopes verbatim, streamed by the handler and decoded
+// by the same strict decoders the library uses.
+
+// Content types spoken by the serving layer.
+const (
+	// ContentJSON marks JSON request and response bodies.
+	ContentJSON = "application/json"
+	// ContentBatch marks binary batch request and response bodies.
+	ContentBatch = "application/x-hsyn-batch"
+	// ContentSnapshot marks a synopsis envelope (the PR 4 binary codec).
+	ContentSnapshot = "application/x-hsyn"
+)
+
+// Request/response body tags, from the 0xF0 range internal/codec reserves
+// for the serving layer. Part of the wire format: never renumber.
+const (
+	tagPointsBody byte = 0xF0 // point-query batch: count, points as varints
+	tagRangesBody byte = 0xF1 // range-query batch: count, (a, b) varint pairs
+	tagAddBody    byte = 0xF2 // ingest batch: points + optional packed weights
+	tagValuesBody byte = 0xF3 // response: packed float64 values
+)
+
+// EncodePointsBody frames a point-query batch. Points are written as signed
+// varints with no validation: validation is the server's job, and a client
+// must be able to send an out-of-range point and get a clean 4xx back.
+func EncodePointsBody(w io.Writer, xs []int) error {
+	enc := codec.NewWriter(w, tagPointsBody)
+	enc.Int(len(xs))
+	for _, x := range xs {
+		enc.Varint(int64(x))
+	}
+	return enc.Close()
+}
+
+// DecodePointsBody reads a point-query batch, enforcing maxBatch before any
+// allocation is sized by untrusted input.
+func DecodePointsBody(r io.Reader, maxBatch int) ([]int, error) {
+	dec, n, err := bodyHeader(r, tagPointsBody, maxBatch)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		v, err := dec.Varint()
+		if err != nil {
+			return nil, err
+		}
+		xs[i] = int(v)
+	}
+	if err := dec.Close(); err != nil {
+		return nil, err
+	}
+	return xs, nil
+}
+
+// EncodeRangesBody frames a range-query batch as (a, b) varint pairs.
+func EncodeRangesBody(w io.Writer, as, bs []int) error {
+	if len(as) != len(bs) {
+		return fmt.Errorf("serve: %d starts for %d ends", len(as), len(bs))
+	}
+	enc := codec.NewWriter(w, tagRangesBody)
+	enc.Int(len(as))
+	for i := range as {
+		enc.Varint(int64(as[i]))
+		enc.Varint(int64(bs[i]))
+	}
+	return enc.Close()
+}
+
+// DecodeRangesBody reads a range-query batch.
+func DecodeRangesBody(r io.Reader, maxBatch int) (as, bs []int, err error) {
+	dec, n, err := bodyHeader(r, tagRangesBody, maxBatch)
+	if err != nil {
+		return nil, nil, err
+	}
+	as = make([]int, n)
+	bs = make([]int, n)
+	for i := range as {
+		a, err := dec.Varint()
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := dec.Varint()
+		if err != nil {
+			return nil, nil, err
+		}
+		as[i], bs[i] = int(a), int(b)
+	}
+	if err := dec.Close(); err != nil {
+		return nil, nil, err
+	}
+	return as, bs, nil
+}
+
+// EncodeAddBody frames an ingest batch: points plus optional per-point
+// weights (nil means unit weight, encoded as an absence flag rather than a
+// materialized slice of ones).
+func EncodeAddBody(w io.Writer, points []int, weights []float64) error {
+	if weights != nil && len(weights) != len(points) {
+		return fmt.Errorf("serve: %d weights for %d points", len(weights), len(points))
+	}
+	enc := codec.NewWriter(w, tagAddBody)
+	enc.Int(len(points))
+	for _, p := range points {
+		enc.Varint(int64(p))
+	}
+	if weights == nil {
+		enc.Byte(0)
+	} else {
+		enc.Byte(1)
+		enc.PackedFloat64s(weights)
+	}
+	return enc.Close()
+}
+
+// DecodeAddBody reads an ingest batch. Weights, when present, are decoded by
+// the codec's packed-float reader, which rejects NaN and ±Inf — the binary
+// body gets the same strictness JSON gets from its grammar.
+func DecodeAddBody(r io.Reader, maxBatch int) (points []int, weights []float64, err error) {
+	dec, n, err := bodyHeader(r, tagAddBody, maxBatch)
+	if err != nil {
+		return nil, nil, err
+	}
+	points = make([]int, n)
+	for i := range points {
+		v, err := dec.Varint()
+		if err != nil {
+			return nil, nil, err
+		}
+		points[i] = int(v)
+	}
+	flag, err := dec.ReadByte()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		if weights, err = dec.PackedFloat64s(); err != nil {
+			return nil, nil, err
+		}
+		if len(weights) != len(points) {
+			return nil, nil, fmt.Errorf("serve: %d weights for %d points", len(weights), len(points))
+		}
+	default:
+		return nil, nil, fmt.Errorf("serve: bad weights flag %d", flag)
+	}
+	if err := dec.Close(); err != nil {
+		return nil, nil, err
+	}
+	return points, weights, nil
+}
+
+// EncodeValuesBody frames a response value vector with the codec's XOR-packed
+// raw-bits encoding: bit-identical floats in fewer bytes than either JSON or
+// plain little-endian.
+func EncodeValuesBody(w io.Writer, values []float64) error {
+	enc := codec.NewWriter(w, tagValuesBody)
+	enc.PackedFloat64s(values)
+	return enc.Close()
+}
+
+// DecodeValuesBody reads a response value vector.
+func DecodeValuesBody(r io.Reader) ([]float64, error) {
+	dec := codec.NewReader(r)
+	tag, err := dec.Header()
+	if err != nil {
+		return nil, err
+	}
+	if tag != tagValuesBody {
+		return nil, fmt.Errorf("serve: body holds tag %#02x, want values frame", tag)
+	}
+	values, err := dec.PackedFloat64s()
+	if err != nil {
+		return nil, err
+	}
+	if err := dec.Close(); err != nil {
+		return nil, err
+	}
+	return values, nil
+}
+
+// bodyHeader validates a request frame's envelope prefix, tag, and batch
+// length — the shared head of every binary request decoder.
+func bodyHeader(r io.Reader, wantTag byte, maxBatch int) (*codec.Reader, int, error) {
+	dec := codec.NewReader(r)
+	tag, err := dec.Header()
+	if err != nil {
+		return nil, 0, err
+	}
+	if tag != wantTag {
+		return nil, 0, fmt.Errorf("serve: body holds tag %#02x, want %#02x", tag, wantTag)
+	}
+	n, err := dec.SliceLen()
+	if err != nil {
+		return nil, 0, err
+	}
+	if n > maxBatch {
+		return nil, 0, fmt.Errorf("serve: batch of %d exceeds the server's limit of %d", n, maxBatch)
+	}
+	return dec, n, nil
+}

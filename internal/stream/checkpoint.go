@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// Checkpoint is an immutable capture of a sharded engine's state: every
+// shard's installed summary view plus its pending updates, detached from the
+// live engine. It exists for serving layers that stream snapshots to remote
+// replicas: Capture runs in O(pending) under the shard locks and NEVER waits
+// for an in-flight background compaction (an in-flight log is captured as
+// pending updates instead), so a snapshot request cannot stall behind a
+// merging run the way Sharded.Snapshot can. Encoding — the expensive half —
+// happens afterwards via WriteTo, outside every lock, against state no later
+// ingestion can touch.
+//
+// The captured state is exact: the checkpoint represents the same maintained
+// vector as the engine at capture time, and a Sharded restored from it (via
+// RestoreSharded) answers every EstimateRange bit-identically to the source
+// at the moment of capture — the pending-update scan visits the captured
+// entries in the same arrival order the source scans its in-flight + active
+// logs. What Checkpoint trades away against Snapshot is only the
+// *resume-cadence* guarantee: because an in-flight compaction's log is
+// demoted back to pending, the restored engine may group future merging runs
+// differently than the uninterrupted engine would have. Replication wants
+// the non-blocking capture; crash-restart wants Snapshot's bit-identical
+// resume.
+type Checkpoint struct {
+	n, k      int
+	opts      core.Options
+	bufferCap int
+	states    []maintainerState
+}
+
+// Checkpoint captures the engine's current state without waiting for
+// background compactions. Shards are visited one at a time under their
+// locks, giving the same per-shard consistency Summary and Snapshot offer
+// under concurrent ingestion: each shard contributes exactly the updates it
+// had absorbed when visited.
+func (s *Sharded) Checkpoint() (*Checkpoint, error) {
+	c := &Checkpoint{
+		n: s.n, k: s.k, opts: s.opts,
+		bufferCap: s.shards[0].bufCap,
+		states:    make([]maintainerState, len(s.shards)),
+	}
+	var combined []sparse.Entry
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.err != nil {
+			err := sh.err
+			sh.mu.Unlock()
+			return nil, err
+		}
+		// The in-flight log (if a compaction is running) precedes the active
+		// log in arrival order; captured together they are exactly the
+		// updates the installed view does not yet contain. Both are safe to
+		// read under mu: the compactor only reads inflight, and install runs
+		// under mu.
+		combined = combined[:0]
+		combined = append(combined, sh.inflight...)
+		combined = append(combined, sh.active...)
+		c.states[i] = captureState(sh.m, combined)
+		c.states[i].updates = sh.updates
+		sh.mu.Unlock()
+	}
+	return c, nil
+}
+
+// Shards returns the captured shard count.
+func (c *Checkpoint) Shards() int { return len(c.states) }
+
+// Updates returns the total updates the captured engine had ingested.
+func (c *Checkpoint) Updates() int {
+	total := 0
+	for i := range c.states {
+		total += c.states[i].updates
+	}
+	return total
+}
+
+// WriteTo encodes the checkpoint as one TagSharded binary envelope — the
+// same format Sharded.Snapshot writes, so RestoreSharded (and the top-level
+// Decode) reads it. A checkpoint is immutable: WriteTo may be called any
+// number of times and always emits identical bytes.
+func (c *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	enc := codec.NewWriter(w, codec.TagSharded)
+	encodeConfig(enc, c.n, c.k, c.opts, c.bufferCap)
+	enc.Int(len(c.states))
+	for i := range c.states {
+		c.states[i].encode(enc)
+	}
+	err := enc.Close()
+	return enc.Len(), err
+}

@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCheckpointMatchesSnapshotWhenQuiet pins the wire compatibility of the
+// non-blocking checkpoint: on a quiet engine (no in-flight compaction) it
+// must emit byte-identical envelopes to Snapshot, and repeated WriteTo calls
+// must be byte-identical to each other.
+func TestCheckpointMatchesSnapshotWhenQuiet(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	s, err := NewSharded(3000, 5, 3, 256, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := s.Add(1+(i*17)%3000, 1+float64(i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiesce: Summary drains every shard, so no compaction is in flight and
+	// the pending logs are empty — Checkpoint and Snapshot then capture the
+	// identical state.
+	if _, err := s.Summary(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b, snap bytes.Buffer
+	if _, err := ckpt.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckpt.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("checkpoint WriteTo is not deterministic")
+	}
+	if err := s.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), snap.Bytes()) {
+		t.Fatal("quiet-engine checkpoint differs from Snapshot")
+	}
+	if ckpt.Shards() != 3 {
+		t.Fatalf("Shards() = %d", ckpt.Shards())
+	}
+	if ckpt.Updates() != 2000 {
+		t.Fatalf("Updates() = %d", ckpt.Updates())
+	}
+}
+
+// TestCheckpointBitIdenticalEstimates checks the capture-time contract: a
+// Sharded restored from a checkpoint — including one taken with pending
+// uncompacted updates — answers EstimateRange bit-identically to the source
+// at the moment of capture.
+func TestCheckpointBitIdenticalEstimates(t *testing.T) {
+	const n = 2500
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	s, err := NewSharded(n, 4, 2, 4096, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed enough to compact, then leave a pending tail below the buffer
+	// capacity so the checkpoint carries live uncompacted updates.
+	for i := 0; i < 9000; i++ {
+		if err := s.Add(1+(i*31)%n, 1+float64(i%3)/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Summary(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.Add(1+(i*13)%n, 2.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpt, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ckpt.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSharded(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Updates() != s.Updates() {
+		t.Fatalf("restored %d updates, source %d", restored.Updates(), s.Updates())
+	}
+	for _, r := range [][2]int{{1, n}, {1, 1}, {n, n}, {n / 3, 2 * n / 3}, {7, 8}} {
+		want, err1 := s.EstimateRange(r[0], r[1])
+		got, err2 := restored.EstimateRange(r[0], r[1])
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("EstimateRange(%d, %d) = %v restored, %v source", r[0], r[1], got, want)
+		}
+	}
+}
+
+// TestCheckpointUnderConcurrentIngest hammers Checkpoint while producers
+// ingest: every capture must encode to a decodable envelope whose total
+// mass accounts for a prefix of each producer's stream (per-shard
+// consistency), and captures must never deadlock against background
+// compactions. Run under -race by CI.
+func TestCheckpointUnderConcurrentIngest(t *testing.T) {
+	const (
+		n         = 4000
+		producers = 3
+		perProd   = 3000
+	)
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	s, err := NewSharded(n, 6, 4, 128, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				if err := s.Add(1+(p*7919+i*29)%n, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	captures := 0
+	for {
+		ckpt, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ckpt.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := RestoreSharded(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("capture %d does not decode: %v", captures, err)
+		}
+		total, err := restored.EstimateRange(1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total < -0.5 || total > producers*perProd+0.5 {
+			t.Fatalf("capture %d: mass %v outside [0, %d]", captures, total, producers*perProd)
+		}
+		captures++
+		if captures >= 50 {
+			break
+		}
+	}
+	wg.Wait()
+	// Final capture after all producers stop must hold every update.
+	ckpt, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Updates() != producers*perProd {
+		t.Fatalf("final capture has %d updates, want %d", ckpt.Updates(), producers*perProd)
+	}
+}

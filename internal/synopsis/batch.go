@@ -15,12 +15,17 @@ type rangeBatcher interface {
 }
 
 // EstimateRangeBatch answers the ranges [as[i], bs[i]] in bulk: one index,
-// sorted-query locality on the histogram path, and optional fan-out across
-// workers goroutines (0 = all cores, 1 = serial — the same convention as
-// Options.Workers). Every element of the result is bit-identical to the
-// corresponding single EstimateRange call, so batching is purely a
-// throughput lever. Synopses without a native bulk path fall back to a
-// serial query loop.
+// sorted-query locality on the histogram path, and fan-out across workers
+// goroutines. The workers knob follows the Options.Workers convention on
+// EVERY path, native or fallback: any value ≤ 0 means all cores
+// (GOMAXPROCS), 1 forces the serial loop, any other positive value is used
+// as given; batches below the parallel grain run serially regardless, as a
+// pure performance heuristic. Every element of the result is bit-identical
+// to the corresponding single EstimateRange call for every workers setting,
+// so batching is purely a throughput lever. Synopses without a native bulk
+// path are validated up front (invalid queries are reported by their batch
+// index, lowest first) and served by a query loop fanned out under the same
+// contract.
 func EstimateRangeBatch(s Synopsis, as, bs []int, workers int) ([]float64, error) {
 	if len(as) != len(bs) {
 		return nil, fmt.Errorf("synopsis: batch shape mismatch: %d starts, %d ends", len(as), len(bs))
@@ -28,13 +33,42 @@ func EstimateRangeBatch(s Synopsis, as, bs []int, workers int) ([]float64, error
 	if rb, ok := s.(rangeBatcher); ok {
 		return rb.estimateRangeBatch(as, bs, workers)
 	}
+	if err := checkRanges(as, bs, s.N()); err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(as))
-	for i := range as {
-		est, err := s.EstimateRange(as[i], bs[i])
+	w := parallel.Resolve(workers)
+	if len(as) < parallel.MinGrain {
+		w = 1
+	}
+	if w <= 1 {
+		for i := range as {
+			est, err := s.EstimateRange(as[i], bs[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = est
+		}
+		return out, nil
+	}
+	// Ranges are pre-validated, but a custom Synopsis may still error for its
+	// own reasons: each chunk records at most one error and the first in
+	// chunk order wins, so the reported error does not depend on scheduling.
+	errs := make([]error, parallel.NumChunks(len(as), w))
+	parallel.ForChunks(w, len(as), w, func(ci, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			est, err := s.EstimateRange(as[i], bs[i])
+			if err != nil {
+				errs[ci] = fmt.Errorf("batch query %d: %w", i, err)
+				return
+			}
+			out[i] = est
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[i] = est
 	}
 	return out, nil
 }

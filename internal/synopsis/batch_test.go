@@ -1,0 +1,123 @@
+package synopsis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// opaque hides a synopsis's native batch path, forcing EstimateRangeBatch
+// onto the fallback loop — the stand-in for third-party Synopsis
+// implementations.
+type opaque struct {
+	s Synopsis
+}
+
+func (o opaque) EstimateRange(a, b int) (float64, error) { return o.s.EstimateRange(a, b) }
+func (o opaque) Pieces() int                             { return o.s.Pieces() }
+func (o opaque) N() int                                  { return o.s.N() }
+
+// flaky errors on one specific query — exercising error propagation out of
+// the fallback's parallel chunks.
+type flaky struct {
+	opaque
+	badA int
+}
+
+func (f flaky) EstimateRange(a, b int) (float64, error) {
+	if a == f.badA {
+		return 0, fmt.Errorf("synthetic failure at %d", a)
+	}
+	return f.opaque.EstimateRange(a, b)
+}
+
+// TestEstimateRangeBatchWorkersContract is the regression test for the
+// unified workers convention: EVERY batch entry point — native histogram
+// and wavelet paths and the fallback loop — must treat workers ≤ 0 as all
+// cores and produce results bit-identical to the serial single-query loop
+// for every workers value. Before the fix the fallback ignored workers
+// entirely, so a synopsis without a native batch path silently served
+// workers = 0 requests on one goroutine.
+func TestEstimateRangeBatchWorkersContract(t *testing.T) {
+	const n = 6000
+	freq := make([]float64, n)
+	state := uint64(17)
+	for i := range freq {
+		state = state*6364136223846793005 + 1442695040888963407
+		freq[i] = float64(state >> 40)
+	}
+	vopt, err := VOptimal(freq, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := Wavelet(freq, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A batch comfortably above the parallel grain, so workers ≠ 1 really
+	// takes the fan-out path.
+	count := parallel.MinGrain + 500
+	as := make([]int, count)
+	bs := make([]int, count)
+	for i := 0; i < count; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		a := 1 + int(state>>33)%n
+		as[i] = a
+		bs[i] = a + int(state>>3)%(n-a+1)
+	}
+
+	for label, syn := range map[string]Synopsis{
+		"native-histogram": vopt,
+		"native-wavelet":   wave,
+		"fallback":         opaque{s: vopt},
+	} {
+		want := make([]float64, count)
+		for i := range as {
+			if want[i], err = syn.EstimateRange(as[i], bs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, workers := range []int{-3, 0, 1, 2, 8} {
+			got, err := EstimateRangeBatch(syn, as, bs, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", label, workers, err)
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s workers=%d: batch[%d] = %v, single = %v",
+						label, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// Invalid queries are pre-validated on the fallback path and reported by
+	// the LOWEST failing index for every workers value — not whichever chunk
+	// a scheduler ran first.
+	badAs := append([]int(nil), as...)
+	badBs := append([]int(nil), bs...)
+	badAs[40], badBs[40] = 5, 2     // inverted
+	badAs[2000], badBs[2000] = 0, 1 // below domain
+	for _, workers := range []int{-1, 0, 1, 4} {
+		_, err := EstimateRangeBatch(opaque{s: vopt}, badAs, badBs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: invalid batch accepted", workers)
+		}
+		if !strings.Contains(err.Error(), "batch query 40") {
+			t.Fatalf("workers=%d: error %q does not name the lowest bad query", workers, err)
+		}
+	}
+
+	// A custom synopsis failing mid-batch must surface its error from the
+	// parallel chunks too, never a partial result.
+	f := flaky{opaque: opaque{s: vopt}, badA: as[100]}
+	for _, workers := range []int{0, 1, 3} {
+		if _, err := EstimateRangeBatch(f, as, bs, workers); err == nil {
+			t.Fatalf("workers=%d: mid-batch failure swallowed", workers)
+		}
+	}
+}

@@ -49,6 +49,19 @@ func Wavelet(freq []float64, b int) (Synopsis, error) {
 	return s, nil
 }
 
+// FromWavelet adapts an existing B-term wavelet synopsis (for example one
+// decoded from a TagWavelet envelope) into a range estimator, rebuilding the
+// derived prefix table by exactly the code path Wavelet uses — so an
+// estimator built from a decoded synopsis answers every EstimateRange
+// bit-identically to one built from the original frequency vector.
+func FromWavelet(ws *wavelet.Synopsis) (Synopsis, error) {
+	s, err := fromSynopsis(ws)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // EstimateRange implements Synopsis.
 func (s waveletSynopsis) EstimateRange(a, b int) (float64, error) {
 	if err := checkRange(a, b, s.pre.N()); err != nil {

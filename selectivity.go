@@ -7,10 +7,14 @@ import (
 // EstimateRanges answers a batch of range-count queries [as[i], bs[i]] from
 // one synopsis: the whole batch shares a single query index, consecutive
 // queries exploit sorted-query locality, and workers goroutines fan the
-// batch out (0 = all cores, 1 = serial — the Options.Workers convention).
-// Every element is bit-identical to the corresponding single EstimateRange
-// call; batching only buys throughput. This is the serving entry point for
-// the build-once/query-millions shape of selectivity estimation.
+// batch out. The workers knob follows the Options.Workers convention on
+// every synopsis type, native batch path or not: any value ≤ 0 means all
+// cores (GOMAXPROCS), 1 forces the serial loop, any other positive value is
+// used as given; batches below the parallel grain run serially regardless
+// as a pure performance heuristic. Every element is bit-identical to the
+// corresponding single EstimateRange call for every workers value; batching
+// only buys throughput. This is the serving entry point for the
+// build-once/query-millions shape of selectivity estimation.
 func EstimateRanges(est SelectivityEstimator, as, bs []int, workers int) ([]float64, error) {
 	return synopsis.EstimateRangeBatch(est, as, bs, workers)
 }

@@ -1,0 +1,82 @@
+package histapprox
+
+import (
+	"net/http"
+
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/synopsis"
+)
+
+// Serving over HTTP.
+//
+// A SynopsisServer hosts any number of named synopses behind an HTTP
+// handler, turning the build-once/query-millions shape of this library into
+// a deployable service (see cmd/histserved for the standalone daemon and
+// examples/server for a runnable walkthrough):
+//
+//	srv := histapprox.NewSynopsisServer(nil)
+//	srv.Host("latency", hist)                       // any synopsis type
+//	srv.Host("events", sharded)                     // live intake engine
+//	http.ListenAndServe(":8157", srv.Handler())
+//
+// Endpoints per hosted name: /v1/{name}/at and /v1/{name}/range answer
+// point/range queries (GET with ?x= / ?a=&b= for single queries, POST with
+// a JSON or binary batch body for bulk serving, routed to the indexed
+// AtBatch / RangeSumBatch / EstimateRanges kernels), /v1/{name}/add ingests
+// update batches into a hosted streaming engine, and /v1/{name}/snapshot
+// GETs or PUTs the synopsis as one PR 4 binary envelope — the replication
+// primitive: snapshot a live engine from one server and push it to another,
+// which hot-swaps the served object with a single atomic pointer store,
+// without blocking in-flight readers and without a lock anywhere on the
+// request path.
+//
+// Answers over the wire are bit-identical to calling the library directly:
+// binary bodies carry raw IEEE-754 bits, and JSON uses Go's shortest
+// round-tripping float rendering.
+
+// SynopsisServer hosts a registry of named synopses behind an HTTP handler.
+// All methods are safe for concurrent use.
+type SynopsisServer = serve.Server
+
+// ServeConfig tunes a SynopsisServer: batch fan-out workers (the
+// Options.Workers convention: ≤ 0 = all cores), per-request batch caps, and
+// the pushed-snapshot size limit.
+type ServeConfig = serve.Config
+
+// ServeClient is a typed client for a SynopsisServer: batched At/Ranges
+// queries (JSON or binary bodies), Add ingestion, and Snapshot/Push
+// replication.
+type ServeClient = serve.Client
+
+// ServedSynopsisInfo is one row of a server's registry listing.
+type ServedSynopsisInfo = serve.NameInfo
+
+// ShardedCheckpoint is an immutable, non-blocking capture of a
+// ShardedHistogram's state: Checkpoint() never waits for an in-flight
+// background compaction, and WriteTo emits the same binary envelope
+// Snapshot writes (restorable by RestoreShardedMaintainer). It is what a
+// server streams for GET /v1/{name}/snapshot on a hosted intake engine.
+type ShardedCheckpoint = stream.Checkpoint
+
+// NewSynopsisServer builds an HTTP synopsis server (nil cfg for defaults).
+// Host synopses with Host or Load, then mount Handler on any http server.
+func NewSynopsisServer(cfg *ServeConfig) *SynopsisServer {
+	return serve.NewServer(cfg)
+}
+
+// NewServeClient builds a client for the synopsis server at base (for
+// example "http://localhost:8157"). hc nil means http.DefaultClient; binary
+// selects binary batch bodies, which are bit-identical to JSON answers but
+// cheaper to ship and decode.
+func NewServeClient(base string, hc *http.Client, binary bool) *ServeClient {
+	return serve.NewClient(base, hc, binary)
+}
+
+// WaveletEstimatorOf adapts an existing WaveletSynopsis (for example one
+// decoded from a snapshot) into a range estimator answering the same
+// queries bit-identically to NewWaveletEstimator on the original frequency
+// vector.
+func WaveletEstimatorOf(ws *WaveletSynopsis) (SelectivityEstimator, error) {
+	return synopsis.FromWavelet(ws)
+}

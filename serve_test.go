@@ -1,0 +1,277 @@
+package histapprox
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// serveTestQueries is a deterministic query workload over [1, n].
+func serveTestQueries(n, count int) (xs, as, bs []int) {
+	state := uint64(4242)
+	xs = make([]int, count)
+	as = make([]int, count)
+	bs = make([]int, count)
+	for i := 0; i < count; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		xs[i] = 1 + int(state>>33)%n
+		a := 1 + int(state>>13)%n
+		as[i] = a
+		bs[i] = a + int(state>>3)%(n-a+1)
+	}
+	return xs, as, bs
+}
+
+func requireBits(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: wire %v, in-process %v (must be bit-identical)", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestServeGoldenSnapshotsOverTheWire boots a server via httptest, replays
+// every golden v1 snapshot fixture over PUT /snapshot, and asserts the wire
+// answers — JSON and binary bodies — are bit-identical to calling the
+// library directly on the decoded fixture. This is the end-to-end contract
+// of the serving layer: HTTP adds transport, never arithmetic.
+func TestServeGoldenSnapshotsOverTheWire(t *testing.T) {
+	srv := NewSynopsisServer(&ServeConfig{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	jsonClient := NewServeClient(ts.URL, ts.Client(), false)
+	binClient := NewServeClient(ts.URL, ts.Client(), true)
+
+	// The poly fixture is deliberately absent: piecewise polynomials have no
+	// point/range serving semantics yet, and the server must refuse them.
+	fixtures := []string{"histogram", "hierarchy", "cdf", "wavelet", "estimator", "maintainer", "sharded"}
+	const hierK = 3
+	for _, name := range fixtures {
+		blob, err := os.ReadFile(filepath.Join("testdata", name+"_v1.bin"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := jsonClient.Push(name, bytes.NewReader(blob)); err != nil {
+			t.Fatalf("%s: push: %v", name, err)
+		}
+
+		obj, err := Decode(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every fixture is built over [1, 600] (see codec_test.go).
+		const n = 600
+		xs, as, bs := serveTestQueries(n, 48)
+
+		var wantPoints, wantRanges []float64
+		estAll := func(er func(int, int) (float64, error), as, bs []int) []float64 {
+			out := make([]float64, len(as))
+			for i := range as {
+				v, err := er(as[i], bs[i])
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				out[i] = v
+			}
+			return out
+		}
+		switch obj := obj.(type) {
+		case *Histogram:
+			wantPoints = obj.AtBatch(xs, nil, 1)
+			wantRanges = obj.RangeSumBatch(as, bs, nil, 1)
+		case *Hierarchy:
+			res, err := obj.ForK(hierK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantPoints = res.Histogram.AtBatch(xs, nil, 1)
+			wantRanges = res.Histogram.RangeSumBatch(as, bs, nil, 1)
+		case *CDF:
+			wantPoints = make([]float64, len(xs))
+			for i, x := range xs {
+				if wantPoints[i], err = obj.At(x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wantRanges = make([]float64, len(as))
+			for i := range as {
+				hi, err := obj.At(bs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				var lo float64
+				if as[i] > 1 {
+					if lo, err = obj.At(as[i] - 1); err != nil {
+						t.Fatal(err)
+					}
+				}
+				wantRanges[i] = hi - lo
+			}
+		case *WaveletSynopsis:
+			est, err := WaveletEstimatorOf(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantPoints, err = EstimateRanges(est, xs, xs, 1); err != nil {
+				t.Fatal(err)
+			}
+			if wantRanges, err = EstimateRanges(est, as, bs, 1); err != nil {
+				t.Fatal(err)
+			}
+		case *StreamingHistogram:
+			wantPoints = estAll(obj.EstimateRange, xs, xs)
+			wantRanges = estAll(obj.EstimateRange, as, bs)
+		case *ShardedHistogram:
+			wantPoints = estAll(obj.EstimateRange, xs, xs)
+			wantRanges = estAll(obj.EstimateRange, as, bs)
+		default:
+			est, ok := obj.(SelectivityEstimator)
+			if !ok {
+				t.Fatalf("%s: decoded %T is not servable", name, obj)
+			}
+			if wantPoints, err = EstimateRanges(est, xs, xs, 1); err != nil {
+				t.Fatal(err)
+			}
+			if wantRanges, err = EstimateRanges(est, as, bs, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for label, c := range map[string]*ServeClient{"json": jsonClient, "binary": binClient} {
+			got, err := c.AtForK(name, hierK, xs)
+			if err != nil {
+				t.Fatalf("%s/%s: At: %v", name, label, err)
+			}
+			requireBits(t, name+"/"+label+"/at", got, wantPoints)
+			got, err = c.RangesForK(name, hierK, as, bs)
+			if err != nil {
+				t.Fatalf("%s/%s: Ranges: %v", name, label, err)
+			}
+			requireBits(t, name+"/"+label+"/range", got, wantRanges)
+		}
+
+		// The snapshot served back must decode with the library.
+		var back bytes.Buffer
+		if err := jsonClient.Snapshot(name, &back); err != nil {
+			t.Fatalf("%s: snapshot: %v", name, err)
+		}
+		if _, err := Decode(bytes.NewReader(back.Bytes())); err != nil {
+			t.Fatalf("%s: served snapshot does not decode: %v", name, err)
+		}
+	}
+
+	// The poly fixture must be refused, not mis-served.
+	blob, err := os.ReadFile(filepath.Join("testdata", "poly_v1.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonClient.Push("poly", bytes.NewReader(blob)); err == nil {
+		t.Fatal("pushing a piecewise-polynomial snapshot should be refused")
+	}
+}
+
+// TestServeReplicationRoundTrip is the restore → add → snapshot →
+// second-server chain: restore a sharded checkpoint into server A, ingest
+// over the wire, snapshot A, push into server B, and require B's answers to
+// be bit-identical to a library replica driven through the same states.
+func TestServeReplicationRoundTrip(t *testing.T) {
+	const (
+		n = 2000
+		k = 5
+		// One shard's pending log must never fill during the wire adds, so
+		// no background compaction can be mid-flight at snapshot time and
+		// the round trip stays bit-deterministic.
+		bufferCap = 8192
+	)
+	opts := DefaultOptions()
+	opts.Workers = 1
+
+	// Seed an engine, quiesce it, snapshot it: the "yesterday's checkpoint".
+	seed, err := NewShardedMaintainer(n, k, 3, bufferCap, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, weights := codecStream(n, 3000)
+	for i := range points {
+		if err := seed.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := seed.Summary(); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := Encode(&ckpt, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server A restores the checkpoint.
+	srvA := NewSynopsisServer(&ServeConfig{Workers: 1})
+	if err := srvA.Load("events", bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+	clientA := NewServeClient(tsA.URL, tsA.Client(), true)
+
+	// The library replica restores the same bytes and sees the same adds in
+	// the same order.
+	replica, err := RestoreShardedMaintainer(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addPts, addWts := codecStream(n, 700)
+	if err := clientA.Add("events", addPts, addWts); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.AddBatch(addPts, addWts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot A over the wire, push into a fresh server B.
+	var snap bytes.Buffer
+	if err := clientA.Snapshot("events", &snap); err != nil {
+		t.Fatal(err)
+	}
+	srvB := NewSynopsisServer(&ServeConfig{Workers: 1})
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+	clientB := NewServeClient(tsB.URL, tsB.Client(), false)
+	if err := clientB.Push("events", bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// B answers — over the wire — bit-identically to the in-process replica.
+	_, as, bs := serveTestQueries(n, 64)
+	want := make([]float64, len(as))
+	for i := range as {
+		if want[i], err = replica.EstimateRange(as[i], bs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := clientB.Ranges("events", as, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBits(t, "replicated ranges", got, want)
+
+	// And the replica's own snapshot must be byte-identical to what B would
+	// serve: same state, same envelope.
+	var fromB, fromReplica bytes.Buffer
+	if err := clientB.Snapshot("events", &fromB); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&fromReplica, replica); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromB.Bytes(), fromReplica.Bytes()) {
+		t.Fatal("server B's snapshot differs from the library replica's")
+	}
+}
