@@ -2,6 +2,7 @@ package histapprox
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 )
 
@@ -104,5 +105,40 @@ func BenchmarkQueryRangeBatch(b *testing.B) {
 				b.ReportMetric(float64(len(as)), "queries/op")
 			})
 		}
+	}
+}
+
+// BenchmarkQueryRangeBatchSorted pins the sorted-locality fast path for range
+// batches: with queries ordered by left endpoint, both endpoint locations
+// should ride the near-piece pre-filter (the right endpoint starting from the
+// left endpoint's piece) and almost never run a cold descent. A regression
+// here means a batch kernel change broke the locality chain even if random
+// batches got faster.
+func BenchmarkQueryRangeBatchSorted(b *testing.B) {
+	for _, k := range []int{10, 100, 1000} {
+		h := benchHistogram(b, k)
+		_, as, bs := benchQueries(benchQueryN, 4096)
+		type qr struct{ a, b int }
+		qs := make([]qr, len(as))
+		for i := range qs {
+			qs[i] = qr{as[i], bs[i]}
+		}
+		sort.Slice(qs, func(i, j int) bool {
+			if qs[i].a != qs[j].a {
+				return qs[i].a < qs[j].a
+			}
+			return qs[i].b < qs[j].b
+		})
+		for i, q := range qs {
+			as[i], bs[i] = q.a, q.b
+		}
+		out := make([]float64, len(as))
+		b.Run(fmt.Sprintf("k=%d/workers=1", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out = h.RangeSumBatch(as, bs, out, 1)
+			}
+			b.ReportMetric(float64(len(as)), "queries/op")
+		})
 	}
 }

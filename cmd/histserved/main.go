@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers, exposed only behind -pprof
 	"os"
 	"os/signal"
 	"strconv"
@@ -56,6 +57,7 @@ func main() {
 	addr := flag.String("addr", ":8157", "listen address")
 	workers := flag.Int("workers", 1, "per-request batch fan-out (≤ 0 = all cores; 1 is usually best under concurrent load)")
 	maxBatch := flag.Int("max-batch", 0, "max queries/updates per request body (0 = default)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 
 	var hosted []string
 	boot := func(fn func() error) {
@@ -129,6 +131,18 @@ func main() {
 	}
 	for _, h := range hosted {
 		log.Printf("hosting %s", h)
+	}
+
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux, which the query listener never uses — the
+		// profiling surface stays on its own (typically loopback-only) port.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

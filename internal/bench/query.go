@@ -18,7 +18,10 @@ type QueryPoint struct {
 	// Workload is one of "point" (Histogram.At), "range"
 	// (Synopsis.EstimateRange via the index), "range_scan" (the legacy
 	// O(pieces) scan, kept for the asymptotic comparison), "point_batch"
-	// (AtBatch) and "range_batch" (EstimateRangeBatch).
+	// (AtBatch) and "range_batch" (EstimateRangeBatch) over left-sorted
+	// queries, plus their "_unsorted" twins over the same queries in random
+	// order — the cells that isolate the software-pipelined Eytzinger
+	// descent, since no sorted-locality fast path can fire.
 	Workload string `json:"workload"`
 	K        int    `json:"k"`      // requested histogram size
 	Pieces   int    `json:"pieces"` // actual bucket count of the synopsis
@@ -208,7 +211,18 @@ func RunQueryBench(cfg QueryConfig) QueryReport {
 				outAt = hist.AtBatch(wl.sortedXs, outAt, w)
 			})
 			record("range_batch", w, len(wl.sortedAs), len(wl.sortedAs), func() {
-				res, err := synopsis.EstimateRangeBatch(syn, wl.sortedAs, wl.sortedBs, w)
+				res, err := synopsis.EstimateRangeBatchInto(syn, wl.sortedAs, wl.sortedBs, outRange, w)
+				must(err)
+				outRange = res
+			})
+			// Unsorted cells measure the pipelined-descent path directly: no
+			// locality to pre-filter on, every query a cold search, the lanes
+			// overlapping the boundary loads.
+			record("point_batch_unsorted", w, len(wl.xs), len(wl.xs), func() {
+				outAt = hist.AtBatch(wl.xs, outAt, w)
+			})
+			record("range_batch_unsorted", w, len(wl.as), len(wl.as), func() {
+				res, err := synopsis.EstimateRangeBatchInto(syn, wl.as, wl.bs, outRange, w)
 				must(err)
 				outRange = res
 			})

@@ -97,3 +97,52 @@ func TestServeBenchRecordedBinaryBeatsJSON(t *testing.T) {
 		t.Fatal("recorded report has no batch cells")
 	}
 }
+
+// TestServeBenchRecordedBeatsPR5Floors pins the zero-copy serving rewrite to
+// the trajectory: the committed BENCH_serve.json must show binary batch
+// throughput STRICTLY above the numbers recorded before the pooled
+// parse-in-place/append-into-frame path landed (PR 5, same box, same sweep).
+// If a re-record loses a cell, the serving hot path has regressed — fix it or
+// re-record on a quiet machine; do not relax the floors.
+func TestServeBenchRecordedBeatsPR5Floors(t *testing.T) {
+	blob, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Skipf("no recorded BENCH_serve.json: %v", err)
+	}
+	var rep ServeReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("recorded BENCH_serve.json does not parse: %v", err)
+	}
+	type key struct {
+		workload string
+		conc     int
+	}
+	// Binary batch qps recorded in the PR 5 BENCH_serve.json (streaming
+	// encode/decode path, k=1000, n=200k, batch=512).
+	floors := map[key]float64{
+		{"point_batch", 1}:  3724217.6124360934,
+		{"point_batch", 8}:  3655350.323931439,
+		{"point_batch", 64}: 2929678.96205242,
+		{"range_batch", 1}:  2297230.950565676,
+		{"range_batch", 8}:  1950832.2034187987,
+		{"range_batch", 64}: 2004357.9318651396,
+	}
+	matched := 0
+	for _, pt := range rep.Points {
+		if pt.Codec != "binary" {
+			continue
+		}
+		floor, ok := floors[key{pt.Workload, pt.Concurrency}]
+		if !ok {
+			continue
+		}
+		matched++
+		if !(pt.QPS > floor) {
+			t.Errorf("%s binary conc=%d: recorded %.0f qps, PR 5 floor %.0f — zero-copy path must beat it strictly",
+				pt.Workload, pt.Concurrency, pt.QPS, floor)
+		}
+	}
+	if matched == 0 {
+		t.Fatal("recorded report has no cells matching the PR 5 floor grid")
+	}
+}

@@ -1,0 +1,161 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Append-into-frame helpers: the allocation-free face of the envelope
+// format, used by the serving layer's zero-copy response path.
+//
+// The Writer/Reader pair streams through an io.Writer/io.Reader and feeds a
+// running hash.Hash32 one small write at a time — the right shape for
+// snapshot files, and the wrong one for a hot serving loop, where the
+// interface calls and per-write CRC updates dominate the actual payload
+// bytes. These helpers instead build one complete envelope in a caller-owned
+// []byte (typically a pooled response buffer): header appended up front,
+// payload appended in place, and the CRC-32C footer computed by one
+// hardware-accelerated pass over the filled region. The bytes produced are
+// identical to the Writer's for the same payload, and ParseFrame accepts
+// either producer's envelopes.
+
+// AppendFrameHeader appends the 6-byte envelope header (magic, version, tag)
+// for a frame starting at len(dst) and returns the extended slice. Pair with
+// FinishFrame, passing the pre-append length as the frame start.
+func AppendFrameHeader(dst []byte, tag byte) []byte {
+	return append(dst, Magic[0], Magic[1], Magic[2], Magic[3], Version, tag)
+}
+
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(dst []byte, u uint64) []byte {
+	return binary.AppendUvarint(dst, u)
+}
+
+// AppendVarint appends a zig-zag signed varint.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendPackedFloat64s appends a length prefix followed by the XOR-delta
+// byte-aligned packing Writer.PackedFloat64s produces — bit-identical bytes,
+// no intermediate buffer.
+func AppendPackedFloat64s(dst []byte, fs []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(fs)))
+	var prev uint64
+	for i := 0; i < len(fs); i += 2 {
+		x1 := math.Float64bits(fs[i]) ^ prev
+		prev = math.Float64bits(fs[i])
+		lz1 := leadingZeroBytes(x1)
+		var x2 uint64
+		lz2 := 8
+		if i+1 < len(fs) {
+			x2 = math.Float64bits(fs[i+1]) ^ prev
+			prev = math.Float64bits(fs[i+1])
+			lz2 = leadingZeroBytes(x2)
+		}
+		dst = append(dst, byte(lz1<<4)|byte(lz2))
+		dst = appendBigEndianTail(dst, x1, 8-lz1)
+		if i+1 < len(fs) {
+			dst = appendBigEndianTail(dst, x2, 8-lz2)
+		}
+	}
+	return dst
+}
+
+// appendBigEndianTail appends the low nb bytes of x, most significant first.
+func appendBigEndianTail(dst []byte, x uint64, nb int) []byte {
+	for b := nb - 1; b >= 0; b-- {
+		dst = append(dst, byte(x>>(8*b)))
+	}
+	return dst
+}
+
+// FinishFrame closes the envelope that starts at dst[frameStart:]: it
+// computes the CRC-32C over the filled region (header through payload) in
+// one pass and appends the 4-byte footer, returning the completed slice.
+func FinishFrame(dst []byte, frameStart int) []byte {
+	sum := crc32.Checksum(dst[frameStart:], castagnoli)
+	return append(dst, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+}
+
+// ParseFrame validates one complete envelope held in buf — magic, version,
+// and the CRC-32C footer over everything before it — and returns the type
+// tag plus the payload bytes between header and footer. The payload is a
+// sub-slice of buf (no copy); callers decode it with FramePayload. Because
+// the checksum is verified up front in one pass, payload decoding needs no
+// incremental hashing at all.
+func ParseFrame(buf []byte) (tag byte, payload []byte, err error) {
+	if len(buf) < 10 { // 6-byte header + 4-byte footer
+		return 0, nil, fmt.Errorf("codec: frame of %d bytes is shorter than an empty envelope", len(buf))
+	}
+	if [4]byte(buf[:4]) != Magic {
+		return 0, nil, fmt.Errorf("codec: bad magic %q", buf[:4])
+	}
+	if buf[4] != Version {
+		return 0, nil, fmt.Errorf("codec: unsupported format version %d (have %d)", buf[4], Version)
+	}
+	body, foot := buf[:len(buf)-4], buf[len(buf)-4:]
+	if got, want := binary.LittleEndian.Uint32(foot), crc32.Checksum(body, castagnoli); got != want {
+		return 0, nil, fmt.Errorf("%w: footer %08x, computed %08x", ErrChecksum, got, want)
+	}
+	return buf[5], body[6:], nil
+}
+
+// FramePayload is a cursor over a ParseFrame payload: the zero-allocation
+// counterpart of Reader's payload methods. The checksum has already been
+// verified by ParseFrame, so methods only validate shape. Methods return an
+// error rather than panicking, whatever the bytes — decoding untrusted data
+// is the point.
+type FramePayload struct {
+	buf []byte
+	off int
+}
+
+// NewFramePayload wraps payload bytes returned by ParseFrame.
+func NewFramePayload(payload []byte) FramePayload {
+	return FramePayload{buf: payload}
+}
+
+// Uvarint reads an unsigned varint.
+func (p *FramePayload) Uvarint() (uint64, error) {
+	u, n := binary.Uvarint(p.buf[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("codec: reading uvarint at offset %d", p.off)
+	}
+	p.off += n
+	return u, nil
+}
+
+// Varint reads a zig-zag signed varint.
+func (p *FramePayload) Varint() (int64, error) {
+	v, n := binary.Varint(p.buf[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("codec: reading varint at offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+// SliceLen reads a length prefix under the same sanity bound Reader.SliceLen
+// enforces.
+func (p *FramePayload) SliceLen() (int, error) {
+	u, err := p.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u > maxElems {
+		return 0, fmt.Errorf("codec: length %d exceeds sanity bound", u)
+	}
+	return int(u), nil
+}
+
+// Done reports whether the payload has been fully consumed; decoders call it
+// last so trailing garbage inside a checksummed frame is still rejected.
+func (p *FramePayload) Done() error {
+	if p.off != len(p.buf) {
+		return fmt.Errorf("codec: %d trailing payload bytes", len(p.buf)-p.off)
+	}
+	return nil
+}

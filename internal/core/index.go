@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/parallel"
@@ -13,6 +14,15 @@ import (
 // the left-to-right prefix masses that turn range sums into O(1) arithmetic,
 // and an Eytzinger (BFS) layout of the boundaries so the point-location
 // binary search is closure-free and branch-predictor friendly.
+//
+// The Eytzinger tree is padded to a perfect tree (the next power of two)
+// with +inf sentinel boundaries in the spare in-order slots. That buys two
+// things: the scalar descent becomes a fixed-trip-count, fully branchless
+// loop (no j ≤ k exit test feeding the branch predictor), and — the point —
+// every search descends exactly the same number of levels, so findLanes can
+// advance a whole batch of independent queries one tree level per iteration
+// with their boundary loads overlapping in flight instead of serializing on
+// cache misses.
 //
 // The index is immutable once built. Histograms are immutable after
 // construction (Pieces is documented read-only), so the index is built
@@ -30,25 +40,41 @@ type queryIndex struct {
 	// two of these prefixes, and the bit-identity tests replay the same
 	// accumulation sequence linearly.
 	prefix []float64
-	// eytz[1..k] holds ends in BFS order (slot 0 unused): the children of
-	// slot j are 2j and 2j+1, so the search touches one cache line per
-	// level instead of striding across the sorted array.
+	// eytz[1..m-1] holds ends in BFS order over a perfect tree (slot 0
+	// unused, m = len(eytz) a power of two): the children of slot j are 2j
+	// and 2j+1, so the search touches one cache line per level instead of
+	// striding across the sorted array. In-order slots past the k real
+	// boundaries hold math.MaxInt sentinels, so every descent runs exactly
+	// log₂(m) levels.
 	eytz []int
-	// rank maps an eytz slot back to the domain-order piece position.
+	// rank maps an eytz slot back to the domain-order piece position
+	// (sentinel slots map past the end and are never returned for in-range
+	// queries).
 	rank []int32
 }
+
+// batchLanes is the software-pipeline width of the batched point-location
+// kernels: findLanes advances up to this many independent descents one tree
+// level per pass, enough to cover the latency of an L2/L3 boundary load with
+// the seven other lanes' loads.
+const batchLanes = 8
 
 // buildQueryIndex snapshots the pieces into the SoA arrays. O(k) time,
 // called at most once per histogram per publication race (losing builders
 // are discarded).
 func buildQueryIndex(pieces []Piece) *queryIndex {
 	k := len(pieces)
+	// m is the smallest power of two with m-1 ≥ k tree slots.
+	m := 1
+	for m-1 < k {
+		m <<= 1
+	}
 	idx := &queryIndex{
 		ends:   make([]int, k),
 		values: make([]float64, k),
 		prefix: make([]float64, k+1),
-		eytz:   make([]int, k+1),
-		rank:   make([]int32, k+1),
+		eytz:   make([]int, m),
+		rank:   make([]int32, m),
 	}
 	for j, pc := range pieces {
 		idx.ends[j] = pc.Hi
@@ -58,12 +84,21 @@ func buildQueryIndex(pieces []Piece) *queryIndex {
 	pos := 0
 	var fill func(slot int)
 	fill = func(slot int) {
-		if slot > k {
+		if slot >= m {
 			return
 		}
 		fill(2 * slot)
-		idx.eytz[slot] = idx.ends[pos]
-		idx.rank[slot] = int32(pos)
+		if pos < k {
+			idx.eytz[slot] = idx.ends[pos]
+			idx.rank[slot] = int32(pos)
+		} else {
+			// Sentinel: larger than any in-range query, so padded levels
+			// always descend left. rank points past the real pieces so a
+			// contract violation (x above the domain) fails loudly instead
+			// of answering from the wrong piece.
+			idx.eytz[slot] = math.MaxInt
+			idx.rank[slot] = int32(k)
+		}
 		pos++
 		fill(2*slot + 1)
 	}
@@ -73,37 +108,82 @@ func buildQueryIndex(pieces []Piece) *queryIndex {
 
 // find returns the domain-order position of the piece containing x, i.e. the
 // first j with ends[j] ≥ x. The caller guarantees 1 ≤ x ≤ n, so a containing
-// piece always exists. The loop is the Eytzinger lower-bound walk: one
-// comparison per tree level, no closure, and a data-dependent increment the
-// compiler can lower to a conditional move.
+// piece always exists. The loop is the branchless Eytzinger lower-bound walk
+// over the sentinel-padded perfect tree: exactly log₂(m) iterations, one
+// data-dependent increment per level the compiler lowers to a conditional
+// move.
 func (idx *queryIndex) find(x int) int {
-	k := len(idx.ends)
+	eytz := idx.eytz
 	j := 1
-	for j <= k {
+	for j < len(eytz) {
 		step := 0
-		if idx.eytz[j] < x {
+		if eytz[j] < x {
 			step = 1
 		}
 		j = 2*j + step
 	}
-	// Undo the virtual descent: strip the trailing 1-bits (right turns past
-	// the answer) and the final level bit to land on the lower-bound slot.
+	// Undo the descent: strip the trailing 1-bits (right turns past the
+	// answer) and the final level bit to land on the lower-bound slot.
 	j >>= bits.TrailingZeros(^uint(j)) + 1
 	return int(idx.rank[j])
 }
 
-// findFrom is find with a locality fast path for sorted or clustered query
-// batches: if x lands in the piece found by the previous query in the batch
-// (or the one immediately after it), no search runs. The result is the same
-// position find returns — the fast path only short-circuits the walk.
-func (idx *queryIndex) findFrom(last, x int) int {
+// findLanes resolves np ≤ batchLanes independent point locations in one
+// software-pipelined descent: all lanes advance one tree level per outer
+// iteration, so the np boundary loads of a level are independent and overlap
+// in flight — the memory-level-parallelism win that makes random batches run
+// near the speed of cache-resident ones. Every lane's result is the exact
+// slot the scalar find returns; the padded perfect tree guarantees all lanes
+// share the same trip count, so there is no per-lane exit test inside the
+// hot loop.
+func (idx *queryIndex) findLanes(xs *[batchLanes]int, np int, out *[batchLanes]int32) {
+	eytz := idx.eytz
+	m := len(eytz)
+	var j [batchLanes]int
+	for l := 0; l < np; l++ {
+		j[l] = 1
+	}
+	for lvl := 1; lvl < m; lvl <<= 1 {
+		for l := 0; l < np; l++ {
+			jl := j[l]
+			step := 0
+			if eytz[jl] < xs[l] {
+				step = 1
+			}
+			j[l] = 2*jl + step
+		}
+	}
+	for l := 0; l < np; l++ {
+		jj := j[l]
+		jj >>= bits.TrailingZeros(^uint(jj)) + 1
+		out[l] = idx.rank[jj]
+	}
+}
+
+// near is the sorted-locality pre-filter shared by the batch kernels: it
+// reports whether x lands in piece last or the one immediately after it (the
+// two hits sorted or clustered batches produce almost always), without
+// running a search. A hit is the same position find returns — the guess is
+// verified against both piece edges, so any last, even a stale one, is safe.
+func (idx *queryIndex) near(last, x int) (int, bool) {
 	if last >= 0 && last < len(idx.ends) && x <= idx.ends[last] {
 		if last == 0 || x > idx.ends[last-1] {
-			return last
+			return last, true
 		}
 	} else if next := last + 1; last >= 0 && next < len(idx.ends) &&
 		x > idx.ends[next-1] && x <= idx.ends[next] {
-		return next
+		return next, true
+	}
+	return 0, false
+}
+
+// findFrom is find with the locality fast path for sorted or clustered query
+// sequences: if x lands in the piece found by the previous query (or the one
+// immediately after it), no search runs. The result is the same position
+// find returns — the fast path only short-circuits the walk.
+func (idx *queryIndex) findFrom(last, x int) int {
+	if p, ok := idx.near(last, x); ok {
+		return p
 	}
 	return idx.find(x)
 }
@@ -120,12 +200,24 @@ func (idx *queryIndex) lo(j int) int {
 // two point locations, then O(1) arithmetic — the two partial edge pieces
 // computed directly (so sub-piece queries never difference large prefixes)
 // plus the prefix-mass difference of the whole pieces strictly between them.
+// The right-endpoint search starts from the left endpoint's piece (b ≥ a, so
+// pa is a valid locality hint), which short-circuits the second walk for the
+// short ranges real selectivity workloads are full of.
 func (idx *queryIndex) rangeSum(a, b int) float64 {
 	pa := idx.find(a)
 	if b <= idx.ends[pa] {
 		return float64(b-a+1) * idx.values[pa]
 	}
-	pb := idx.find(b)
+	pb := idx.findFrom(pa, b)
+	return idx.rangeParts(pa, pb, a, b)
+}
+
+// rangeParts is the shared O(1) arithmetic of every range-sum path once both
+// endpoint pieces are located, with pa < pb: the two partial edge pieces
+// computed directly plus the prefix-mass difference of the whole pieces
+// strictly between them. The term order is part of the query semantics (the
+// bit-identity oracle replays it).
+func (idx *queryIndex) rangeParts(pa, pb, a, b int) float64 {
 	left := float64(idx.ends[pa]-a+1) * idx.values[pa]
 	mid := idx.prefix[pb] - idx.prefix[pa+1]
 	right := float64(b-idx.lo(pb)+1) * idx.values[pb]
@@ -187,24 +279,59 @@ func batchWorkers(workers, batch int) int {
 
 // atChunk answers the point queries xs[lo:hi] into out[lo:hi]: the serial
 // kernel both the single-threaded batch path and every parallel worker run.
-// It is a standalone function (not a closure) so the serial path stays
-// allocation-free.
+// Queries are processed in blocks of batchLanes: each query first tries the
+// sorted-locality pre-filter (near), and the misses are gathered and
+// resolved together by one pipelined findLanes descent, so sorted batches
+// keep their search-free fast path while random batches overlap their
+// boundary loads across lanes. Everything lives in fixed-size stack arrays,
+// so the serial path stays allocation-free.
 func (idx *queryIndex) atChunk(n int, xs []int, out []float64, lo, hi int) {
 	last := -1
-	for qi := lo; qi < hi; qi++ {
-		x := xs[qi]
-		if x < 1 || x > n {
-			panic(fmt.Sprintf("core: Histogram.AtBatch point %d out of [1, %d]", x, n))
+	var lx [batchLanes]int   // gathered misses: query values
+	var li [batchLanes]int   // gathered misses: absolute query indices
+	var lp [batchLanes]int32 // resolved piece positions
+	for base := lo; base < hi; {
+		end := base + batchLanes
+		if end > hi {
+			end = hi
 		}
-		last = idx.findFrom(last, x)
-		out[qi] = idx.values[last]
+		np := 0
+		for qi := base; qi < end; qi++ {
+			x := xs[qi]
+			if x < 1 || x > n {
+				panic(fmt.Sprintf("core: Histogram.AtBatch point %d out of [1, %d]", x, n))
+			}
+			if p, ok := idx.near(last, x); ok {
+				last = p
+				out[qi] = idx.values[p]
+			} else {
+				lx[np] = x
+				li[np] = qi
+				np++
+			}
+		}
+		if np > 0 {
+			idx.findLanes(&lx, np, &lp)
+			for l := 0; l < np; l++ {
+				out[li[l]] = idx.values[lp[l]]
+			}
+			last = int(lp[np-1])
+		}
+		base = end
 	}
 }
 
-// rangeSumChunk answers the range queries [as[i], bs[i]] for i in [lo, hi)
-// into out: the shared serial/parallel batch kernel, with the sorted-query
-// locality fast path on the left endpoints.
-func (idx *queryIndex) rangeSumChunk(n int, as, bs []int, out []float64, lo, hi int) {
+// smallTree is the Eytzinger size below which the pipelined range kernel
+// loses to a plain per-query loop: the whole tree is a couple of cache lines,
+// so there are no load latencies to overlap and the lane staging is pure
+// overhead.
+const smallTree = 64
+
+// rangeSumChunkSmall is the scalar range kernel for cache-resident trees:
+// per-query locality chaining (the previous left endpoint seeds the next
+// search) with no lane staging. Results are identical to the pipelined
+// kernel — both are built from the same find/near/rangeParts primitives.
+func (idx *queryIndex) rangeSumChunkSmall(n int, as, bs []int, out []float64, lo, hi int) {
 	last := -1
 	for qi := lo; qi < hi; qi++ {
 		a, b := as[qi], bs[qi]
@@ -217,11 +344,80 @@ func (idx *queryIndex) rangeSumChunk(n int, as, bs []int, out []float64, lo, hi 
 			out[qi] = float64(b-a+1) * idx.values[pa]
 			continue
 		}
-		pb := idx.find(b)
-		left := float64(idx.ends[pa]-a+1) * idx.values[pa]
-		mid := idx.prefix[pb] - idx.prefix[pa+1]
-		right := float64(b-idx.lo(pb)+1) * idx.values[pb]
-		out[qi] = left + mid + right
+		out[qi] = idx.rangeParts(pa, idx.findFrom(pa, b), a, b)
+	}
+}
+
+// rangeSumChunk answers the range queries [as[i], bs[i]] for i in [lo, hi)
+// into out: the shared serial/parallel batch kernel. Both endpoint searches
+// run in pipelined lanes per block of batchLanes queries: left endpoints go
+// through the sorted-locality pre-filter with misses batched into one
+// findLanes descent, and right endpoints start from their own left piece
+// (b ≥ a makes pa a locality hint — within-piece and next-piece ranges never
+// search) with the remaining cold searches batched the same way.
+func (idx *queryIndex) rangeSumChunk(n int, as, bs []int, out []float64, lo, hi int) {
+	if len(idx.eytz) <= smallTree {
+		idx.rangeSumChunkSmall(n, as, bs, out, lo, hi)
+		return
+	}
+	last := -1
+	var lx [batchLanes]int    // gathered misses: query values
+	var li [batchLanes]int    // gathered misses: block-relative query slots
+	var lp [batchLanes]int32  // resolved piece positions
+	var pas [batchLanes]int32 // left-endpoint piece per block slot
+	for base := lo; base < hi; {
+		end := base + batchLanes
+		if end > hi {
+			end = hi
+		}
+		// Stage 1: locate every left endpoint.
+		np := 0
+		for qi := base; qi < end; qi++ {
+			a, b := as[qi], bs[qi]
+			if a < 1 || b > n || a > b {
+				panic(fmt.Sprintf("core: Histogram.RangeSumBatch range [%d, %d] invalid for [1, %d]", a, b, n))
+			}
+			if p, ok := idx.near(last, a); ok {
+				last = p
+				pas[qi-base] = int32(p)
+			} else {
+				lx[np] = a
+				li[np] = qi - base
+				np++
+			}
+		}
+		if np > 0 {
+			idx.findLanes(&lx, np, &lp)
+			for l := 0; l < np; l++ {
+				pas[li[l]] = lp[l]
+			}
+			last = int(lp[np-1])
+		}
+		// Stage 2: locate right endpoints from pa and finish the arithmetic.
+		np = 0
+		for qi := base; qi < end; qi++ {
+			a, b := as[qi], bs[qi]
+			pa := int(pas[qi-base])
+			if b <= idx.ends[pa] {
+				out[qi] = float64(b-a+1) * idx.values[pa]
+				continue
+			}
+			if pb, ok := idx.near(pa, b); ok {
+				out[qi] = idx.rangeParts(pa, pb, a, b)
+			} else {
+				lx[np] = b
+				li[np] = qi - base
+				np++
+			}
+		}
+		if np > 0 {
+			idx.findLanes(&lx, np, &lp)
+			for l := 0; l < np; l++ {
+				qi := base + li[l]
+				out[qi] = idx.rangeParts(int(pas[li[l]]), int(lp[l]), as[qi], bs[qi])
+			}
+		}
+		base = end
 	}
 }
 
@@ -232,9 +428,10 @@ func (idx *queryIndex) rangeSumChunk(n int, as, bs []int, out []float64, lo, hi 
 // 1 forces the serial path, any other positive value is used as given;
 // batches below the parallel grain run serially regardless, as a pure
 // performance heuristic. Consecutive queries hitting the same piece skip
-// the search entirely, so sorted batches run fastest; the serial path with
-// a reused output slice performs zero allocations. Panics on out-of-range
-// points, like At.
+// the search entirely, and the queries that do search are resolved in
+// software-pipelined lanes (see findLanes), so both sorted and random
+// batches beat the single-query loop; the serial path with a reused output
+// slice performs zero allocations. Panics on out-of-range points, like At.
 func (h *Histogram) AtBatch(xs []int, out []float64, workers int) []float64 {
 	if cap(out) < len(xs) {
 		out = make([]float64, len(xs))
@@ -256,10 +453,10 @@ func (h *Histogram) AtBatch(xs []int, out []float64, workers int) []float64 {
 // and returns it. Per-query results are bit-identical to RangeSum for every
 // workers setting (the Options.Workers convention: ≤ 0 = all cores, 1 =
 // serial, other positive values as given, sub-grain batches serial); the
-// batch only amortizes index access and exploits sorted-query locality on
-// the left endpoints, and the serial path with a reused output slice
-// performs zero allocations. Panics on invalid ranges or if
-// len(as) ≠ len(bs).
+// batch only amortizes index access, exploits sorted-query locality on both
+// endpoints, and overlaps the cold searches in pipelined lanes, and the
+// serial path with a reused output slice performs zero allocations. Panics
+// on invalid ranges or if len(as) ≠ len(bs).
 func (h *Histogram) RangeSumBatch(as, bs []int, out []float64, workers int) []float64 {
 	if len(as) != len(bs) {
 		panic(fmt.Sprintf("core: Histogram.RangeSumBatch: %d starts vs %d ends", len(as), len(bs)))

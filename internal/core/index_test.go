@@ -340,6 +340,13 @@ func TestQuerySteadyStateAllocs(t *testing.T) {
 	}); allocs != 0 {
 		t.Fatalf("serial AtBatch with reused output allocates %v/op, want 0", allocs)
 	}
+	as := []int{1, 40000, 99000, 7, 31337}
+	bs := []int{9, 41000, 100000, 7, 90210}
+	if allocs := testing.AllocsPerRun(200, func() {
+		out = h.RangeSumBatch(as, bs, out, 1)
+	}); allocs != 0 {
+		t.Fatalf("serial RangeSumBatch with reused output allocates %v/op, want 0", allocs)
+	}
 	_ = sink
 }
 

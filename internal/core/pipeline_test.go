@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/rng"
+)
+
+// pipelineFixtures returns histograms at the piece counts the pipelined
+// point-location kernels care about: the all-in-one-piece degenerate tree,
+// lane underfill (fewer pieces than lanes), piece counts straddling the
+// power-of-two padding edges, and a large tree whose descents actually miss
+// cache.
+func pipelineFixtures(t *testing.T) []*Histogram {
+	t.Helper()
+	r := rng.New(101)
+	hs := []*Histogram{
+		// Every query lands in the same piece: the locality pre-filter and the
+		// sentinel-padded descent must agree on a tree of one real boundary.
+		NewHistogram(64, interval.Partition{interval.New(1, 64)}, []float64{2.5}),
+	}
+	for _, k := range []int{1, 2, 3, 10, 1000} {
+		hs = append(hs, randomHistogram(r, 4*k+17, k))
+	}
+	return hs
+}
+
+// laneQueries builds an adversarial query stream for one histogram: random
+// probes, every piece boundary and its left neighbor (the lower-bound edge
+// cases), the domain edges, and runs of duplicates.
+func laneQueries(r *rng.RNG, idx *queryIndex, n int) []int {
+	queries := make([]int, 0, 3*len(idx.ends)+300)
+	for i := 0; i < 256; i++ {
+		queries = append(queries, 1+r.Intn(n))
+	}
+	for _, e := range idx.ends {
+		queries = append(queries, e)
+		if e > 1 {
+			queries = append(queries, e-1)
+		}
+	}
+	d := 1 + r.Intn(n)
+	for i := 0; i < 16; i++ {
+		queries = append(queries, d) // all-lanes-duplicate blocks
+	}
+	return append(queries, 1, n, n, 1, 1, n)
+}
+
+func TestFindLanesEveryWidthMatchesScalarFind(t *testing.T) {
+	r := rng.New(103)
+	for _, h := range pipelineFixtures(t) {
+		idx := h.index()
+		queries := laneQueries(r, idx, h.N())
+		for np := 1; np <= batchLanes; np++ {
+			var xs [batchLanes]int
+			var got [batchLanes]int32
+			for base := 0; base+np <= len(queries); base += np {
+				copy(xs[:np], queries[base:base+np])
+				idx.findLanes(&xs, np, &got)
+				for l := 0; l < np; l++ {
+					if want := idx.find(xs[l]); int(got[l]) != want {
+						t.Fatalf("k=%d np=%d: findLanes lane %d for x=%d gave piece %d, scalar find %d",
+							len(idx.ends), np, l, xs[l], got[l], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFindMatchesLinearLowerBound(t *testing.T) {
+	for _, h := range pipelineFixtures(t) {
+		idx := h.index()
+		for x := 1; x <= h.N(); x++ {
+			want := 0
+			for idx.ends[want] < x {
+				want++
+			}
+			if got := idx.find(x); got != want {
+				t.Fatalf("k=%d: find(%d) = %d, linear lower bound %d", len(idx.ends), x, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchAdversarialOrdersBitIdentical(t *testing.T) {
+	// Reverse-sorted batches defeat the forward-locality pre-filter on every
+	// query, and duplicate-heavy batches hit it on every query; both must
+	// produce exactly the single-query answers at every lane fill and fan-out.
+	r := rng.New(107)
+	for _, h := range pipelineFixtures(t) {
+		n := h.N()
+		var xs []int
+		for x := n; x >= 1; x-- {
+			xs = append(xs, x)
+		}
+		d := 1 + r.Intn(n)
+		for i := 0; i < 100; i++ {
+			xs = append(xs, d)
+		}
+		var as, bs []int
+		for a := n; a >= 1; a-- {
+			as = append(as, a)
+			bs = append(bs, a+(n-a)/2)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got := h.AtBatch(xs, nil, workers)
+			for i, x := range xs {
+				if got[i] != h.At(x) {
+					t.Fatalf("k=%d workers=%d: reverse AtBatch[%d] (x=%d) = %v, At = %v",
+						h.NumPieces(), workers, i, x, got[i], h.At(x))
+				}
+			}
+			gotR := h.RangeSumBatch(as, bs, nil, workers)
+			for i := range as {
+				if want := h.RangeSum(as[i], bs[i]); gotR[i] != want {
+					t.Fatalf("k=%d workers=%d: reverse RangeSumBatch[%d] = %v, RangeSum = %v",
+						h.NumPieces(), workers, i, gotR[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPartialTailBlocks drives every batch length from 1 to 3 blocks plus
+// change, so the lane-gather tail (np < batchLanes on the final block) is
+// exercised at every fill level.
+func TestBatchPartialTailBlocks(t *testing.T) {
+	r := rng.New(109)
+	h := randomHistogram(r, 5000, 257)
+	for size := 1; size <= 3*batchLanes+1; size++ {
+		xs := make([]int, size)
+		as := make([]int, size)
+		bs := make([]int, size)
+		for i := range xs {
+			xs[i] = 1 + r.Intn(5000)
+			as[i] = 1 + r.Intn(5000)
+			bs[i] = as[i] + r.Intn(5000-as[i]+1)
+		}
+		got := h.AtBatch(xs, nil, 1)
+		for i, x := range xs {
+			if got[i] != h.At(x) {
+				t.Fatalf("size=%d: AtBatch[%d] = %v, At = %v", size, i, got[i], h.At(x))
+			}
+		}
+		gotR := h.RangeSumBatch(as, bs, nil, 1)
+		for i := range as {
+			if want := h.RangeSum(as[i], bs[i]); gotR[i] != want {
+				t.Fatalf("size=%d: RangeSumBatch[%d] = %v, RangeSum = %v", size, i, gotR[i], want)
+			}
+		}
+	}
+}

@@ -159,7 +159,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				httpError(w, http.StatusBadRequest, "batch of %d exceeds the server's limit of %d", len(req.As), s.cfg.MaxBatch)
 				return
 			}
-			values, qerr = sv.rangeBatch(req.As, req.Bs, q)
+			values, qerr = sv.rangeBatch(req.As, req.Bs, q, nil)
 		} else {
 			var req pointsJSON
 			if err := decodeJSONBody(body, &req); err != nil {
@@ -170,7 +170,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				httpError(w, http.StatusBadRequest, "batch of %d exceeds the server's limit of %d", len(req.Points), s.cfg.MaxBatch)
 				return
 			}
-			values, qerr = sv.pointBatch(req.Points, q)
+			values, qerr = sv.pointBatch(req.Points, q, nil)
 		}
 		if qerr != nil {
 			httpError(w, http.StatusBadRequest, "%v", qerr)
@@ -178,37 +178,63 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, valuesJSON{Values: values})
 	case ContentBatch:
-		var qerr error
-		if isRange {
-			as, bs, err := DecodeRangesBody(body, s.cfg.MaxBatch)
-			if err != nil {
-				httpError(w, bodyErrStatus(err), "%v", err)
-				return
-			}
-			values, qerr = sv.rangeBatch(as, bs, q)
-		} else {
-			xs, err := DecodePointsBody(body, s.cfg.MaxBatch)
-			if err != nil {
-				httpError(w, bodyErrStatus(err), "%v", err)
-				return
-			}
-			values, qerr = sv.pointBatch(xs, q)
-		}
-		if qerr != nil {
-			httpError(w, http.StatusBadRequest, "%v", qerr)
+		wb := s.bufs.get()
+		status, err := s.answerBinary(sv, q, isRange, body, wb)
+		if err != nil {
+			s.bufs.put(wb)
+			httpError(w, status, "%v", err)
 			return
 		}
 		w.Header().Set("Content-Type", ContentBatch)
-		var buf bytes.Buffer
-		if err := EncodeValuesBody(&buf, values); err != nil {
-			httpError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-		_, _ = w.Write(buf.Bytes())
+		w.Header().Set("Content-Length", strconv.Itoa(len(wb.resp)))
+		_, _ = w.Write(wb.resp)
+		// net/http copies the bytes out during Write, so the frame can be
+		// recycled as soon as it returns.
+		s.bufs.put(wb)
 	default:
 		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want %q or %q)", ct, ContentJSON, ContentBatch)
 	}
+}
+
+// answerBinary is the zero-copy binary batch path: the request body is read
+// into a pooled buffer, checksum-verified and parsed in place, answered into
+// the pooled value vector, and the response frame is appended directly into
+// wb.resp — header first, packed values, one CRC pass over the filled region.
+// After warm-up the whole request performs no allocations. On success wb.resp
+// holds the complete response frame; on error it returns the HTTP status to
+// report. Factored off the handler so tests can pin the allocation count
+// without a ResponseWriter in the way.
+func (s *Server) answerBinary(sv served, q queryParams, isRange bool, body io.Reader, wb *wireBuf) (int, error) {
+	req, err := readBodyInto(wb.req, body)
+	wb.req = req
+	if err != nil {
+		return bodyErrStatus(err), err
+	}
+	var values []float64
+	if isRange {
+		as, bs, err := ParseRangesBody(req, s.cfg.MaxBatch, wb.xs, wb.bs)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		wb.xs, wb.bs = as, bs
+		values, err = sv.rangeBatch(as, bs, q, wb.vals)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+	} else {
+		xs, err := ParsePointsBody(req, s.cfg.MaxBatch, wb.xs)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		wb.xs = xs
+		values, err = sv.pointBatch(xs, q, wb.vals)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+	}
+	wb.vals = values
+	wb.resp = AppendValuesBody(wb.resp[:0], values)
+	return http.StatusOK, nil
 }
 
 // handleSingleQuery answers GET /at?x= and GET /range?a=&b= with a one-value
@@ -234,13 +260,13 @@ func (s *Server) handleSingleQuery(w http.ResponseWriter, r *http.Request, sv se
 		if !ok {
 			return
 		}
-		values, err = sv.rangeBatch([]int{a}, []int{b}, q)
+		values, err = sv.rangeBatch([]int{a}, []int{b}, q, nil)
 	} else {
 		x, ok := get("x")
 		if !ok {
 			return
 		}
-		values, err = sv.pointBatch([]int{x}, q)
+		values, err = sv.pointBatch([]int{x}, q, nil)
 	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -307,19 +333,46 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 // handleSnapshotGet streams the synopsis as one binary envelope. The
 // envelope is staged in memory first — synopses are O(k) numbers — so a
 // capture error still maps to a clean HTTP status instead of a torn body.
+// For immutable synopses the staged body is memoized on the registry entry,
+// keyed by the published pointer: every GET between two hot-swaps serves the
+// same preserialized bytes, and the atomic store that publishes a replacement
+// is also what retires the cache. Mutable engines (anything that ingests) are
+// never cached — their bytes change without a swap.
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
-	sv, ok := s.resolve(w, r)
+	name := r.PathValue("name")
+	ent, ok := s.lookupEntry(name)
 	if !ok {
+		httpError(w, http.StatusNotFound, "no synopsis named %q", name)
 		return
 	}
+	p := ent.ptr.Load()
+	if p == nil {
+		httpError(w, http.StatusNotFound, "no synopsis named %q", name)
+		return
+	}
+	if c := ent.snap.Load(); c != nil && c.owner == p {
+		writeSnapshotBody(w, c.body)
+		return
+	}
+	sv := *p
+	s.snapshotEncodes.Add(1)
 	var buf bytes.Buffer
 	if err := sv.snapshot(&buf); err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	body := buf.Bytes()
+	if _, mutable := sv.(ingester); !mutable {
+		ent.snap.Store(&snapCache{owner: p, body: body})
+	}
+	writeSnapshotBody(w, body)
+}
+
+// writeSnapshotBody writes one complete snapshot envelope.
+func writeSnapshotBody(w http.ResponseWriter, body []byte) {
 	w.Header().Set("Content-Type", ContentSnapshot)
-	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-	_, _ = w.Write(buf.Bytes())
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
 }
 
 // handleSnapshotPut replaces (or creates) the synopsis served under a name

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// wireBuf is the per-request scratch of the zero-copy binary serving path:
+// the raw request body, the parsed query slices, the answer vector, and the
+// outgoing response frame all live here, recycled through the server's pool
+// so a steady-state binary batch request performs no allocations at all.
+type wireBuf struct {
+	req  []byte    // raw request body bytes
+	resp []byte    // outgoing HSYN response frame
+	xs   []int     // parsed point queries / range starts
+	bs   []int     // parsed range ends
+	vals []float64 // batch answers, appended into resp
+}
+
+// wirePool hands out wireBufs, sizing fresh buffers from high-water marks so
+// a pool miss after warm-up still allocates once at full size instead of
+// growing through the append ladder.
+type wirePool struct {
+	pool    sync.Pool
+	reqHWM  atomic.Int64 // largest request body seen
+	respHWM atomic.Int64 // largest response frame built
+}
+
+// get returns a wireBuf with empty slices of high-water-mark capacity.
+func (p *wirePool) get() *wireBuf {
+	if wb, ok := p.pool.Get().(*wireBuf); ok {
+		return wb
+	}
+	return &wireBuf{
+		req:  make([]byte, 0, p.reqHWM.Load()),
+		resp: make([]byte, 0, p.respHWM.Load()),
+	}
+}
+
+// put records the buffer's grown capacities in the high-water marks and
+// recycles it. Capacities, not lengths: readBodyInto needs a spare byte past
+// the body to observe EOF, so sizing fresh buffers to the largest capacity a
+// request actually grew to (rather than the largest body) keeps even a
+// pool-miss request from growing again. The caller must be done with every
+// slice — including a response frame already handed to the ResponseWriter.
+func (p *wirePool) put(wb *wireBuf) {
+	raiseHWM(&p.reqHWM, cap(wb.req))
+	raiseHWM(&p.respHWM, cap(wb.resp))
+	p.pool.Put(wb)
+}
+
+// raiseHWM lifts the mark to at least n.
+func raiseHWM(hwm *atomic.Int64, n int) {
+	for {
+		cur := hwm.Load()
+		if int64(n) <= cur || hwm.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// readBodyInto reads r to EOF into buf's spare capacity, growing only when
+// the body outruns it — io.ReadAll against a recycled buffer. The returned
+// slice aliases buf's array whenever capacity sufficed.
+func readBodyInto(buf []byte, r io.Reader) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that this binary was built with the race detector,
+// which makes sync.Pool drop items at random — allocation-count assertions
+// over pooled paths are meaningless there.
+const raceEnabled = true

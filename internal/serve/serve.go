@@ -71,6 +71,13 @@ const DefaultMaxSnapshotBytes = 64 << 20
 type Server struct {
 	cfg     Config
 	entries sync.Map // string → *entry
+	// bufs recycles the request/response scratch of the zero-copy binary
+	// serving path (see pool.go and handler.go).
+	bufs wirePool
+	// snapshotEncodes counts how many GET /snapshot requests actually ran an
+	// encoder rather than serving the memoized body — a test hook pinning
+	// the memoization contract.
+	snapshotEncodes atomic.Int64
 }
 
 // entry is one registry slot. The pointer — not the entry — is what a
@@ -78,6 +85,20 @@ type Server struct {
 // in-flight requests keep the object they loaded.
 type entry struct {
 	ptr atomic.Pointer[served]
+	// snap memoizes the preserialized GET /snapshot body for immutable
+	// synopses. The cache records which published object it was built from,
+	// so the same atomic store that publishes a replacement synopsis also
+	// invalidates the cache: a reader only trusts a cache whose owner is the
+	// pointer it just loaded, and a racing writer stashing a body for the
+	// previous object is simply ignored and overwritten by the next reader.
+	snap atomic.Pointer[snapCache]
+}
+
+// snapCache is one memoized snapshot body, valid only while owner is the
+// entry's published object.
+type snapCache struct {
+	owner *served
+	body  []byte
 }
 
 // NewServer builds a server with the given configuration (nil for defaults).
@@ -109,11 +130,14 @@ type queryParams struct {
 type served interface {
 	// kind names the synopsis type for listings and errors.
 	kind() string
-	// pointBatch answers point queries. Invalid queries return an error
-	// (mapped to a 4xx), never a panic.
-	pointBatch(xs []int, q queryParams) ([]float64, error)
-	// rangeBatch answers range-sum queries [as[i], bs[i]].
-	rangeBatch(as, bs []int, q queryParams) ([]float64, error)
+	// pointBatch answers point queries into out (grown only when too small,
+	// reused otherwise — the zero-copy path recycles it per request; nil is
+	// always valid). Invalid queries return an error (mapped to a 4xx),
+	// never a panic.
+	pointBatch(xs []int, q queryParams, out []float64) ([]float64, error)
+	// rangeBatch answers range-sum queries [as[i], bs[i]] into out, under
+	// the same reuse contract as pointBatch.
+	rangeBatch(as, bs []int, q queryParams, out []float64) ([]float64, error)
 	// snapshot writes the synopsis as one binary envelope.
 	snapshot(w io.Writer) error
 }
@@ -135,7 +159,12 @@ func (s *Server) Host(name string, v any) error {
 		return err
 	}
 	e, _ := s.entries.LoadOrStore(name, &entry{})
-	e.(*entry).ptr.Store(&sv)
+	ent := e.(*entry)
+	// The pointer store is the publish AND the snapshot-cache invalidation:
+	// a memoized body is only trusted while its owner matches the published
+	// pointer. The explicit clear just releases the stale body to the GC.
+	ent.ptr.Store(&sv)
+	ent.snap.Store(nil)
 	return nil
 }
 
@@ -152,15 +181,25 @@ func (s *Server) Load(name string, r io.Reader) error {
 
 // lookup returns the synopsis currently served under name.
 func (s *Server) lookup(name string) (served, bool) {
-	e, ok := s.entries.Load(name)
+	e, ok := s.lookupEntry(name)
 	if !ok {
 		return nil, false
 	}
-	p := e.(*entry).ptr.Load()
+	p := e.ptr.Load()
 	if p == nil {
 		return nil, false
 	}
 	return *p, true
+}
+
+// lookupEntry returns the registry slot for name — the handle snapshot
+// serving needs to reach both the published pointer and its memoized body.
+func (s *Server) lookupEntry(name string) (*entry, bool) {
+	e, ok := s.entries.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return e.(*entry), true
 }
 
 // Names returns the hosted names with their kinds, sorted by name.
@@ -280,18 +319,18 @@ func checkRangePairs(as, bs []int, n int) error {
 	return nil
 }
 
-func (s histServed) pointBatch(xs []int, q queryParams) ([]float64, error) {
+func (s histServed) pointBatch(xs []int, q queryParams, out []float64) ([]float64, error) {
 	if err := checkPoints(xs, s.h.N()); err != nil {
 		return nil, err
 	}
-	return s.h.AtBatch(xs, nil, q.workers), nil
+	return s.h.AtBatch(xs, out, q.workers), nil
 }
 
-func (s histServed) rangeBatch(as, bs []int, q queryParams) ([]float64, error) {
+func (s histServed) rangeBatch(as, bs []int, q queryParams, out []float64) ([]float64, error) {
 	if err := checkRangePairs(as, bs, s.h.N()); err != nil {
 		return nil, err
 	}
-	return s.h.RangeSumBatch(as, bs, nil, q.workers), nil
+	return s.h.RangeSumBatch(as, bs, out, q.workers), nil
 }
 
 func (s histServed) snapshot(w io.Writer) error {
@@ -344,20 +383,20 @@ func (s *hierServed) resolve(k int) (*core.Histogram, error) {
 	return h.(*core.Histogram), nil
 }
 
-func (s *hierServed) pointBatch(xs []int, q queryParams) ([]float64, error) {
+func (s *hierServed) pointBatch(xs []int, q queryParams, out []float64) ([]float64, error) {
 	h, err := s.resolve(q.k)
 	if err != nil {
 		return nil, err
 	}
-	return histServed{h: h}.pointBatch(xs, q)
+	return histServed{h: h}.pointBatch(xs, q, out)
 }
 
-func (s *hierServed) rangeBatch(as, bs []int, q queryParams) ([]float64, error) {
+func (s *hierServed) rangeBatch(as, bs []int, q queryParams, out []float64) ([]float64, error) {
 	h, err := s.resolve(q.k)
 	if err != nil {
 		return nil, err
 	}
-	return histServed{h: h}.rangeBatch(as, bs, q)
+	return histServed{h: h}.rangeBatch(as, bs, q, out)
 }
 
 func (s *hierServed) snapshot(w io.Writer) error {
@@ -373,8 +412,17 @@ type cdfServed struct {
 
 func (cdfServed) kind() string { return "cdf" }
 
-func (s cdfServed) pointBatch(xs []int, _ queryParams) ([]float64, error) {
-	out := make([]float64, len(xs))
+// growValues applies the out-reuse contract for the adapters that fill the
+// answer vector themselves.
+func growValues(out []float64, n int) []float64 {
+	if cap(out) < n {
+		return make([]float64, n)
+	}
+	return out[:n]
+}
+
+func (s cdfServed) pointBatch(xs []int, _ queryParams, out []float64) ([]float64, error) {
+	out = growValues(out, len(xs))
 	for i, x := range xs {
 		v, err := s.c.At(x)
 		if err != nil {
@@ -385,8 +433,8 @@ func (s cdfServed) pointBatch(xs []int, _ queryParams) ([]float64, error) {
 	return out, nil
 }
 
-func (s cdfServed) rangeBatch(as, bs []int, _ queryParams) ([]float64, error) {
-	out := make([]float64, len(as))
+func (s cdfServed) rangeBatch(as, bs []int, _ queryParams, out []float64) ([]float64, error) {
+	out = growValues(out, len(as))
 	for i := range as {
 		if as[i] < 1 || as[i] > bs[i] {
 			return nil, fmt.Errorf("query %d: range [%d, %d] invalid", i, as[i], bs[i])
@@ -422,12 +470,12 @@ type estServed struct {
 
 func (s estServed) kind() string { return s.name }
 
-func (s estServed) pointBatch(xs []int, q queryParams) ([]float64, error) {
-	return synopsis.EstimateRangeBatch(s.est, xs, xs, q.workers)
+func (s estServed) pointBatch(xs []int, q queryParams, out []float64) ([]float64, error) {
+	return synopsis.EstimateRangeBatchInto(s.est, xs, xs, out, q.workers)
 }
 
-func (s estServed) rangeBatch(as, bs []int, q queryParams) ([]float64, error) {
-	return synopsis.EstimateRangeBatch(s.est, as, bs, q.workers)
+func (s estServed) rangeBatch(as, bs []int, q queryParams, out []float64) ([]float64, error) {
+	return synopsis.EstimateRangeBatchInto(s.est, as, bs, out, q.workers)
 }
 
 func (s estServed) snapshot(w io.Writer) error { return s.enc(w) }
@@ -442,12 +490,12 @@ type maintServed struct {
 
 func (*maintServed) kind() string { return "maintainer" }
 
-func (s *maintServed) pointBatch(xs []int, _ queryParams) ([]float64, error) {
-	return s.rangeBatch(xs, xs, queryParams{})
+func (s *maintServed) pointBatch(xs []int, _ queryParams, out []float64) ([]float64, error) {
+	return s.rangeBatch(xs, xs, queryParams{}, out)
 }
 
-func (s *maintServed) rangeBatch(as, bs []int, _ queryParams) ([]float64, error) {
-	out := make([]float64, len(as))
+func (s *maintServed) rangeBatch(as, bs []int, _ queryParams, out []float64) ([]float64, error) {
+	out = growValues(out, len(as))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range as {
@@ -482,12 +530,12 @@ type shardServed struct {
 
 func (shardServed) kind() string { return "sharded" }
 
-func (s shardServed) pointBatch(xs []int, q queryParams) ([]float64, error) {
-	return s.rangeBatch(xs, xs, q)
+func (s shardServed) pointBatch(xs []int, q queryParams, out []float64) ([]float64, error) {
+	return s.rangeBatch(xs, xs, q, out)
 }
 
-func (s shardServed) rangeBatch(as, bs []int, _ queryParams) ([]float64, error) {
-	out := make([]float64, len(as))
+func (s shardServed) rangeBatch(as, bs []int, _ queryParams, out []float64) ([]float64, error) {
+	out = growValues(out, len(as))
 	for i := range as {
 		v, err := s.s.EstimateRange(as[i], bs[i])
 		if err != nil {

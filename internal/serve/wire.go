@@ -206,6 +206,106 @@ func DecodeValuesBody(r io.Reader) ([]float64, error) {
 	return values, nil
 }
 
+// --- Zero-copy body codecs. ---
+//
+// The Encode*/Decode* functions above stream through the codec's
+// Writer/Reader — the right shape for clients and tests. The serving hot
+// path instead uses the byte-slice forms below: the complete request body is
+// read into a pooled buffer, checksum-verified in one pass, and parsed in
+// place; the response is appended directly into the outgoing HSYN frame held
+// in a pooled buffer (header reserved up front, CRC computed over the filled
+// region), with no intermediate encode buffer. Both forms produce and accept
+// identical bytes.
+
+// AppendValuesBody appends one complete response value frame to dst (the
+// frame starts at len(dst)) and returns the extended slice — the zero-copy
+// counterpart of EncodeValuesBody.
+func AppendValuesBody(dst []byte, values []float64) []byte {
+	start := len(dst)
+	dst = codec.AppendFrameHeader(dst, tagValuesBody)
+	dst = codec.AppendPackedFloat64s(dst, values)
+	return codec.FinishFrame(dst, start)
+}
+
+// parseBodyHeader verifies a complete request frame held in buf (checksum
+// first, then tag and batch length) and returns the payload cursor — the
+// byte-slice twin of bodyHeader.
+func parseBodyHeader(buf []byte, wantTag byte, maxBatch int) (codec.FramePayload, int, error) {
+	tag, payload, err := codec.ParseFrame(buf)
+	if err != nil {
+		return codec.FramePayload{}, 0, err
+	}
+	if tag != wantTag {
+		return codec.FramePayload{}, 0, fmt.Errorf("serve: body holds tag %#02x, want %#02x", tag, wantTag)
+	}
+	p := codec.NewFramePayload(payload)
+	n, err := p.SliceLen()
+	if err != nil {
+		return codec.FramePayload{}, 0, err
+	}
+	if n > maxBatch {
+		return codec.FramePayload{}, 0, fmt.Errorf("serve: batch of %d exceeds the server's limit of %d", n, maxBatch)
+	}
+	return p, n, nil
+}
+
+// ParsePointsBody parses a complete point-query frame held in buf, writing
+// the points into xs (grown only when too small) — DecodePointsBody without
+// the per-request allocations.
+func ParsePointsBody(buf []byte, maxBatch int, xs []int) ([]int, error) {
+	p, n, err := parseBodyHeader(buf, tagPointsBody, maxBatch)
+	if err != nil {
+		return nil, err
+	}
+	xs = growInts(xs, n)
+	for i := range xs {
+		v, err := p.Varint()
+		if err != nil {
+			return nil, err
+		}
+		xs[i] = int(v)
+	}
+	if err := p.Done(); err != nil {
+		return nil, err
+	}
+	return xs, nil
+}
+
+// ParseRangesBody parses a complete range-query frame held in buf into as
+// and bs (each grown only when too small) — DecodeRangesBody without the
+// per-request allocations.
+func ParseRangesBody(buf []byte, maxBatch int, as, bs []int) (outAs, outBs []int, err error) {
+	p, n, err := parseBodyHeader(buf, tagRangesBody, maxBatch)
+	if err != nil {
+		return nil, nil, err
+	}
+	as = growInts(as, n)
+	bs = growInts(bs, n)
+	for i := range as {
+		a, err := p.Varint()
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := p.Varint()
+		if err != nil {
+			return nil, nil, err
+		}
+		as[i], bs[i] = int(a), int(b)
+	}
+	if err := p.Done(); err != nil {
+		return nil, nil, err
+	}
+	return as, bs, nil
+}
+
+// growInts returns xs resized to n, reallocating only on a short capacity.
+func growInts(xs []int, n int) []int {
+	if cap(xs) < n {
+		return make([]int, n)
+	}
+	return xs[:n]
+}
+
 // bodyHeader validates a request frame's envelope prefix, tag, and batch
 // length — the shared head of every binary request decoder.
 func bodyHeader(r io.Reader, wantTag byte, maxBatch int) (*codec.Reader, int, error) {

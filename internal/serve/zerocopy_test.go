@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// encodeBody renders one request body with the streaming encoder — the
+// reference producer the zero-copy parser must accept.
+func encodeBody(t *testing.T, enc func(io.Writer) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := enc(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAnswerBinaryMatchesStreamingCodecs(t *testing.T) {
+	h := testHistogram(t, 4000, 64)
+	s := NewServer(&Config{Workers: 1})
+	if err := s.Host("h", h); err != nil {
+		t.Fatal(err)
+	}
+	sv, _ := s.lookup("h")
+	q := queryParams{workers: 1}
+	xs, as, bs := queries(4000, 300)
+
+	pointReq := encodeBody(t, func(w io.Writer) error { return EncodePointsBody(w, xs) })
+	wb := s.bufs.get()
+	if status, err := s.answerBinary(sv, q, false, bytes.NewReader(pointReq), wb); err != nil {
+		t.Fatalf("point answerBinary: status %d, %v", status, err)
+	}
+	got, err := DecodeValuesBody(bytes.NewReader(wb.resp))
+	if err != nil {
+		t.Fatalf("decoding zero-copy point response: %v", err)
+	}
+	bitsEqual(t, "points", got, h.AtBatch(xs, nil, 1))
+
+	rangeReq := encodeBody(t, func(w io.Writer) error { return EncodeRangesBody(w, as, bs) })
+	if status, err := s.answerBinary(sv, q, true, bytes.NewReader(rangeReq), wb); err != nil {
+		t.Fatalf("range answerBinary: status %d, %v", status, err)
+	}
+	if got, err = DecodeValuesBody(bytes.NewReader(wb.resp)); err != nil {
+		t.Fatalf("decoding zero-copy range response: %v", err)
+	}
+	bitsEqual(t, "ranges", got, h.RangeSumBatch(as, bs, nil, 1))
+	s.bufs.put(wb)
+}
+
+func TestAnswerBinaryRejectsCorruptBody(t *testing.T) {
+	h := testHistogram(t, 100, 8)
+	s := NewServer(&Config{Workers: 1})
+	if err := s.Host("h", h); err != nil {
+		t.Fatal(err)
+	}
+	sv, _ := s.lookup("h")
+	req := encodeBody(t, func(w io.Writer) error { return EncodePointsBody(w, []int{1, 2, 3}) })
+	bad := append([]byte{}, req...)
+	bad[len(bad)/2] ^= 0x40
+	wb := s.bufs.get()
+	defer s.bufs.put(wb)
+	status, err := s.answerBinary(sv, queryParams{workers: 1}, false, bytes.NewReader(bad), wb)
+	if err == nil {
+		t.Fatal("corrupt body accepted")
+	}
+	if status != http.StatusBadRequest {
+		t.Fatalf("corrupt body status = %d, want 400", status)
+	}
+}
+
+func TestAnswerBinaryZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector makes sync.Pool drop items at random")
+	}
+	h := testHistogram(t, 100000, 1000)
+	s := NewServer(&Config{Workers: 1})
+	if err := s.Host("h", h); err != nil {
+		t.Fatal(err)
+	}
+	sv, _ := s.lookup("h")
+	q := queryParams{workers: 1}
+	xs, as, bs := queries(100000, 512)
+	pointReq := encodeBody(t, func(w io.Writer) error { return EncodePointsBody(w, xs) })
+	rangeReq := encodeBody(t, func(w io.Writer) error { return EncodeRangesBody(w, as, bs) })
+
+	// One warm-up request grows every pooled slice to its steady-state size;
+	// after that the entire read-parse-answer-encode cycle, including the
+	// pool round-trip, must not allocate.
+	rd := bytes.NewReader(pointReq)
+	wb := s.bufs.get()
+	if _, err := s.answerBinary(sv, q, false, rd, wb); err != nil {
+		t.Fatal(err)
+	}
+	rd.Reset(rangeReq)
+	if _, err := s.answerBinary(sv, q, true, rd, wb); err != nil {
+		t.Fatal(err)
+	}
+	s.bufs.put(wb)
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		wb := s.bufs.get()
+		rd.Reset(pointReq)
+		if _, err := s.answerBinary(sv, q, false, rd, wb); err != nil {
+			t.Fatal(err)
+		}
+		s.bufs.put(wb)
+	}); allocs != 0 {
+		t.Fatalf("pooled binary point path allocates %v/op at steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		wb := s.bufs.get()
+		rd.Reset(rangeReq)
+		if _, err := s.answerBinary(sv, q, true, rd, wb); err != nil {
+			t.Fatal(err)
+		}
+		s.bufs.put(wb)
+	}); allocs != 0 {
+		t.Fatalf("pooled binary range path allocates %v/op at steady state, want 0", allocs)
+	}
+}
+
+// getSnapshot fetches /snapshot and returns the body bytes.
+func getSnapshot(t *testing.T, ts *httptest.Server, name string) []byte {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/" + name + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /snapshot: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestSnapshotGetMemoizedUntilSwap(t *testing.T) {
+	h := testHistogram(t, 2000, 16)
+	srv := NewServer(&Config{Workers: 1})
+	if err := srv.Host("h", h); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	first := getSnapshot(t, ts, "h")
+	second := getSnapshot(t, ts, "h")
+	if !bytes.Equal(first, second) {
+		t.Fatal("two GETs between swaps returned different snapshot bytes")
+	}
+	if n := srv.snapshotEncodes.Load(); n != 1 {
+		t.Fatalf("two GETs ran the encoder %d times, want 1 (memoized)", n)
+	}
+
+	// Re-hosting under the same name is the invalidation: the next GET must
+	// re-encode and serve the new synopsis, not the cached body.
+	h2 := testHistogram(t, 2000, 5)
+	if err := srv.Host("h", h2); err != nil {
+		t.Fatal(err)
+	}
+	third := getSnapshot(t, ts, "h")
+	if bytes.Equal(first, third) {
+		t.Fatal("GET after a hot swap served the stale cached body")
+	}
+	if n := srv.snapshotEncodes.Load(); n != 2 {
+		t.Fatalf("encoder ran %d times after the swap, want 2", n)
+	}
+	// The swapped-in synopsis memoizes again.
+	if fourth := getSnapshot(t, ts, "h"); !bytes.Equal(third, fourth) {
+		t.Fatal("post-swap GETs disagree")
+	}
+	if n := srv.snapshotEncodes.Load(); n != 2 {
+		t.Fatalf("encoder ran %d times for the re-memoized body, want 2", n)
+	}
+}
+
+func TestSnapshotGetNeverCachesMutableEngines(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	maint, err := stream.NewMaintainer(1000, 6, 64, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := maint.AddBatch([]int{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(&Config{Workers: 1})
+	if err := srv.Host("m", maint); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	getSnapshot(t, ts, "m")
+	getSnapshot(t, ts, "m")
+	if n := srv.snapshotEncodes.Load(); n != 2 {
+		t.Fatalf("mutable engine snapshots encoded %d times for two GETs, want 2 (no caching)", n)
+	}
+}
+
+func TestSnapshotPutInvalidatesMemoizedGet(t *testing.T) {
+	h := testHistogram(t, 2000, 16)
+	srv := NewServer(&Config{Workers: 1})
+	if err := srv.Host("h", h); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	first := getSnapshot(t, ts, "h")
+
+	// Push a different histogram's envelope over the same name.
+	var envelope bytes.Buffer
+	h2 := testHistogram(t, 500, 4)
+	if _, err := h2.WriteTo(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/h/snapshot", &envelope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ContentSnapshot)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /snapshot: status %d", resp.StatusCode)
+	}
+
+	after := getSnapshot(t, ts, "h")
+	if bytes.Equal(first, after) {
+		t.Fatal("GET after PUT served the pre-push cached body")
+	}
+	var buf bytes.Buffer
+	if _, err := h2.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, buf.Bytes()) {
+		t.Fatal("GET after PUT does not round-trip the pushed synopsis")
+	}
+}
+
+func TestReadBodyInto(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 700)
+	// One byte of spare capacity past the body lets the reader observe EOF
+	// without growing.
+	buf := make([]byte, 0, len(payload)+1)
+	got, err := readBodyInto(buf, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("readBodyInto corrupted the body")
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("readBodyInto reallocated despite sufficient capacity")
+	}
+	// Undersized buffer: must still return the full body.
+	got, err = readBodyInto(make([]byte, 0, 7), bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("readBodyInto lost bytes while growing")
+	}
+}

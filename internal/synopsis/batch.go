@@ -7,11 +7,12 @@ import (
 )
 
 // rangeBatcher is the optional fast path a synopsis can provide for bulk
-// serving: answer all ranges [as[i], bs[i]] with one validated pass.
-// Implementations must return per-query results bit-identical to calling
-// EstimateRange query by query, for every workers setting.
+// serving: answer all ranges [as[i], bs[i]] with one validated pass, writing
+// into out (grown if too small, reused otherwise). Implementations must
+// return per-query results bit-identical to calling EstimateRange query by
+// query, for every workers setting.
 type rangeBatcher interface {
-	estimateRangeBatch(as, bs []int, workers int) ([]float64, error)
+	estimateRangeBatch(as, bs []int, out []float64, workers int) ([]float64, error)
 }
 
 // EstimateRangeBatch answers the ranges [as[i], bs[i]] in bulk: one index,
@@ -27,16 +28,24 @@ type rangeBatcher interface {
 // index, lowest first) and served by a query loop fanned out under the same
 // contract.
 func EstimateRangeBatch(s Synopsis, as, bs []int, workers int) ([]float64, error) {
+	return EstimateRangeBatchInto(s, as, bs, nil, workers)
+}
+
+// EstimateRangeBatchInto is EstimateRangeBatch writing results into out
+// (grown if shorter than the batch, reused otherwise) — the allocation-free
+// entry point for serving loops that recycle response buffers. Passing nil
+// out is exactly EstimateRangeBatch.
+func EstimateRangeBatchInto(s Synopsis, as, bs []int, out []float64, workers int) ([]float64, error) {
 	if len(as) != len(bs) {
 		return nil, fmt.Errorf("synopsis: batch shape mismatch: %d starts, %d ends", len(as), len(bs))
 	}
 	if rb, ok := s.(rangeBatcher); ok {
-		return rb.estimateRangeBatch(as, bs, workers)
+		return rb.estimateRangeBatch(as, bs, out, workers)
 	}
 	if err := checkRanges(as, bs, s.N()); err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(as))
+	out = growFloats(out, len(as))
 	w := parallel.Resolve(workers)
 	if len(as) < parallel.MinGrain {
 		w = 1
@@ -84,22 +93,31 @@ func checkRanges(as, bs []int, n int) error {
 	return nil
 }
 
-func (s histogramSynopsis) estimateRangeBatch(as, bs []int, workers int) ([]float64, error) {
+// growFloats returns out resized to n, reallocating only when the capacity
+// is short — the shared reuse contract of the batch entry points.
+func growFloats(out []float64, n int) []float64 {
+	if cap(out) < n {
+		return make([]float64, n)
+	}
+	return out[:n]
+}
+
+func (s histogramSynopsis) estimateRangeBatch(as, bs []int, out []float64, workers int) ([]float64, error) {
 	if err := checkRanges(as, bs, s.h.N()); err != nil {
 		return nil, err
 	}
-	return s.h.RangeSumBatch(as, bs, nil, workers), nil
+	return s.h.RangeSumBatch(as, bs, out, workers), nil
 }
 
 // estimateRangeBatch serves the wavelet estimator's prefix path in bulk:
 // each query is two O(1) prefix lookups, so the batch only amortizes
 // validation and fans the loop out across workers.
-func (s waveletSynopsis) estimateRangeBatch(as, bs []int, workers int) ([]float64, error) {
+func (s waveletSynopsis) estimateRangeBatch(as, bs []int, out []float64, workers int) ([]float64, error) {
 	n := s.pre.N()
 	if err := checkRanges(as, bs, n); err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(as))
+	out = growFloats(out, len(as))
 	w := parallel.Resolve(workers)
 	if len(as) < parallel.MinGrain {
 		w = 1
