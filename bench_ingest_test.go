@@ -1,8 +1,12 @@
 package histapprox
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"testing"
+
+	"repro/internal/sparse"
 )
 
 // Ingestion benchmarks: the write side of the maintenance story.
@@ -157,6 +161,39 @@ func BenchmarkIngestCompaction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cycle()
 	}
+}
+
+// BenchmarkIngestSortKernel times the compaction inner loop's dedup sort in
+// isolation, at the buffer size compactions actually see: the radix/counting
+// IndexSorter against the comparison sort it replaced. Each op pays one copy
+// of the log into the work buffer (identical on both sides) plus one sort.
+func BenchmarkIngestSortKernel(b *testing.B) {
+	points, weights := benchIngestStream(benchIngestCap)
+	log := make([]sparse.Entry, len(points))
+	for i := range points {
+		log[i] = sparse.Entry{Index: points[i], Value: weights[i]}
+	}
+	work := make([]sparse.Entry, len(log))
+	b.Run("mode=radix", func(b *testing.B) {
+		var sorter sparse.IndexSorter
+		copy(work, log)
+		sorter.Sort(work, benchIngestN) // warm the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, log)
+			sorter.Sort(work, benchIngestN)
+		}
+	})
+	b.Run("mode=comparison", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(work, log)
+			slices.SortStableFunc(work, func(x, y sparse.Entry) int {
+				return cmp.Compare(x.Index, y.Index)
+			})
+		}
+	})
 }
 
 // BenchmarkIngestMergeAll measures the k-way global merge at Summary time

@@ -231,6 +231,10 @@ func runIngest(outPath string, trials int, quick bool) {
 			pt.Mode, pt.Shards, pt.Workload, pt.Batch, pt.NsPerUpdate, pt.UpdatesPerSec,
 			pt.Compactions, pt.PauseCount, pt.PauseP99Us)
 	}
+	for _, sp := range rep.SortKernel {
+		fmt.Printf("sort     log=%-8d            radix %9.1f ns/op   comparison %9.1f ns/op   speedup %.2fx\n",
+			sp.LogSize, sp.RadixNsPerOp, sp.CmpNsPerOp, sp.Speedup)
+	}
 	if rep.Note != "" {
 		fmt.Println("note:", rep.Note)
 	}

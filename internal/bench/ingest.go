@@ -1,14 +1,17 @@
 package bench
 
 import (
+	"cmp"
 	"encoding/json"
 	"io"
 	"runtime"
+	"slices"
 	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/sparse"
 	"repro/internal/stream"
 )
 
@@ -49,6 +52,20 @@ type IngestPoint struct {
 	PauseP99Us float64 `json:"pause_p99_us"`
 }
 
+// SortPoint is one log-size cell of the sort-kernel microbenchmark: the
+// radix/counting dedup sort of the compaction inner loop timed head to head
+// against the comparison sort it replaced, on identical entry logs.
+type SortPoint struct {
+	// LogSize is the number of entries sorted per op.
+	LogSize int `json:"log_size"`
+	// MaxIndex is the declared key domain (the maintainer's n).
+	MaxIndex     int     `json:"max_index"`
+	RadixNsPerOp float64 `json:"radix_ns_per_op"`
+	CmpNsPerOp   float64 `json:"cmp_ns_per_op"`
+	// Speedup is CmpNsPerOp / RadixNsPerOp.
+	Speedup float64 `json:"speedup"`
+}
+
 // IngestReport is the BENCH_ingest.json payload. GoMaxProcs/NumCPU make
 // single-core CI cells interpretable: with one hardware thread background
 // compaction cannot overlap ingest, so sharded cells certify overhead
@@ -59,6 +76,9 @@ type IngestReport struct {
 	GoVersion  string        `json:"goversion"`
 	Note       string        `json:"note,omitempty"`
 	Points     []IngestPoint `json:"points"`
+	// SortKernel holds the radix-vs-comparison sort cells (the compaction
+	// inner loop in isolation).
+	SortKernel []SortPoint `json:"sort_kernel,omitempty"`
 }
 
 // IngestConfig controls the ingestion benchmark sweep.
@@ -74,6 +94,13 @@ type IngestConfig struct {
 	Shards []int
 	// Batch is the AddBatch call size for the batch workload.
 	Batch int
+	// SortSizes lists the log sizes for the sort-kernel microbenchmark
+	// (radix/counting dedup sort vs the comparison sort it replaced).
+	SortSizes []int
+	// HotPoints is the distinct-point count of the concentrated "hot"
+	// workload cell — small enough that the lazy merge-in path never needs a
+	// full merging round, so the cell isolates the sweep cost.
+	HotPoints int
 	// MinTrials and MinTotal control timing accuracy per cell.
 	MinTrials int
 	MinTotal  time.Duration
@@ -89,6 +116,8 @@ func DefaultIngestConfig() IngestConfig {
 		Updates:   2_000_000,
 		Shards:    []int{1, 2, 8},
 		Batch:     1024,
+		SortSizes: []int{1024, 4096, 16384, 65536},
+		HotPoints: 160,
 		MinTrials: 3,
 		MinTotal:  500 * time.Millisecond,
 	}
@@ -104,6 +133,8 @@ func QuickIngestConfig() IngestConfig {
 		Updates:   100_000,
 		Shards:    []int{1, 2, 8},
 		Batch:     512,
+		SortSizes: []int{512, 2048},
+		HotPoints: 80,
 		MinTrials: 1,
 		MinTotal:  10 * time.Millisecond,
 	}
@@ -143,6 +174,105 @@ func buildIngestWorkload(n, updates int) ingestWorkload {
 		}
 	}
 	return w
+}
+
+// buildHotWorkload concentrates the whole stream on `distinct` fixed hot
+// points scattered across the domain — the shape of a live counter workload
+// with a stable key set. With distinct small enough that the refinement stays
+// under the maintainer's lazy piece budget, every compaction is a pure
+// merge-in sweep (zero merging rounds), so this cell isolates the sweep cost
+// and the near-zero pauses the lazy path buys.
+func buildHotWorkload(n, updates, distinct int) ingestWorkload {
+	r := rng.New(uint64(n)*31 + uint64(updates) + uint64(distinct))
+	hot := make([]int, distinct)
+	for i := range hot {
+		hot[i] = 1 + r.Intn(n)
+	}
+	w := ingestWorkload{
+		points:  make([]int, updates),
+		weights: make([]float64, updates),
+	}
+	for i := 0; i < updates; i++ {
+		w.points[i] = hot[r.Intn(distinct)]
+		if r.Float64() < 0.1 {
+			w.weights[i] = -1
+		} else {
+			w.weights[i] = 1
+		}
+	}
+	return w
+}
+
+// runSortKernelBench times the compaction inner loop's sort in isolation:
+// the radix/counting IndexSorter against the comparison sort it replaced, on
+// identical prefixes of the benchmark workload. Each op pays one copy of the
+// log into the work buffer plus one sort — the copy cost is identical on
+// both sides, so the speedup column understates the kernel's true ratio.
+func runSortKernelBench(cfg IngestConfig, wl ingestWorkload) []SortPoint {
+	var out []SortPoint
+	var sorter sparse.IndexSorter
+	for _, size := range cfg.SortSizes {
+		if size <= 0 || size > len(wl.points) {
+			continue
+		}
+		log := make([]sparse.Entry, size)
+		for i := 0; i < size; i++ {
+			log[i] = sparse.Entry{Index: wl.points[i], Value: wl.weights[i]}
+		}
+		work := make([]sparse.Entry, size)
+
+		radix := func() {
+			copy(work, log)
+			sorter.Sort(work, cfg.N)
+		}
+		comparison := func() {
+			copy(work, log)
+			slices.SortStableFunc(work, func(a, b sparse.Entry) int {
+				return cmp.Compare(a.Index, b.Index)
+			})
+		}
+		out = append(out, SortPoint{
+			LogSize:      size,
+			MaxIndex:     cfg.N,
+			RadixNsPerOp: timeSortOp(cfg, radix),
+			CmpNsPerOp:   timeSortOp(cfg, comparison),
+		})
+		p := &out[len(out)-1]
+		p.Speedup = p.CmpNsPerOp / p.RadixNsPerOp
+	}
+	return out
+}
+
+// timeSortOp returns the best-of-trials ns/op for fn, calibrating the reps
+// per trial so each timed block is long enough to resolve.
+func timeSortOp(cfg IngestConfig, fn func()) float64 {
+	fn() // warm scratch buffers outside the timing
+	reps := 1
+	for {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		if d := time.Since(start); d >= time.Millisecond || reps >= 1<<20 {
+			break
+		}
+		reps *= 2
+	}
+	trials := cfg.MinTrials
+	if trials < 1 {
+		trials = 1
+	}
+	var best time.Duration
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(reps)
 }
 
 // durPercentileUs returns the q-quantile of ds in microseconds (0 when no
@@ -254,6 +384,26 @@ func RunIngestBench(cfg IngestConfig) IngestReport {
 		return runStats{m.Compactions(), m.Compactions(), d, d}
 	})
 
+	// Concentrated hot-key cell: the stream lives on a fixed small key set,
+	// so the refinement never exceeds the lazy piece budget and every
+	// compaction is a pure merge-in sweep — the cell that shows what
+	// incremental merge-in buys over always-merge (compare its pause
+	// percentiles with the serial cells above).
+	if cfg.HotPoints > 0 {
+		hot := buildHotWorkload(cfg.N, cfg.Updates, cfg.HotPoints)
+		record("serial", 1, "hot", 1, func() runStats {
+			m, err := stream.NewMaintainer(cfg.N, cfg.K, cfg.BufferCap, opts)
+			must(err)
+			for i, p := range hot.points {
+				must(m.Add(p, hot.weights[i]))
+			}
+			_, err = m.Summary()
+			must(err)
+			d := m.CompactionDurations(nil)
+			return runStats{m.Compactions(), m.Compactions(), d, d}
+		})
+	}
+
 	for _, shards := range cfg.Shards {
 		shards := shards
 		record("sharded", shards, "single", 1, func() runStats {
@@ -283,6 +433,8 @@ func RunIngestBench(cfg IngestConfig) IngestReport {
 			return runStats{st.Compactions, st.PauseCount, st.CompactionDurations, st.Pauses}
 		})
 	}
+
+	rep.SortKernel = runSortKernelBench(cfg, wl)
 	return rep
 }
 

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestIngestBenchSmoke runs a minimal ingestion sweep end to end: every
+// (mode, shards, workload) cell plus the sort-kernel cells must come out
+// with sane fields, and the report must serialize.
+func TestIngestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed ingestion benchmark")
+	}
+	cfg := QuickIngestConfig()
+	cfg.Updates = 20_000
+	cfg.Shards = []int{1, 2}
+	cfg.SortSizes = []int{256, 1024}
+	cfg.HotPoints = 40
+	rep := RunIngestBench(cfg)
+
+	// serial single + serial batch + serial hot + (single, batch) per shard count.
+	wantCells := 3 + 2*len(cfg.Shards)
+	if len(rep.Points) != wantCells {
+		t.Fatalf("%d cells, want %d", len(rep.Points), wantCells)
+	}
+	for _, pt := range rep.Points {
+		if pt.NsPerUpdate <= 0 || pt.UpdatesPerSec <= 0 || pt.Compactions <= 0 {
+			t.Fatalf("degenerate cell: %+v", pt)
+		}
+		if pt.CompactP99Us < pt.CompactP50Us {
+			t.Fatalf("compaction percentiles out of order: %+v", pt)
+		}
+	}
+	if len(rep.SortKernel) != len(cfg.SortSizes) {
+		t.Fatalf("%d sort cells, want %d", len(rep.SortKernel), len(cfg.SortSizes))
+	}
+	for _, sp := range rep.SortKernel {
+		if sp.RadixNsPerOp <= 0 || sp.CmpNsPerOp <= 0 || sp.Speedup <= 0 {
+			t.Fatalf("degenerate sort cell: %+v", sp)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteIngestJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestIngestBenchRecordedBeatsPreMergeInFloors pins the ingest fast path to
+// the trajectory: the committed BENCH_ingest.json must show the radix-sorted
+// compaction kernel and incremental merge-in STRICTLY beating the numbers
+// recorded before they landed (comparison sort + full reconstruct every
+// compaction, same box, same sweep). If a re-record loses a cell, the ingest
+// hot path has regressed — fix it or re-record on a quiet machine; do not
+// relax the floors.
+func TestIngestBenchRecordedBeatsPreMergeInFloors(t *testing.T) {
+	blob, err := os.ReadFile("../../BENCH_ingest.json")
+	if err != nil {
+		t.Skipf("no recorded BENCH_ingest.json: %v", err)
+	}
+	var rep IngestReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("recorded BENCH_ingest.json does not parse: %v", err)
+	}
+
+	// ns/update and compaction-pause p50 recorded before the radix sort +
+	// merge-in kernels (comparison-sorted dedup, full Construct per
+	// compaction; n=200k, k=32, bufferCap=4096, 2M updates).
+	const (
+		floorSingleNs   = 279.184684
+		floorBatchNs    = 272.65297
+		floorSingleP50  = 1102.771
+		floorBatchP50   = 1082.547
+		requiredSpeedup = 1.3
+	)
+	var single, batch, hot *IngestPoint
+	for i := range rep.Points {
+		pt := &rep.Points[i]
+		if pt.Mode != "serial" {
+			continue
+		}
+		switch pt.Workload {
+		case "single":
+			single = pt
+		case "batch":
+			batch = pt
+		case "hot":
+			hot = pt
+		}
+	}
+	if single == nil || batch == nil {
+		t.Fatal("recorded report is missing serial single/batch cells")
+	}
+	if got, want := single.NsPerUpdate, floorSingleNs/requiredSpeedup; !(got <= want) {
+		t.Errorf("serial/single %.3f ns/update, need ≤ %.3f (%.1f× over the pre-merge-in %.3f)",
+			got, want, requiredSpeedup, floorSingleNs)
+	}
+	if got, want := batch.NsPerUpdate, floorBatchNs/requiredSpeedup; !(got <= want) {
+		t.Errorf("serial/batch %.3f ns/update, need ≤ %.3f (%.1f× over the pre-merge-in %.3f)",
+			got, want, requiredSpeedup, floorBatchNs)
+	}
+	// Merge-in must also shrink the per-compaction pause itself, not just
+	// amortize it.
+	if !(single.CompactP50Us < floorSingleP50) {
+		t.Errorf("serial/single compaction p50 %.1f µs, pre-merge-in floor %.1f", single.CompactP50Us, floorSingleP50)
+	}
+	if !(batch.CompactP50Us < floorBatchP50) {
+		t.Errorf("serial/batch compaction p50 %.1f µs, pre-merge-in floor %.1f", batch.CompactP50Us, floorBatchP50)
+	}
+	// The concentrated hot-key cell runs entirely on the lazy sweep (zero
+	// merging rounds): its pauses must undercut the mixed-stream cell's.
+	if hot == nil {
+		t.Fatal("recorded report has no serial hot cell — re-record with the merge-in sweep")
+	}
+	if !(hot.CompactP50Us < single.CompactP50Us) {
+		t.Errorf("hot-cell compaction p50 %.1f µs not below the mixed stream's %.1f — lazy merge-in is not engaging",
+			hot.CompactP50Us, single.CompactP50Us)
+	}
+
+	// Sort kernel: radix must never lose to the comparison sort, and must be
+	// ≥2× at the log sizes compaction actually sees (≥4096).
+	if len(rep.SortKernel) == 0 {
+		t.Fatal("recorded report has no sort_kernel cells — re-record with the radix sweep")
+	}
+	for _, sp := range rep.SortKernel {
+		if !(sp.Speedup >= 1) {
+			t.Errorf("sort kernel log=%d: radix %.1f ns vs comparison %.1f ns (%.2fx) — slower than the sort it replaced",
+				sp.LogSize, sp.RadixNsPerOp, sp.CmpNsPerOp, sp.Speedup)
+		}
+		if sp.LogSize >= 4096 && !(sp.Speedup >= 2) {
+			t.Errorf("sort kernel log=%d: speedup %.2fx, need ≥ 2x at compaction-scale logs", sp.LogSize, sp.Speedup)
+		}
+	}
+}

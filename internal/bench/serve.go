@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/stream"
 	"repro/internal/synopsis"
 )
 
@@ -124,6 +125,14 @@ func RunServeBench(cfg ServeConfig) ServeReport {
 	// parallelism beats intra-batch fan-out and keeps cells comparable.
 	srv := serve.NewServer(&serve.Config{Workers: 1})
 	must(srv.Host("col", hist))
+	// Streaming ingest target for the add cells: a Sharded engine hosted
+	// beside the static synopsis, so POST /add measures the full
+	// wire-to-maintainer path (parse, buffer, merge-in compaction) under
+	// concurrent writers. k is fixed at a streaming-typical 32 — the cells
+	// compare codecs, not summary sizes.
+	ing, err := stream.NewSharded(cfg.N, 32, 4, 4096, core.DefaultOptions())
+	must(err)
+	must(srv.Host("ing", ing))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -161,7 +170,55 @@ func RunServeBench(cfg ServeConfig) ServeReport {
 			}
 		}
 	}
+
+	// Write-path cells: POST /v1/ing/add with Batch-point unit-weight bodies,
+	// streaming JSON decode vs zero-copy binary parse, into the live
+	// streaming engine.
+	for _, codec := range []string{"json", "binary"} {
+		w := buildAddRequest(ts.URL, codec, wl.sortedXs)
+		verifyAddCell(ts.Client(), w, len(wl.sortedXs))
+		for _, conc := range cfg.Concurrency {
+			total := cfg.Requests * conc
+			lat := hammer(ts.Client(), w, conc, total)
+			rep.Points = append(rep.Points, summarizeServeCell("add_batch", codec, conc, cfg.Batch, lat))
+		}
+	}
 	return rep
+}
+
+// buildAddRequest precomputes one ingest cell's request bytes.
+func buildAddRequest(base, codec string, points []int) serveWorkload {
+	w := serveWorkload{url: base + "/v1/ing/add"}
+	var buf bytes.Buffer
+	if codec == "binary" {
+		w.ctype = serve.ContentBatch
+		must(serve.EncodeAddBody(&buf, points, nil))
+	} else {
+		w.ctype = serve.ContentJSON
+		must(json.NewEncoder(&buf).Encode(struct {
+			Points []int `json:"points"`
+		}{points}))
+	}
+	w.body = buf.Bytes()
+	return w
+}
+
+// verifyAddCell issues one request and checks the server acknowledged the
+// full batch — an ingest cell can never "win" by dropping updates.
+func verifyAddCell(hc *http.Client, w serveWorkload, wantN int) {
+	resp, err := hc.Post(w.url, w.ctype, bytes.NewReader(w.body))
+	must(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("bench: add cell returned %s", resp.Status))
+	}
+	var v struct {
+		Ingested int `json:"ingested"`
+	}
+	must(json.NewDecoder(resp.Body).Decode(&v))
+	if v.Ingested != wantN {
+		panic(fmt.Sprintf("bench: add cell ingested %d, want %d", v.Ingested, wantN))
+	}
 }
 
 // buildServeRequest precomputes one cell's request bytes.

@@ -21,7 +21,7 @@ func TestServeBenchSmoke(t *testing.T) {
 	cfg.Concurrency = []int{1, 2}
 	rep := RunServeBench(cfg)
 
-	wantCells := 4 * 2 * len(cfg.Concurrency) // workloads × codecs × concurrency
+	wantCells := 5 * 2 * len(cfg.Concurrency) // workloads × codecs × concurrency
 	if len(rep.Points) != wantCells {
 		t.Fatalf("%d cells, want %d", len(rep.Points), wantCells)
 	}
@@ -40,7 +40,7 @@ func TestServeBenchSmoke(t *testing.T) {
 			if pt.Batch != 1 {
 				t.Fatalf("single workload with batch %d", pt.Batch)
 			}
-		case "point_batch", "range_batch":
+		case "point_batch", "range_batch", "add_batch":
 			if pt.Batch != cfg.Batch {
 				t.Fatalf("batch workload with batch %d", pt.Batch)
 			}
@@ -83,18 +83,25 @@ func TestServeBenchRecordedBinaryBeatsJSON(t *testing.T) {
 		}
 		qps[k][pt.Codec] = pt.QPS
 	}
-	checked := 0
+	checked, checkedAdd := 0, 0
 	for k, byCodec := range qps {
-		if k.workload != "point_batch" && k.workload != "range_batch" {
+		switch k.workload {
+		case "point_batch", "range_batch":
+			checked++
+		case "add_batch":
+			checkedAdd++
+		default:
 			continue
 		}
 		if byCodec["binary"] < byCodec["json"] {
 			t.Errorf("%s conc=%d: binary %.0f qps < json %.0f qps", k.workload, k.conc, byCodec["binary"], byCodec["json"])
 		}
-		checked++
 	}
 	if checked == 0 {
 		t.Fatal("recorded report has no batch cells")
+	}
+	if checkedAdd == 0 {
+		t.Fatal("recorded report has no add_batch cells — re-record with the wire-ingest sweep")
 	}
 }
 

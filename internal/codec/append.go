@@ -151,6 +151,75 @@ func (p *FramePayload) SliceLen() (int, error) {
 	return int(u), nil
 }
 
+// Byte reads one raw payload byte.
+func (p *FramePayload) Byte() (byte, error) {
+	if p.off >= len(p.buf) {
+		return 0, fmt.Errorf("codec: reading byte at offset %d", p.off)
+	}
+	b := p.buf[p.off]
+	p.off++
+	return b, nil
+}
+
+// PackedFloat64s reads a sequence written by Writer.PackedFloat64s or
+// AppendPackedFloat64s into dst, reallocating it only when too small: the
+// zero-allocation counterpart of Reader.PackedFloat64s, with the same
+// validation (control nibbles ≤ 8, finite values only).
+func (p *FramePayload) PackedFloat64s(dst []float64) ([]float64, error) {
+	k, err := p.SliceLen()
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst) < k {
+		dst = make([]float64, k)
+	} else {
+		dst = dst[:k]
+	}
+	var prev uint64
+	for i := 0; i < k; i += 2 {
+		ctrl, err := p.Byte()
+		if err != nil {
+			return nil, err
+		}
+		lz1, lz2 := int(ctrl>>4), int(ctrl&0x0f)
+		if lz1 > 8 || lz2 > 8 {
+			return nil, fmt.Errorf("codec: bad float control nibble %#02x", ctrl)
+		}
+		x, err := p.bigEndianTail(8 - lz1)
+		if err != nil {
+			return nil, err
+		}
+		prev ^= x
+		if dst[i], err = finite(prev); err != nil {
+			return nil, err
+		}
+		if i+1 < k {
+			x, err := p.bigEndianTail(8 - lz2)
+			if err != nil {
+				return nil, err
+			}
+			prev ^= x
+			if dst[i+1], err = finite(prev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+// bigEndianTail reads nb big-endian bytes into the low bytes of a uint64.
+func (p *FramePayload) bigEndianTail(nb int) (uint64, error) {
+	if p.off+nb > len(p.buf) {
+		return 0, fmt.Errorf("codec: reading %d float bytes at offset %d", nb, p.off)
+	}
+	var x uint64
+	for _, b := range p.buf[p.off : p.off+nb] {
+		x = x<<8 | uint64(b)
+	}
+	p.off += nb
+	return x, nil
+}
+
 // Done reports whether the payload has been fully consumed; decoders call it
 // last so trailing garbage inside a checksummed frame is still rejected.
 func (p *FramePayload) Done() error {

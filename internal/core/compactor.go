@@ -75,6 +75,13 @@ func (s *SummaryScratch) Construct(n int, p interval.Partition, stats []sparse.S
 	s.m.stats = grow(s.m.stats, len(stats))
 	copy(s.m.stats, stats)
 
+	rounds := s.mergeToTarget(k, opts)
+	return s.emitResult(rounds), nil
+}
+
+// mergeToTarget runs merging rounds on the loaded state until it fits the
+// target piece budget, returning the number of rounds performed.
+func (s *SummaryScratch) mergeToTarget(k int, opts Options) int {
 	target := opts.TargetPieces(k)
 	keep := opts.KeepBudget(k)
 	rounds := 0
@@ -82,7 +89,13 @@ func (s *SummaryScratch) Construct(n int, p interval.Partition, stats []sparse.S
 		s.m.pairRound(keep)
 		rounds++
 	}
+	return rounds
+}
 
+// emitResult copies the merge state into the output buffer the previous call
+// did NOT return, and derives piece values and the exact ℓ2 error from the
+// interval statistics.
+func (s *SummaryScratch) emitResult(rounds int) SummaryResult {
 	s.cur = 1 - s.cur
 	o := &s.out[s.cur]
 	o.part = grow(o.part, len(s.m.ivs))
@@ -98,5 +111,5 @@ func (s *SummaryScratch) Construct(n int, p interval.Partition, stats []sparse.S
 		Values:    o.vals,
 		Error:     math.Sqrt(sse),
 		Rounds:    rounds,
-	}, nil
+	}
 }

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// refineOracle is the full-reconstruct refinement MergeIn's sweep replaces:
+// materialize the common refinement of (summary pieces ∪ delta singletons)
+// into fresh slices, with the same per-piece arithmetic. MergeIn must be
+// bit-identical to Construct over this refinement.
+func refineOracle(n int, part interval.Partition, values []float64, deltas []sparse.Entry) (interval.Partition, []sparse.Stat) {
+	var out interval.Partition
+	var stats []sparse.Stat
+	emitRun := func(lo, hi int, v float64) {
+		if lo > hi {
+			return
+		}
+		out = append(out, interval.New(lo, hi))
+		length := float64(hi - lo + 1)
+		stats = append(stats, sparse.Stat{Len: hi - lo + 1, Sum: v * length, SumSq: v * v * length})
+	}
+	di := 0
+	refine := func(lo, hi int, v float64) {
+		for di < len(deltas) && deltas[di].Index <= hi {
+			p := deltas[di].Index
+			emitRun(lo, p-1, v)
+			s := v + deltas[di].Value
+			out = append(out, interval.New(p, p))
+			stats = append(stats, sparse.Stat{Len: 1, Sum: s, SumSq: s * s})
+			lo = p + 1
+			di++
+		}
+		emitRun(lo, hi, v)
+	}
+	if len(part) == 0 {
+		refine(1, n, 0)
+	} else {
+		for i, iv := range part {
+			refine(iv.Lo, iv.Hi, values[i])
+		}
+	}
+	return out, stats
+}
+
+// randomDeltas draws `count` distinct points of [1, n] sorted ascending with
+// random signed weights — the shape dedupedBuffer hands a compaction. Some
+// weights are exactly zero (a point whose updates cancelled).
+func randomDeltas(r *rng.RNG, n, count int) []sparse.Entry {
+	seen := map[int]bool{}
+	var out []sparse.Entry
+	for len(out) < count {
+		p := 1 + r.Intn(n)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		v := r.NormFloat64() * 2
+		switch {
+		case r.Float64() < 0.1:
+			v = 0
+		case r.Float64() < 0.3:
+			v = -v
+		}
+		out = append(out, sparse.Entry{Index: p, Value: v})
+	}
+	sortEntriesByIndex(out)
+	return out
+}
+
+func sortEntriesByIndex(es []sparse.Entry) {
+	var s sparse.IndexSorter
+	mx := 1
+	for _, e := range es {
+		if e.Index > mx {
+			mx = e.Index
+		}
+	}
+	s.Sort(es, mx)
+}
+
+// summaryOf compacts random stats down to a valid (partition, values) pair —
+// the trusted previous-summary input shape of MergeIn.
+func summaryOf(t *testing.T, r *rng.RNG, n, pieces, k int, opts Options) (interval.Partition, []float64) {
+	t.Helper()
+	part, stats := randomSummary(r, n, pieces)
+	var s SummaryScratch
+	res, err := s.Construct(n, part, stats, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(interval.Partition(nil), res.Partition...), append([]float64(nil), res.Values...)
+}
+
+// TestMergeInMatchesConstructOracle: with laziness disabled (maxPieces=0),
+// MergeIn must be bit-identical to Construct run over the externally built
+// refinement — partition, values, error, and round count — across summary
+// shapes, delta densities, and the empty-summary bootstrap case.
+func TestMergeInMatchesConstructOracle(t *testing.T) {
+	r := rng.New(971)
+	var s SummaryScratch
+	var oracle SummaryScratch
+	for trial := 0; trial < 25; trial++ {
+		n := 500 + r.Intn(3000)
+		k := 1 + r.Intn(12)
+		opts := DefaultOptions()
+		if trial%3 == 0 {
+			opts = PaperOptions()
+		}
+		opts.Workers = 1 + trial%2
+
+		var part interval.Partition
+		var values []float64
+		if trial%5 != 0 { // every 5th trial bootstraps from the empty summary
+			part, values = summaryOf(t, r, n, 2+r.Intn(200), k, opts)
+		}
+		deltas := randomDeltas(r, n, 1+r.Intn(400))
+
+		refPart, refStats := refineOracle(n, part, values, deltas)
+		want, err := oracle.Construct(n, refPart, refStats, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.MergeIn(n, part, values, deltas, k, 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Error != want.Error || got.Rounds != want.Rounds {
+			t.Fatalf("trial %d: (err, rounds) = (%v, %d), want (%v, %d)",
+				trial, got.Error, got.Rounds, want.Error, want.Rounds)
+		}
+		if len(got.Partition) != len(want.Partition) {
+			t.Fatalf("trial %d: %d pieces, want %d", trial, len(got.Partition), len(want.Partition))
+		}
+		for i := range got.Partition {
+			if got.Partition[i] != want.Partition[i] || got.Values[i] != want.Values[i] {
+				t.Fatalf("trial %d piece %d: (%v, %v), want (%v, %v)", trial, i,
+					got.Partition[i], got.Values[i], want.Partition[i], want.Values[i])
+			}
+		}
+	}
+}
+
+// TestMergeInLazySkipsRounds: when the refined piece count fits maxPieces,
+// MergeIn must run zero merging rounds and return the exact refinement — a
+// valid partition whose values match the swept summary+deltas (the flat-run
+// means reproduce v up to one rounding).
+func TestMergeInLazySkipsRounds(t *testing.T) {
+	r := rng.New(977)
+	var s SummaryScratch
+	n := 5000
+	k := 8
+	opts := DefaultOptions()
+	opts.Workers = 1
+	part, values := summaryOf(t, r, n, 120, k, opts)
+	deltas := randomDeltas(r, n, 60)
+
+	got, err := s.MergeIn(n, part, values, deltas, k, 100000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != 0 {
+		t.Fatalf("lazy merge-in ran %d rounds", got.Rounds)
+	}
+	if err := got.Partition.Validate(n); err != nil {
+		t.Fatalf("lazy refinement is not a valid partition: %v", err)
+	}
+	refPart, refStats := refineOracle(n, part, values, deltas)
+	if len(got.Partition) != len(refPart) {
+		t.Fatalf("%d pieces, want refinement's %d", len(got.Partition), len(refPart))
+	}
+	for i := range refPart {
+		if got.Partition[i] != refPart[i] {
+			t.Fatalf("piece %d: %v, want %v", i, got.Partition[i], refPart[i])
+		}
+		want := refStats[i].Mean()
+		if math.Abs(got.Values[i]-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("piece %d value %v, want %v", i, got.Values[i], want)
+		}
+	}
+	// The refinement is exact: its ℓ2 error against the swept input is zero
+	// up to the cancellation noise of v²L − (vL)²/L per flat run (≈ √(εv²L)
+	// summed over pieces).
+	if got.Error > 1e-4 {
+		t.Fatalf("lazy refinement error %v, want ~0", got.Error)
+	}
+}
+
+// TestMergeInThresholdCrossing: piece counts just below the threshold skip
+// the rounds, just above trigger a full merge down to the target budget.
+func TestMergeInThresholdCrossing(t *testing.T) {
+	r := rng.New(983)
+	var s SummaryScratch
+	n := 10000
+	k := 4
+	opts := DefaultOptions()
+	opts.Workers = 1
+	target := opts.TargetPieces(k)
+	part, values := summaryOf(t, r, n, 3*target, k, opts)
+	deltas := randomDeltas(r, n, target)
+
+	refPart, _ := refineOracle(n, part, values, deltas)
+	refined := len(refPart)
+	lazy, err := s.MergeIn(n, part, values, deltas, k, refined, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Rounds != 0 || len(lazy.Partition) != refined {
+		t.Fatalf("maxPieces=%d (== refined): rounds %d, %d pieces — want a lazy skip",
+			refined, lazy.Rounds, len(lazy.Partition))
+	}
+	eager, err := s.MergeIn(n, part, values, deltas, k, refined-1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.Rounds == 0 || len(eager.Partition) > target {
+		t.Fatalf("maxPieces=%d (< refined %d): rounds %d, %d pieces — want a full merge to ≤ %d",
+			refined-1, refined, eager.Rounds, len(eager.Partition), target)
+	}
+}
+
+// TestMergeInSteadyStateAllocs: a compaction cycle through MergeIn (sweep +
+// merge rounds + output) allocates nothing once the scratch has grown.
+func TestMergeInSteadyStateAllocs(t *testing.T) {
+	r := rng.New(991)
+	var s SummaryScratch
+	n := 20000
+	k := 6
+	opts := DefaultOptions()
+	opts.Workers = 1
+	part, values := summaryOf(t, r, n, 200, k, opts)
+	deltas := randomDeltas(r, n, 500)
+	for i := 0; i < 3; i++ { // warm the buffers
+		if _, err := s.MergeIn(n, part, values, deltas, k, 0, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.MergeIn(n, part, values, deltas, k, 0, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state MergeIn allocates %v/op, want 0", allocs)
+	}
+}

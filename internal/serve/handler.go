@@ -294,40 +294,214 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, maxQueryBodyBytes(s.cfg.MaxBatch))
-	var points []int
-	var weights []float64
 	switch ct {
 	case ContentJSON:
-		var req addJSON
-		if err := decodeJSONBody(body, &req); err != nil {
+		points, weights, err := decodeAddJSON(body, s.cfg.MaxBatch)
+		if err != nil {
 			httpError(w, bodyErrStatus(err), "%v", err)
 			return
 		}
-		points, weights = req.Points, req.Weights
+		if weights != nil && len(weights) != len(points) {
+			httpError(w, http.StatusBadRequest, "%d weights for %d points", len(weights), len(points))
+			return
+		}
+		if err := ing.ingest(points, weights); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, struct {
+			Ingested int `json:"ingested"`
+		}{Ingested: len(points)})
 	case ContentBatch:
-		if points, weights, err = DecodeAddBody(body, s.cfg.MaxBatch); err != nil {
-			httpError(w, bodyErrStatus(err), "%v", err)
+		wb := s.bufs.get()
+		status, err := s.ingestBinary(ing, body, wb)
+		if err != nil {
+			s.bufs.put(wb)
+			httpError(w, status, "%v", err)
 			return
 		}
+		w.Header().Set("Content-Type", ContentJSON)
+		w.Header().Set("Content-Length", strconv.Itoa(len(wb.resp)))
+		_, _ = w.Write(wb.resp)
+		// net/http copies the bytes out during Write, so the reply can be
+		// recycled as soon as it returns.
+		s.bufs.put(wb)
 	default:
 		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want %q or %q)", ct, ContentJSON, ContentBatch)
-		return
 	}
-	if len(points) > s.cfg.MaxBatch {
-		httpError(w, http.StatusBadRequest, "batch of %d exceeds the server's limit of %d", len(points), s.cfg.MaxBatch)
-		return
+}
+
+// ingestBinary is the zero-copy binary ingest path, mirroring answerBinary:
+// the request body is read into a pooled buffer, checksum-verified and
+// parsed in place into the pooled point/weight vectors, fed to the engine,
+// and the {"ingested":N} reply is appended into the pooled response buffer.
+// After warm-up the whole request performs no allocations (the hosted
+// maintainer's compactions included). On success wb.resp holds the complete
+// reply; on error it returns the HTTP status to report. Factored off the
+// handler so tests can pin the allocation count without a ResponseWriter in
+// the way.
+func (s *Server) ingestBinary(ing ingester, body io.Reader, wb *wireBuf) (int, error) {
+	req, err := readBodyInto(wb.req, body)
+	wb.req = req
+	if err != nil {
+		return bodyErrStatus(err), err
 	}
-	if weights != nil && len(weights) != len(points) {
-		httpError(w, http.StatusBadRequest, "%d weights for %d points", len(weights), len(points))
-		return
+	points, weights, err := ParseAddBody(req, s.cfg.MaxBatch, wb.xs, wb.vals)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	wb.xs = points
+	if weights != nil {
+		wb.vals = weights
 	}
 	if err := ing.ingest(points, weights); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return http.StatusBadRequest, err
 	}
-	writeJSON(w, struct {
-		Ingested int `json:"ingested"`
-	}{Ingested: len(points)})
+	wb.resp = appendIngestedJSON(wb.resp[:0], len(points))
+	return http.StatusOK, nil
+}
+
+// appendIngestedJSON renders the {"ingested":N} reply byte-for-byte as
+// writeJSON's json.Encoder would (trailing newline included), without the
+// encoder allocations.
+func appendIngestedJSON(dst []byte, n int) []byte {
+	dst = append(dst, `{"ingested":`...)
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, '}', '\n')
+}
+
+// decodeAddJSON decodes an ingest body {"points":[...],"weights":[...]} with
+// the strictness of decodeJSONBody (unknown fields and trailing data
+// rejected) but enforces maxBatch DURING the points array scan: a body
+// claiming a million points is rejected at element maxBatch+1 instead of
+// after materializing the whole slice. The binary path gets the same
+// guarantee from the length prefix; the streaming JSON grammar has no
+// prefix, so the decoder has to count as it goes.
+func decodeAddJSON(r io.Reader, maxBatch int) (points []int, weights []float64, err error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, nil, err
+	}
+	seenP, seenW := false, false
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, nil, err
+		}
+		key, _ := tok.(string)
+		switch key {
+		case "points":
+			if seenP {
+				return nil, nil, fmt.Errorf(`json: duplicate field "points"`)
+			}
+			seenP = true
+			if points, err = decodeJSONIntArray(dec, maxBatch); err != nil {
+				return nil, nil, fmt.Errorf("points: %w", err)
+			}
+		case "weights":
+			if seenW {
+				return nil, nil, fmt.Errorf(`json: duplicate field "weights"`)
+			}
+			seenW = true
+			if weights, err = decodeJSONFloatArray(dec, maxBatch); err != nil {
+				return nil, nil, fmt.Errorf("weights: %w", err)
+			}
+		default:
+			return nil, nil, fmt.Errorf("json: unknown field %q", key)
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, nil, err
+	}
+	if dec.More() {
+		return nil, nil, fmt.Errorf("trailing data after JSON body")
+	}
+	return points, weights, nil
+}
+
+// expectDelim consumes one token and requires it to be the delimiter.
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("json: expected %q, got %v", want.String(), tok)
+	}
+	return nil
+}
+
+// decodeJSONIntArray streams an integer array, failing as soon as it exceeds
+// maxBatch elements. A JSON null decodes to nil, like encoding/json.
+func decodeJSONIntArray(dec *json.Decoder, maxBatch int) ([]int, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	if tok == nil {
+		return nil, nil
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("json: expected an array, got %v", tok)
+	}
+	out := []int{}
+	for dec.More() {
+		if len(out) >= maxBatch {
+			return nil, fmt.Errorf("batch exceeds the server's limit of %d", maxBatch)
+		}
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		num, ok := tok.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("json: element %d is not a number", len(out))
+		}
+		v, err := strconv.ParseInt(num.String(), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("json: element %d: %v", len(out), err)
+		}
+		out = append(out, int(v))
+	}
+	_, err = dec.Token() // the closing ]
+	return out, err
+}
+
+// decodeJSONFloatArray streams a float array, failing as soon as it exceeds
+// maxBatch elements. A JSON null decodes to nil, like encoding/json.
+func decodeJSONFloatArray(dec *json.Decoder, maxBatch int) ([]float64, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	if tok == nil {
+		return nil, nil
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("json: expected an array, got %v", tok)
+	}
+	out := []float64{}
+	for dec.More() {
+		if len(out) >= maxBatch {
+			return nil, fmt.Errorf("batch exceeds the server's limit of %d", maxBatch)
+		}
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		num, ok := tok.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("json: element %d is not a number", len(out))
+		}
+		v, err := num.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("json: element %d: %v", len(out), err)
+		}
+		out = append(out, v)
+	}
+	_, err = dec.Token() // the closing ]
+	return out, err
 }
 
 // handleSnapshotGet streams the synopsis as one binary envelope. The

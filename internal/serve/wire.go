@@ -298,6 +298,48 @@ func ParseRangesBody(buf []byte, maxBatch int, as, bs []int) (outAs, outBs []int
 	return as, bs, nil
 }
 
+// ParseAddBody parses a complete ingest frame held in buf into xs and ws
+// (each grown only when too small) — DecodeAddBody without the per-request
+// allocations. The returned weights slice is nil when the frame carries the
+// no-weights flag, so callers keep their own buffer for reuse; when weights
+// are present they go through the codec's packed-float parser, which rejects
+// NaN and ±Inf exactly like the streaming decoder.
+func ParseAddBody(buf []byte, maxBatch int, xs []int, ws []float64) (points []int, weights []float64, err error) {
+	p, n, err := parseBodyHeader(buf, tagAddBody, maxBatch)
+	if err != nil {
+		return nil, nil, err
+	}
+	xs = growInts(xs, n)
+	for i := range xs {
+		v, err := p.Varint()
+		if err != nil {
+			return nil, nil, err
+		}
+		xs[i] = int(v)
+	}
+	flag, err := p.Byte()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		if ws, err = p.PackedFloat64s(ws); err != nil {
+			return nil, nil, err
+		}
+		if len(ws) != n {
+			return nil, nil, fmt.Errorf("serve: %d weights for %d points", len(ws), n)
+		}
+		weights = ws
+	default:
+		return nil, nil, fmt.Errorf("serve: bad weights flag %d", flag)
+	}
+	if err := p.Done(); err != nil {
+		return nil, nil, err
+	}
+	return xs, weights, nil
+}
+
 // growInts returns xs resized to n, reallocating only on a short capacity.
 func growInts(xs []int, n int) []int {
 	if cap(xs) < n {

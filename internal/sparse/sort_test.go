@@ -1,0 +1,167 @@
+package sparse
+
+import (
+	"cmp"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// sortOracle is the comparison sort the kernel replaced, retained verbatim as
+// the reference: stable sort by Index via slices.SortStableFunc.
+func sortOracle(es []Entry) {
+	slices.SortStableFunc(es, func(a, b Entry) int {
+		return cmp.Compare(a.Index, b.Index)
+	})
+}
+
+// adversarialLogs builds the ISSUE's adversarial cases plus randomized logs
+// across regimes that hit all three kernel paths (insertion, counting, radix).
+func adversarialLogs() map[string][]Entry {
+	rng := rand.New(rand.NewSource(7))
+	logs := map[string][]Entry{
+		"empty":        {},
+		"single_entry": {{Index: 17, Value: 2.5}},
+	}
+
+	// Duplicate-heavy: 4096 updates over just 3 points, values encode arrival
+	// order so any stability violation flips the dedup sum's rounding.
+	dup := make([]Entry, 4096)
+	for i := range dup {
+		dup[i] = Entry{Index: []int{5, 900, 42}[i%3], Value: 1 + 1e-9*float64(i)}
+	}
+	logs["duplicate_heavy"] = dup
+
+	// Deletions: alternating +w/-w on colliding points.
+	del := make([]Entry, 1024)
+	for i := range del {
+		v := float64(1 + i%7)
+		if i%2 == 1 {
+			v = -v
+		}
+		del[i] = Entry{Index: 1 + (i*37)%64, Value: v}
+	}
+	logs["deletions"] = del
+
+	// Single point repeated: all entries collide.
+	one := make([]Entry, 512)
+	for i := range one {
+		one[i] = Entry{Index: 1000, Value: float64(i) - 255.5}
+	}
+	logs["single_point"] = one
+
+	// Reverse-sorted, strictly descending indices.
+	rev := make([]Entry, 4096)
+	for i := range rev {
+		rev[i] = Entry{Index: 4096 - i, Value: rng.NormFloat64()}
+	}
+	logs["reverse_sorted"] = rev
+
+	// Randomized regimes: tiny (insertion), small domain (counting), large
+	// domain (radix, 2-3 passes), huge sparse domain (radix with skipped
+	// high-byte passes), and a log that is already sorted.
+	for _, c := range []struct {
+		name     string
+		size, mx int
+	}{
+		{"rand_tiny", 31, 1 << 20},
+		{"rand_counting", 2048, 4096},
+		{"rand_radix_2pass", 4096, 60000},
+		{"rand_radix_3pass", 4096, 1 << 22},
+		{"rand_sparse_domain", 1024, 1 << 30},
+	} {
+		es := make([]Entry, c.size)
+		for i := range es {
+			es[i] = Entry{Index: 1 + rng.Intn(c.mx), Value: rng.NormFloat64()}
+		}
+		logs[c.name] = es
+	}
+	sorted := make([]Entry, 4096)
+	for i := range sorted {
+		sorted[i] = Entry{Index: 1 + i/2, Value: rng.NormFloat64()}
+	}
+	logs["already_sorted"] = sorted
+	return logs
+}
+
+func maxIndexOf(es []Entry) int {
+	mx := 1
+	for _, e := range es {
+		if e.Index > mx {
+			mx = e.Index
+		}
+	}
+	return mx
+}
+
+// TestIndexSorterMatchesOracle: on every adversarial log the kernel must
+// produce a BIT-IDENTICAL entry sequence to the retained comparison sort —
+// same order including equal keys (stability), same values, same indices.
+func TestIndexSorterMatchesOracle(t *testing.T) {
+	var s IndexSorter
+	for name, log := range adversarialLogs() {
+		t.Run(name, func(t *testing.T) {
+			want := slices.Clone(log)
+			sortOracle(want)
+			got := slices.Clone(log)
+			s.Sort(got, maxIndexOf(log))
+			if !slices.Equal(got, want) {
+				t.Fatalf("kernel order diverges from oracle on %d entries", len(log))
+			}
+		})
+	}
+}
+
+// TestIndexSorterPathsAgree forces each log through every code path (the
+// domain bound steers counting vs radix) and checks they agree with each
+// other and the oracle: a log whose indices fit a small domain must sort
+// identically whether the caller declares the domain tight or huge.
+func TestIndexSorterPathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		size := 48 + rng.Intn(4000)
+		mx := 1 + rng.Intn(3*size)
+		log := make([]Entry, size)
+		for i := range log {
+			log[i] = Entry{Index: 1 + rng.Intn(mx), Value: rng.NormFloat64()}
+		}
+		want := slices.Clone(log)
+		sortOracle(want)
+
+		var s IndexSorter
+		counting := slices.Clone(log)
+		s.Sort(counting, mx) // mx ≤ 4·size ⇒ counting path
+		radix := slices.Clone(log)
+		s.Sort(radix, 1<<40) // huge declared domain ⇒ radix path
+		if !slices.Equal(counting, want) {
+			t.Fatalf("trial %d: counting path diverges from oracle", trial)
+		}
+		if !slices.Equal(radix, want) {
+			t.Fatalf("trial %d: radix path diverges from oracle", trial)
+		}
+	}
+}
+
+// TestIndexSorterSteadyStateAllocs: after one warm-up sort per path, repeated
+// sorts must not allocate — the scratch is retained and reused.
+func TestIndexSorterSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s IndexSorter
+	const size = 4096
+	work := make([]Entry, size)
+	for _, mx := range []int{200000, 4 * size} { // radix path, counting path
+		base := make([]Entry, size)
+		for i := range base {
+			base[i] = Entry{Index: 1 + rng.Intn(mx), Value: rng.NormFloat64()}
+		}
+		copy(work, base)
+		s.Sort(work, mx) // warm up scratch
+		allocs := testing.AllocsPerRun(20, func() {
+			copy(work, base)
+			s.Sort(work, mx)
+		})
+		if allocs != 0 {
+			t.Fatalf("maxIndex=%d: %v allocs per sort, want 0", mx, allocs)
+		}
+	}
+}

@@ -30,9 +30,7 @@
 package stream
 
 import (
-	"cmp"
 	"fmt"
-	"slices"
 	"sort"
 	"time"
 
@@ -146,16 +144,22 @@ type Maintainer struct {
 	// scratch holds the deduplicated buffer between compactions so the
 	// dedup pass allocates nothing at steady state.
 	scratch []sparse.Entry
-	// partScratch/statsScratch hold the refinement partition combined()
-	// emits, reused across compactions (previously rebuilt from nil every
-	// call — the last allocation on the compaction path).
-	partScratch  interval.Partition
-	statsScratch []sparse.Stat
+	// sorter is the linear-time stable sort kernel behind dedupedBuffer,
+	// owning its scatter/histogram scratch across compactions.
+	sorter sparse.IndexSorter
 	// bufferCap triggers compaction once len(buffer) reaches it. With the
 	// append-only log this counts buffered *updates*, not distinct points,
 	// so compaction cadence is independent of how concentrated the stream
 	// is.
 	bufferCap int
+	// targetPieces is the merging target ⌊(2+2/δ)k+γ⌋; maxPieces is the lazy
+	// recompaction threshold (lazyExpandFactor × target): an inline
+	// compaction sweeps buffered deltas into the view with MergeIn and only
+	// pays merging rounds once the refined piece count exceeds maxPieces,
+	// so concentrated streams amortize the merge pause across many cheap
+	// sweep-only cycles. Summary always re-merges down to targetPieces.
+	targetPieces int
+	maxPieces    int
 
 	updates     int
 	compactions int
@@ -199,11 +203,21 @@ func newMaintainer(n, k, bufferCap int, opts core.Options) (*Maintainer, error) 
 	if k < 1 {
 		return nil, fmt.Errorf("stream: k must be ≥ 1, got %d", k)
 	}
+	target := opts.TargetPieces(k)
 	return &Maintainer{
 		n: n, k: k, opts: opts,
-		bufferCap: resolveBufferCap(bufferCap, k, opts),
+		bufferCap:    resolveBufferCap(bufferCap, k, opts),
+		targetPieces: target,
+		maxPieces:    lazyExpandFactor * target,
 	}, nil
 }
+
+// lazyExpandFactor bounds how far past the merging target a maintained view
+// may grow before an inline compaction pays for a full merging run. Lazy
+// views keep every estimate exact-or-better (more pieces = a strictly finer
+// summary of the same mass), cost O(log pieces) extra per range query, and
+// bound staged-scratch memory at maxPieces + 2·bufferCap entries.
+const lazyExpandFactor = 4
 
 // Add records an update: the frequency of point i increases by w (w may be
 // negative for deletions; the maintained vector may then go negative, which
@@ -222,9 +236,11 @@ func (m *Maintainer) Add(i int, w float64) error {
 
 // AddBatch records points[i] += weights[i] for every i; a nil weights slice
 // means unit weight for every point. The batch is validated up front (no
-// partial ingestion on a bad point) and then appended with compactions
-// triggered at the usual cadence, amortizing the per-call overhead of Add
-// across the whole batch.
+// partial ingestion on a bad point) and then appended in runs that exactly
+// fill the buffer: the per-entry flush check and the weights-vs-unit branch
+// of the old loop are hoisted out, so the inner loop is a bare append per
+// entry, with one Compact per bufferCap entries — the same cadence (and
+// bit-identical results) as calling Add once per point.
 func (m *Maintainer) AddBatch(points []int, weights []float64) error {
 	if weights != nil && len(weights) != len(points) {
 		return fmt.Errorf("stream: %d weights for %d points", len(weights), len(points))
@@ -234,19 +250,30 @@ func (m *Maintainer) AddBatch(points []int, weights []float64) error {
 			return fmt.Errorf("stream: point %d out of [1, %d]", p, m.n)
 		}
 	}
-	w := 1.0
-	for i, p := range points {
-		if weights != nil {
-			w = weights[i]
+	total := len(points)
+	for len(points) > 0 {
+		room := m.bufferCap - len(m.buffer)
+		if room > len(points) {
+			room = len(points)
 		}
-		m.buffer = append(m.buffer, sparse.Entry{Index: p, Value: w})
+		if weights == nil {
+			for _, p := range points[:room] {
+				m.buffer = append(m.buffer, sparse.Entry{Index: p, Value: 1})
+			}
+		} else {
+			for i, p := range points[:room] {
+				m.buffer = append(m.buffer, sparse.Entry{Index: p, Value: weights[i]})
+			}
+			weights = weights[room:]
+		}
+		points = points[room:]
 		if len(m.buffer) >= m.bufferCap {
 			if err := m.Compact(); err != nil {
 				return err
 			}
 		}
 	}
-	m.updates += len(points)
+	m.updates += total
 	return nil
 }
 
@@ -281,17 +308,26 @@ func (m *Maintainer) Compact() error {
 	return nil
 }
 
-// stageLog runs the heavy half of a compaction: dedup the update log, build
-// the refinement of (current summary ∪ log singletons), run the merging
-// loop, and compute the successor view's prefix masses — all into scratch
-// the live view does not reference. It does not publish: installStaged
-// flips the maintainer to the staged view. The split lets Sharded run
-// stageLog on a background goroutine while readers keep serving the old
-// view, with only the cheap install inside the shard lock. The log is read,
-// never retained or modified.
+// stageLog runs the heavy half of a compaction at the lazy threshold: most
+// cycles are one radix sort + dedup + linear merge-in sweep, with merging
+// rounds only when the refined view outgrows maxPieces.
 func (m *Maintainer) stageLog(log []sparse.Entry) error {
-	part, stats := m.combined(log)
-	res, err := m.compactor.Construct(m.n, part, stats, m.k, m.opts)
+	return m.stage(log, m.maxPieces)
+}
+
+// stage runs the heavy half of a compaction: radix-sort and dedup the update
+// log, sweep it into the current summary view with core's incremental
+// MergeIn (which runs merging rounds only if the refined piece count exceeds
+// maxPieces — 0 forces a full merge down to the target), and compute the
+// successor view's prefix masses — all into scratch the live view does not
+// reference. It does not publish: installStaged flips the maintainer to the
+// staged view. The split lets Sharded run the staging on a background
+// goroutine while readers keep serving the old view, with only the cheap
+// install inside the shard lock. The log is read, never retained or
+// modified.
+func (m *Maintainer) stage(log []sparse.Entry, maxPieces int) error {
+	deltas := m.dedupedBuffer(log)
+	res, err := m.compactor.MergeIn(m.n, m.view.part, m.view.values, deltas, m.k, maxPieces, m.opts)
 	if err != nil {
 		return err
 	}
@@ -344,13 +380,15 @@ func (m *Maintainer) compactLog(log []sparse.Entry) error {
 // duplicate points summed (in log order, so the float result is
 // deterministic). Points whose deltas cancel to zero are kept — like the map
 // buffer before it, a touched point stays a refinement singleton. The result
-// lives in m.scratch and is valid until the next call. The sort is
-// slices.SortStableFunc on a concrete comparator: no reflection, no
-// per-call closure allocations (the comparator captures nothing).
+// lives in m.scratch and is valid until the next call. The sort is the
+// stable linear-time kernel of sparse.IndexSorter (LSD radix, or counting
+// sort when the domain is small relative to the log) — the comparison sort
+// it replaced survives as the test oracle, and stability keeps the dedup
+// sums bit-identical to it (TestDedupedBufferMatchesComparisonOracle).
 func (m *Maintainer) dedupedBuffer(log []sparse.Entry) []sparse.Entry {
 	dst := m.scratch[:0]
 	dst = append(dst, log...)
-	slices.SortStableFunc(dst, func(a, b sparse.Entry) int { return cmp.Compare(a.Index, b.Index) })
+	m.sorter.Sort(dst, m.n)
 	out := dst[:0]
 	for _, e := range dst {
 		if len(out) > 0 && out[len(out)-1].Index == e.Index {
@@ -361,62 +399,6 @@ func (m *Maintainer) dedupedBuffer(log []sparse.Entry) []sparse.Entry {
 	}
 	m.scratch = dst
 	return out
-}
-
-// combineEmit accumulates the refinement partition and statistics combined()
-// produces. A plain struct with methods (rather than closures over locals)
-// keeps the emit path free of captured-variable heap traffic.
-type combineEmit struct {
-	part  interval.Partition
-	stats []sparse.Stat
-}
-
-// piece emits a flat run [lo, hi] at summary value v.
-func (c *combineEmit) piece(lo, hi int, v float64) {
-	if lo > hi {
-		return
-	}
-	c.part = append(c.part, interval.New(lo, hi))
-	length := float64(hi - lo + 1)
-	c.stats = append(c.stats, sparse.Stat{Len: hi - lo + 1, Sum: v * length, SumSq: v * v * length})
-}
-
-// singleton emits the touched point p with value v+delta.
-func (c *combineEmit) singleton(p int, v, delta float64) {
-	c.part = append(c.part, interval.New(p, p))
-	s := v + delta
-	c.stats = append(c.stats, sparse.Stat{Len: 1, Sum: s, SumSq: s * s})
-}
-
-// combined builds the refinement partition of (summary pieces ∪ buffered
-// singletons) with the statistics of "summary as piecewise-constant truth
-// plus buffered deltas". The returned slices are maintainer-owned scratch,
-// valid until the next call.
-func (m *Maintainer) combined(log []sparse.Entry) (interval.Partition, []sparse.Stat) {
-	points := m.dedupedBuffer(log)
-
-	c := combineEmit{part: m.partScratch[:0], stats: m.statsScratch[:0]}
-	pi := 0
-	refine := func(lo, hi int, v float64) {
-		for pi < len(points) && points[pi].Index <= hi {
-			p := points[pi].Index
-			c.piece(lo, p-1, v)
-			c.singleton(p, v, points[pi].Value)
-			lo = p + 1
-			pi++
-		}
-		c.piece(lo, hi, v)
-	}
-	if m.view.empty() {
-		// No compaction yet: one zero piece spans the domain.
-		refine(1, m.n, 0)
-	} else {
-		for idx, iv := range m.view.part {
-			refine(iv.Lo, iv.Hi, m.view.values[idx])
-		}
-	}
-	m.partScratch, m.statsScratch = c.part, c.stats
-	return c.part, c.stats
 }
 
 // EstimateRange returns the maintained vector's sum over [a, b] — summary
@@ -463,11 +445,31 @@ func (m *Maintainer) materialize() *core.Histogram {
 }
 
 // Summary returns the current O(k)-piece summary, compacting pending
-// buffered updates first. The returned histogram is immutable and remains
+// buffered updates first and re-merging a lazily expanded view down to the
+// merging target, so the result always carries the full √(1+δ)·opt
+// guarantee at O(k) pieces. The returned histogram is immutable and remains
 // valid (and correct for the stream seen so far) after further updates.
 func (m *Maintainer) Summary() (*core.Histogram, error) {
-	if err := m.Compact(); err != nil {
+	if err := m.compactFull(); err != nil {
 		return nil, err
 	}
 	return m.materialize(), nil
+}
+
+// compactFull folds any pending buffer AND forces the merging rounds that
+// lazy inline compactions may have deferred, leaving the view at or below
+// the target piece budget. No-op when the buffer is empty and the view is
+// already merged.
+func (m *Maintainer) compactFull() error {
+	if len(m.buffer) == 0 && len(m.view.part) <= m.targetPieces {
+		return nil
+	}
+	start := time.Now()
+	if err := m.stage(m.buffer, 0); err != nil {
+		return err
+	}
+	m.installStaged()
+	m.compactDur.add(time.Since(start))
+	m.buffer = m.buffer[:0]
+	return nil
 }
