@@ -21,6 +21,12 @@
 //	                                  # batch, compaction pause percentiles;
 //	                                  # records BENCH_ingest.json
 //	histbench -ingest OUT.json -quick # small smoke grid (CI)
+//	histbench -wal OUT.json           # run the durable-ingest sweep instead:
+//	                                  # write-ahead-logged batched intake vs
+//	                                  # the in-memory engine across the
+//	                                  # fsync-batching curve (SyncEvery ∈
+//	                                  # {1, 8, 64, 256}); records BENCH_wal.json
+//	histbench -wal OUT.json -quick    # small smoke grid (CI)
 //	histbench -codec OUT.json         # run the codec sweep instead: binary
 //	                                  # envelope vs JSON encode/decode
 //	                                  # throughput and bytes-per-piece at
@@ -55,6 +61,7 @@ func main() {
 	parallelOut := flag.String("parallel", "", "run the parallel-engine sweep and write its JSON report to this file")
 	queryOut := flag.String("query", "", "run the query-serving sweep and write its JSON report to this file")
 	ingestOut := flag.String("ingest", "", "run the ingestion sweep and write its JSON report to this file")
+	walOut := flag.String("wal", "", "run the durable-ingest sweep and write its JSON report to this file")
 	codecOut := flag.String("codec", "", "run the codec sweep and write its JSON report to this file")
 	serveOut := flag.String("serve", "", "run the HTTP serving sweep and write its JSON report to this file")
 	quick := flag.Bool("quick", false, "with -query/-ingest/-codec/-serve: small smoke grid instead of the full sweep")
@@ -66,6 +73,10 @@ func main() {
 	}
 	if *codecOut != "" {
 		runCodec(*codecOut, *trials, *quick)
+		return
+	}
+	if *walOut != "" {
+		runWAL(*walOut, *trials, *quick)
 		return
 	}
 	if *ingestOut != "" {
@@ -234,6 +245,46 @@ func runIngest(outPath string, trials int, quick bool) {
 	for _, sp := range rep.SortKernel {
 		fmt.Printf("sort     log=%-8d            radix %9.1f ns/op   comparison %9.1f ns/op   speedup %.2fx\n",
 			sp.LogSize, sp.RadixNsPerOp, sp.CmpNsPerOp, sp.Speedup)
+	}
+	if rep.Note != "" {
+		fmt.Println("note:", rep.Note)
+	}
+	fmt.Printf("report written to %s (total %v)\n", outPath, time.Since(start).Round(time.Millisecond))
+}
+
+// runWAL sweeps durable batched ingest (write-ahead-logged engine across
+// the fsync-batching curve) against the in-memory baseline and writes the
+// JSON throughput + log-traffic trajectory.
+func runWAL(outPath string, trials int, quick bool) {
+	cfg := bench.DefaultWALConfig()
+	if quick {
+		cfg = bench.QuickWALConfig()
+	}
+	if trials > 0 {
+		cfg.MinTrials = trials
+	}
+	fmt.Println("Durable ingestion — write-ahead-logged intake vs in-memory")
+	fmt.Println("(each run ingests the full stream, forces the log durable with Sync,")
+	fmt.Println(" and ends with Summary; SyncEvery=1 fsyncs before every call returns)")
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	rep := bench.RunWALBench(cfg)
+	if err := bench.WriteWALJSON(f, rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range rep.Points {
+		if pt.Mode == "memory" {
+			fmt.Printf("%-7s                 batch=%-5d  %7.1f ns/update  %12.0f upd/s\n",
+				pt.Mode, pt.Batch, pt.NsPerUpdate, pt.UpdatesPerSec)
+			continue
+		}
+		fmt.Printf("%-7s sync-every=%-4d batch=%-5d  %7.1f ns/update  %12.0f upd/s  %.2fx memory  fsyncs=%-6d group=%.1f  ckpts=%d\n",
+			pt.Mode, pt.SyncEvery, pt.Batch, pt.NsPerUpdate, pt.UpdatesPerSec,
+			pt.OverheadVsMemory, pt.Fsyncs, pt.MeanGroup, pt.Checkpoints)
 	}
 	if rep.Note != "" {
 		fmt.Println("note:", rep.Note)

@@ -7,7 +7,16 @@
 //	histserved -addr :8157 \
 //	    -load latency=latency_v1.bin \         # restore any snapshot file
 //	    -load col=estimator_v1.bin \
-//	    -sharded events=1000000,64             # fresh intake engine: n,k[,shards[,bufcap]]
+//	    -sharded events=1000000,64 \           # fresh intake engine: n,k[,shards[,bufcap]]
+//	    -wal /var/lib/histserved               # make intake engines crash-safe
+//
+// With -wal set, every -sharded engine is write-ahead logged under
+// <dir>/<name>: acknowledged ingests survive a crash (per the -sync-every
+// group-commit policy), periodic checkpoints bound the log, and a restart
+// with the same flags recovers each engine — snapshot restored, log tail
+// replayed — before the listener accepts traffic (GET /readyz flips to 200
+// when recovery is done). SIGINT/SIGTERM drains in-flight requests, flushes
+// the logs, cuts a final checkpoint, and exits 0.
 //
 // Endpoints (see the package documentation of repro's serving layer):
 //
@@ -19,6 +28,9 @@
 //	POST /v1/{name}/add             ingest updates (streaming engines)
 //	GET  /v1/{name}/snapshot        download the binary snapshot
 //	PUT  /v1/{name}/snapshot        hot-swap from a pushed snapshot
+//	GET  /metrics                   Prometheus scrape (ingest, WAL, checkpoints)
+//	GET  /healthz                   liveness (always 200)
+//	GET  /readyz                    readiness (503 until recovery finishes)
 //
 // Snapshots are the library's versioned binary envelopes, so files written
 // by one process (or fetched from another histserved) restore directly.
@@ -29,10 +41,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // profiling handlers, exposed only behind -pprof
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -50,71 +64,84 @@ func nameValue(raw, flagName string) (name, value string, err error) {
 	return name, value, nil
 }
 
+// onListen, when non-nil, receives the bound listener address before the
+// server starts accepting — the e2e test's handle on a :0 port.
+var onListen func(net.Addr)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("histserved: ")
-
-	addr := flag.String("addr", ":8157", "listen address")
-	workers := flag.Int("workers", 1, "per-request batch fan-out (≤ 0 = all cores; 1 is usually best under concurrent load)")
-	maxBatch := flag.Int("max-batch", 0, "max queries/updates per request body (0 = default)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
-
-	var hosted []string
-	boot := func(fn func() error) {
-		if err := fn(); err != nil {
-			log.Fatal(err)
-		}
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
 	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("histserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8157", "listen address")
+	workers := fs.Int("workers", 1, "per-request batch fan-out (≤ 0 = all cores; 1 is usually best under concurrent load)")
+	maxBatch := fs.Int("max-batch", 0, "max queries/updates per request body (0 = default)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	walDir := fs.String("wal", "", "write-ahead log base directory; each -sharded engine persists under <dir>/<name> (empty = in-memory only)")
+	syncEvery := fs.Int("sync-every", 0, "fsync the WAL at least every N appended records (1 = before every ingest returns; 0 = default)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint after N logged ingest calls (0 = default, negative = count-based checkpoints off)")
+	ckptInterval := fs.Duration("checkpoint-interval", 0, "also checkpoint on this wall-clock period (0 = off)")
 
 	var loads, shardeds []string
-	flag.Func("load", "host a snapshot file as name=path (repeatable)", func(raw string) error {
+	fs.Func("load", "host a snapshot file as name=path (repeatable)", func(raw string) error {
 		loads = append(loads, raw)
 		return nil
 	})
-	flag.Func("sharded", "host a fresh sharded intake engine as name=n,k[,shards[,bufcap]] (repeatable)", func(raw string) error {
+	fs.Func("sharded", "host a fresh sharded intake engine as name=n,k[,shards[,bufcap]] (repeatable)", func(raw string) error {
 		shardeds = append(shardeds, raw)
 		return nil
 	})
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	srv := histapprox.NewSynopsisServer(&histapprox.ServeConfig{Workers: *workers, MaxBatch: *maxBatch})
+	// Not ready until every engine is hosted — with a WAL that includes
+	// recovery replay, which a load balancer must wait out.
+	srv.SetReady(false)
+
+	var hosted []string
+	// closers are the durable engines to flush on shutdown, closed in
+	// reverse hosting order.
+	var closers []interface{ Close() error }
 
 	for _, raw := range loads {
-		raw := raw
-		boot(func() error {
-			name, path, err := nameValue(raw, "load")
-			if err != nil {
-				return err
-			}
-			f, err := os.Open(path)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := srv.Load(name, f); err != nil {
-				return fmt.Errorf("loading %s: %w", path, err)
-			}
-			hosted = append(hosted, name+" ("+path+")")
-			return nil
-		})
+		name, path, err := nameValue(raw, "load")
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = srv.Load(name, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+		hosted = append(hosted, name+" ("+path+")")
 	}
 	for _, raw := range shardeds {
-		raw := raw
-		boot(func() error {
-			name, spec, err := nameValue(raw, "sharded")
-			if err != nil {
-				return err
+		name, spec, err := nameValue(raw, "sharded")
+		if err != nil {
+			return err
+		}
+		parts := strings.Split(spec, ",")
+		if len(parts) < 2 || len(parts) > 4 {
+			return fmt.Errorf("-sharded wants name=n,k[,shards[,bufcap]], got %q", raw)
+		}
+		nums := make([]int, 4)
+		for i, p := range parts {
+			if nums[i], err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
+				return fmt.Errorf("-sharded %q: %w", raw, err)
 			}
-			parts := strings.Split(spec, ",")
-			if len(parts) < 2 || len(parts) > 4 {
-				return fmt.Errorf("-sharded wants name=n,k[,shards[,bufcap]], got %q", raw)
-			}
-			nums := make([]int, 4)
-			for i, p := range parts {
-				if nums[i], err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
-					return fmt.Errorf("-sharded %q: %w", raw, err)
-				}
-			}
+		}
+		if *walDir == "" {
 			engine, err := histapprox.NewShardedMaintainer(nums[0], nums[1], nums[2], nums[3], nil)
 			if err != nil {
 				return err
@@ -123,8 +150,31 @@ func main() {
 				return err
 			}
 			hosted = append(hosted, fmt.Sprintf("%s (sharded n=%d k=%d shards=%d)", name, nums[0], nums[1], engine.Shards()))
-			return nil
-		})
+			continue
+		}
+		dir := filepath.Join(*walDir, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		engine, err := histapprox.OpenDurableShardedMaintainer(nums[0], nums[1], nums[2], nums[3], nil,
+			histapprox.DurabilityOptions{
+				Dir:                dir,
+				SyncEvery:          *syncEvery,
+				CheckpointEvery:    *ckptEvery,
+				CheckpointInterval: *ckptInterval,
+			})
+		if err != nil {
+			return fmt.Errorf("opening durable engine %q in %s: %w", name, dir, err)
+		}
+		closers = append(closers, engine)
+		if err := srv.Host(name, engine); err != nil {
+			return err
+		}
+		detail := ""
+		if n := engine.Replayed(); n > 0 {
+			detail = fmt.Sprintf(", replayed %d WAL records", n)
+		}
+		hosted = append(hosted, fmt.Sprintf("%s (durable sharded, wal=%s%s)", name, dir, detail))
 	}
 	if len(hosted) == 0 {
 		log.Print("warning: nothing hosted at boot; push snapshots via PUT /v1/{name}/snapshot")
@@ -132,6 +182,7 @@ func main() {
 	for _, h := range hosted {
 		log.Printf("hosting %s", h)
 	}
+	srv.SetReady(true)
 
 	if *pprofAddr != "" {
 		// The blank net/http/pprof import registers its handlers on
@@ -145,25 +196,46 @@ func main() {
 		}()
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
-		}
+		log.Printf("listening on %s", ln.Addr())
+		serveErr <- httpSrv.Serve(ln)
 	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("shutting down")
+	defer signal.Stop(sig)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		log.Printf("%s: shutting down", s)
+	}
+	// Stop intake first: drain in-flight requests (new connections are
+	// refused), THEN flush and checkpoint the durable engines — after the
+	// drain no ingest can race the final checkpoint.
+	srv.SetReady(false)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Fatal(err)
+		return err
 	}
+	for i := len(closers) - 1; i >= 0; i-- {
+		if err := closers[i].Close(); err != nil {
+			return fmt.Errorf("closing durable engine: %w", err)
+		}
+	}
+	log.Print("clean shutdown: WAL flushed, final checkpoint committed")
+	return nil
 }

@@ -1,7 +1,18 @@
-// Checkpoint/restore: snapshot a live sharded ingestion engine mid-stream,
-// "crash", restore from the checkpoint bytes in a fresh engine, resume the
-// stream, and verify the result is bit-identical to a run that never
-// crashed — no stream replay, no forced compaction, O(k)-sized checkpoints.
+// Checkpoint/restore and crash recovery, end to end.
+//
+// Part 1 — planned handoff: snapshot a live sharded ingestion engine
+// mid-stream, "crash", restore from the checkpoint bytes in a fresh engine,
+// resume the stream, and verify the result is bit-identical to a run that
+// never crashed — no stream replay, no forced compaction, O(k)-sized
+// checkpoints.
+//
+// Part 2 — unplanned crash: the snapshot in part 1 only exists because the
+// application asked for it. A durable engine removes that requirement: every
+// update is write-ahead logged before it is applied, periodic checkpoints
+// truncate the log, and recovery = restore the last checkpoint + replay the
+// log tail. The process below "dies" with updates beyond the last
+// checkpoint, recovers from the WAL directory alone, resumes, and ends
+// bit-identical to the uninterrupted run.
 //
 // Run with:
 //
@@ -47,13 +58,32 @@ func stream(u int) (point int, weight float64) {
 	return point, weight
 }
 
-func feed(s *histapprox.ShardedHistogram, from, to int) {
+// adder is the ingest surface both engine flavors share.
+type adder interface {
+	Add(i int, w float64) error
+}
+
+func feed(s adder, from, to int) {
 	for u := from; u < to; u++ {
 		p, w := stream(u)
 		if err := s.Add(p, w); err != nil {
 			log.Fatal(err)
 		}
 	}
+}
+
+// mustMatch asserts two summaries are bit-identical, piece by piece.
+func mustMatch(label string, got, want *histapprox.Histogram) {
+	if got.NumPieces() != want.NumPieces() {
+		log.Fatalf("%s: piece counts differ: %d vs %d", label, got.NumPieces(), want.NumPieces())
+	}
+	for i, pc := range want.Pieces() {
+		gpc := got.Pieces()[i]
+		if gpc.Interval != pc.Interval || math.Float64bits(gpc.Value) != math.Float64bits(pc.Value) {
+			log.Fatalf("%s: piece %d differs: %+v vs %+v", label, i, gpc, pc)
+		}
+	}
+	fmt.Printf("%s == uninterrupted run: %d pieces, all bit-identical ✓\n", label, got.NumPieces())
 }
 
 func main() {
@@ -70,7 +100,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// --- The crashing run. ---
+	// --- Part 1: planned handoff through an explicit snapshot. ---
 	doomed, err := histapprox.NewShardedMaintainer(n, k, shards, 0, nil)
 	if err != nil {
 		log.Fatal(err)
@@ -115,19 +145,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// --- The two runs must be indistinguishable, bit for bit. ---
-	if got.NumPieces() != want.NumPieces() {
-		log.Fatalf("piece counts differ: %d vs %d", got.NumPieces(), want.NumPieces())
-	}
-	for i, pc := range want.Pieces() {
-		gpc := got.Pieces()[i]
-		if gpc.Interval != pc.Interval || math.Float64bits(gpc.Value) != math.Float64bits(pc.Value) {
-			log.Fatalf("piece %d differs: %+v vs %+v", i, gpc, pc)
-		}
-	}
-	fmt.Printf("crash+restore run == uninterrupted run: %d pieces, all bit-identical ✓\n",
-		got.NumPieces())
+	mustMatch("crash+restore run", got, want)
 	for _, r := range [][2]int{{1, n}, {20_000, 30_000}, {44_000, 44_500}} {
 		a, _ := restored.EstimateRange(r[0], r[1])
 		b, _ := straight.EstimateRange(r[0], r[1])
@@ -135,4 +153,51 @@ func main() {
 			r[0], r[1], a, b)
 	}
 	os.Remove(path)
+
+	// --- Part 2: unplanned crash, recovered from the WAL alone. ---
+	walDir, err := os.MkdirTemp("", "histapprox-wal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+	dopts := histapprox.DurabilityOptions{
+		Dir:             walDir,
+		SyncEvery:       1024,    // group-commit fsync window (1 = no-loss)
+		CheckpointEvery: 150_000, // log-truncation cadence, in ingest calls
+	}
+	durable, err := histapprox.OpenDurableShardedMaintainer(n, k, shards, 0, nil, dopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed(durable, 0, crashAt)
+	// Pin the log tail to disk so the "crash" below loses nothing — a real
+	// SIGKILL could lose up to the last unsynced group-commit window (zero
+	// with SyncEvery: 1), and recovery would come back bit-identical to the
+	// uninterrupted run over that shorter surviving prefix instead.
+	if err := durable.Sync(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 💥 SIGKILL. No Close, no final checkpoint, no snapshot call — updates
+	// past the last periodic checkpoint exist only as WAL records.
+	durable = nil
+
+	rec, err := histapprox.RecoverDurableShardedMaintainer(dopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered from %s: last checkpoint + %d WAL records replayed\n",
+		walDir, rec.Replayed())
+	feed(rec, crashAt, updates)
+	got2, err := rec.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustMatch("kill+WAL-replay run", got2, want)
+	ds := rec.Stats()
+	fmt.Printf("  WAL: %d records appended, %d fsyncs, %d checkpoints committed\n",
+		ds.WAL.Appends, ds.WAL.Fsyncs, ds.Checkpoints)
+	if err := rec.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -72,6 +72,53 @@ func NewShardedMaintainer(n, k, shards, bufferCap int, opts *Options) (*ShardedH
 	return stream.NewSharded(n, k, shards, bufferCap, resolveOpts(opts))
 }
 
+// --- Crash-safe durability: write-ahead logging + incremental checkpoints. ---
+
+// DurableShardedHistogram is a ShardedHistogram whose ingest calls are
+// write-ahead logged before they are applied: every acknowledged Add/AddBatch
+// survives a process crash (per the group-commit fsync policy), periodic
+// checkpoints bound the log and the recovery time, and recovery replays the
+// log tail to a state bit-identical to an uninterrupted run over the
+// surviving updates — same floats, same compaction cadence. A torn or
+// corrupted log tail (the bytes an OS crash can leave behind) is detected by
+// checksum and truncated cleanly, never a panic.
+type DurableShardedHistogram = stream.DurableSharded
+
+// DurableStreamingHistogram is the single-threaded durable counterpart,
+// wrapping a StreamingHistogram with the same WAL + checkpoint machinery.
+type DurableStreamingHistogram = stream.DurableMaintainer
+
+// DurabilityOptions configures a durable engine: the WAL directory, the
+// group-commit fsync policy (SyncEvery/SyncInterval — SyncEvery=1 fsyncs
+// before every ingest call returns), and the checkpoint cadence.
+type DurabilityOptions = stream.DurableOptions
+
+// DurabilityStats snapshots a durable engine's counters: ingest stats, WAL
+// appends/bytes/fsyncs/group-commit sizes, and checkpoint totals/durations.
+type DurabilityStats = stream.DurableStats
+
+// OpenDurableShardedMaintainer opens (or creates) a durable sharded
+// maintainer persisted in d.Dir: if the directory holds a WAL, the engine is
+// recovered — snapshot restored, log tail replayed — and otherwise a fresh
+// engine and log are created. The n/k/shards/bufferCap/opts parameters apply
+// only to creation; recovery restores them from the snapshot.
+func OpenDurableShardedMaintainer(n, k, shards, bufferCap int, opts *Options, d DurabilityOptions) (*DurableShardedHistogram, error) {
+	return stream.OpenDurableSharded(n, k, shards, bufferCap, resolveOpts(opts), d)
+}
+
+// RecoverDurableShardedMaintainer recovers a durable sharded maintainer from
+// an existing WAL directory, failing if d.Dir holds none.
+func RecoverDurableShardedMaintainer(d DurabilityOptions) (*DurableShardedHistogram, error) {
+	return stream.RecoverDurableSharded(d)
+}
+
+// OpenDurableStreamingHistogram opens (or creates) a durable single-threaded
+// maintainer persisted in d.Dir, following the OpenDurableShardedMaintainer
+// contract.
+func OpenDurableStreamingHistogram(n, k, bufferCap int, opts *Options, d DurabilityOptions) (*DurableStreamingHistogram, error) {
+	return stream.OpenDurableMaintainer(n, k, bufferCap, resolveOpts(opts), d)
+}
+
 // --- Quantile queries from a summary. ---
 
 // CDF answers cumulative-distribution and quantile queries from a

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// WALPoint is one cell of the durable-ingest benchmark: batched intake
+// through a write-ahead-logged engine at one group-commit setting, head to
+// head against the identical in-memory engine.
+type WALPoint struct {
+	// Mode is "memory" (the bare Sharded engine — this sweep's baseline,
+	// re-measured so the overhead column is self-contained) or "wal".
+	Mode string `json:"mode"`
+	// SyncEvery is the group-commit fsync policy: the flusher fsyncs at
+	// least every SyncEvery appended records (1 = before every ingest call
+	// returns). 0 for the memory baseline.
+	SyncEvery int `json:"sync_every"`
+	// Batch is the updates per AddBatch call; Updates the stream length per
+	// timed run (including the final Sync and Summary).
+	Batch         int     `json:"batch"`
+	Updates       int     `json:"updates"`
+	NsPerUpdate   float64 `json:"ns_per_update"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	// OverheadVsMemory is NsPerUpdate over the memory baseline's — the cost
+	// of durability at this fsync policy (1.0 for the baseline itself).
+	OverheadVsMemory float64 `json:"overhead_vs_memory"`
+	// WALBytes / Appends / Flushes / Fsyncs / MeanGroup / MaxGroup describe
+	// the log traffic of the measured run: how many record frames the
+	// ingest encoded, how they coalesced into write batches, and how many
+	// fsyncs made them durable. MeanGroup = Appends / Flushes.
+	WALBytes  int64   `json:"wal_bytes"`
+	Appends   int64   `json:"appends"`
+	Flushes   int64   `json:"flushes"`
+	Fsyncs    int64   `json:"fsyncs"`
+	MeanGroup float64 `json:"mean_group"`
+	MaxGroup  int     `json:"max_group"`
+	// Checkpoints counts checkpoint commits during the run (checkpointing
+	// is left on its default cadence — durability as deployed, not an
+	// fsync-only microbenchmark).
+	Checkpoints int64 `json:"checkpoints"`
+}
+
+// WALReport is the BENCH_wal.json payload.
+type WALReport struct {
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"numcpu"`
+	GoVersion  string     `json:"goversion"`
+	Note       string     `json:"note,omitempty"`
+	Points     []WALPoint `json:"points"`
+}
+
+// WALConfig controls the durable-ingest sweep.
+type WALConfig struct {
+	// N is the value-domain size, K the summary size, BufferCap the
+	// compaction period, matching the ingest sweep so the cells compare.
+	N, K, BufferCap int
+	// Updates is the stream length per timed run; Batch the AddBatch size.
+	Updates, Batch int
+	// SyncEverys lists the group-commit policies to sweep.
+	SyncEverys []int
+	// CheckpointEvery is the ingest-call checkpoint cadence for the wal
+	// cells (0 = the engine default).
+	CheckpointEvery int
+	// MinTrials and MinTotal control timing accuracy per cell.
+	MinTrials int
+	MinTotal  time.Duration
+}
+
+// DefaultWALConfig mirrors the ingest sweep's batch cell (same domain,
+// summary size, compaction period, stream length, and batch size, one
+// shard) and sweeps the fsync-batching curve from every-call to the
+// default group commit.
+func DefaultWALConfig() WALConfig {
+	return WALConfig{
+		N:          200_000,
+		K:          32,
+		BufferCap:  4096,
+		Updates:         2_000_000,
+		Batch:           1024,
+		SyncEverys:      []int{1, 8, 64, 256},
+		CheckpointEvery: 500,
+		MinTrials:       5,
+		MinTotal:        500 * time.Millisecond,
+	}
+}
+
+// QuickWALConfig is the CI smoke grid.
+func QuickWALConfig() WALConfig {
+	return WALConfig{
+		N:          20_000,
+		K:          16,
+		BufferCap:  1024,
+		Updates:         100_000,
+		Batch:           512,
+		SyncEverys:      []int{1, 256},
+		CheckpointEvery: 100,
+		MinTrials:       1,
+		MinTotal:        10 * time.Millisecond,
+	}
+}
+
+// RunWALBench measures durable batched ingest against the in-memory
+// baseline. Every timed run ingests the full workload into a fresh engine
+// (fresh WAL directory for the durable cells), forces the log durable with
+// Sync, and ends with Summary() — the same always-pay-the-tail policy as
+// the ingest sweep. Engine teardown and directory removal happen outside
+// the timing.
+func RunWALBench(cfg WALConfig) WALReport {
+	rep := WALReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	if rep.GoMaxProcs < 2 {
+		rep.Note = "single-core environment: WAL flusher goroutine shares the ingest core, " +
+			"so group-commit coalescing is understated; regenerate on a multi-core host"
+	}
+	wl := buildIngestWorkload(cfg.N, cfg.Updates)
+	opts := core.DefaultOptions()
+
+	feed := func(add func([]int, []float64) error) {
+		for lo := 0; lo < len(wl.points); lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > len(wl.points) {
+				hi = len(wl.points)
+			}
+			must(add(wl.points[lo:hi], wl.weights[lo:hi]))
+		}
+	}
+
+	// timeCell runs best-of-trials over run (which returns the stats of its
+	// own completed run) and appends the cell.
+	timeCell := func(pt WALPoint, run func() (time.Duration, stream.DurableStats)) WALPoint {
+		trials := cfg.MinTrials
+		if trials < 1 {
+			trials = 1
+		}
+		var best time.Duration
+		var bestStats stream.DurableStats
+		var total time.Duration
+		for trial := 0; trial < trials || total < cfg.MinTotal; trial++ {
+			elapsed, st := run()
+			total += elapsed
+			if best == 0 || elapsed < best {
+				best, bestStats = elapsed, st
+			}
+			if trial >= 100 {
+				break
+			}
+		}
+		pt.Updates = cfg.Updates
+		pt.Batch = cfg.Batch
+		pt.NsPerUpdate = float64(best.Nanoseconds()) / float64(cfg.Updates)
+		pt.UpdatesPerSec = 1e9 / pt.NsPerUpdate
+		pt.WALBytes = bestStats.WAL.AppendedBytes
+		pt.Appends = bestStats.WAL.Appends
+		pt.Flushes = bestStats.WAL.Flushes
+		pt.Fsyncs = bestStats.WAL.Fsyncs
+		if bestStats.WAL.Flushes > 0 {
+			pt.MeanGroup = float64(bestStats.WAL.Appends) / float64(bestStats.WAL.Flushes)
+		}
+		pt.MaxGroup = bestStats.WAL.MaxGroup
+		pt.Checkpoints = bestStats.Checkpoints
+		rep.Points = append(rep.Points, pt)
+		return pt
+	}
+
+	memory := timeCell(WALPoint{Mode: "memory"}, func() (time.Duration, stream.DurableStats) {
+		s, err := stream.NewSharded(cfg.N, cfg.K, 1, cfg.BufferCap, opts)
+		must(err)
+		start := time.Now()
+		feed(s.AddBatch)
+		_, err = s.Summary()
+		must(err)
+		return time.Since(start), stream.DurableStats{}
+	})
+	rep.Points[len(rep.Points)-1].OverheadVsMemory = 1
+
+	for _, syncEvery := range cfg.SyncEverys {
+		syncEvery := syncEvery
+		pt := timeCell(WALPoint{Mode: "wal", SyncEvery: syncEvery}, func() (time.Duration, stream.DurableStats) {
+			dir, err := os.MkdirTemp("", "histbench-wal-*")
+			must(err)
+			defer os.RemoveAll(dir)
+			d, err := stream.NewDurableSharded(cfg.N, cfg.K, 1, cfg.BufferCap, opts, stream.DurableOptions{
+				Dir:             dir,
+				SyncEvery:       syncEvery,
+				CheckpointEvery: cfg.CheckpointEvery,
+			})
+			must(err)
+			start := time.Now()
+			feed(d.AddBatch)
+			must(d.Sync())
+			_, err = d.Summary()
+			must(err)
+			elapsed := time.Since(start)
+			st := d.Stats()
+			must(d.Close())
+			return elapsed, st
+		})
+		rep.Points[len(rep.Points)-1].OverheadVsMemory = pt.NsPerUpdate / memory.NsPerUpdate
+	}
+	return rep
+}
+
+// WriteWALJSON renders the report as indented JSON — the BENCH_wal.json
+// trajectory recorded at the repository root.
+func WriteWALJSON(w io.Writer, rep WALReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

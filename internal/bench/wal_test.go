@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestWALBenchSmoke runs a minimal durable-ingest sweep end to end: the
+// memory baseline plus every fsync-policy cell must come out with sane
+// fields and a serializable report.
+func TestWALBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed durable-ingest benchmark")
+	}
+	cfg := QuickWALConfig()
+	cfg.Updates = 20_000
+	cfg.SyncEverys = []int{1, 64}
+	rep := RunWALBench(cfg)
+
+	if len(rep.Points) != 1+len(cfg.SyncEverys) {
+		t.Fatalf("%d cells, want %d", len(rep.Points), 1+len(cfg.SyncEverys))
+	}
+	mem := rep.Points[0]
+	if mem.Mode != "memory" || mem.OverheadVsMemory != 1 || mem.NsPerUpdate <= 0 {
+		t.Fatalf("degenerate memory baseline: %+v", mem)
+	}
+	for _, pt := range rep.Points[1:] {
+		if pt.Mode != "wal" || pt.NsPerUpdate <= 0 || pt.OverheadVsMemory <= 0 {
+			t.Fatalf("degenerate wal cell: %+v", pt)
+		}
+		if pt.Appends <= 0 || pt.WALBytes <= 0 || pt.Fsyncs <= 0 {
+			t.Fatalf("wal cell logged nothing: %+v", pt)
+		}
+	}
+	// SyncEvery=1 fsyncs once per ingest call; the batched policy must
+	// coalesce to strictly fewer.
+	if rep.Points[1].Fsyncs <= rep.Points[2].Fsyncs {
+		t.Errorf("fsyncs: sync-every=1 %d, sync-every=64 %d — no group-commit coalescing",
+			rep.Points[1].Fsyncs, rep.Points[2].Fsyncs)
+	}
+	var buf bytes.Buffer
+	if err := WriteWALJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestWALBenchRecordedDurableWithin2x pins the durability tax to the
+// trajectory: in the committed BENCH_wal.json, batched durable ingest at the
+// DEFAULT group-commit policy must land within 2× of the in-memory engine —
+// both against the sweep's own memory baseline and against the serial batch
+// cell of the committed BENCH_ingest.json (the two files must be recorded on
+// the same box in the same machine state for the cross-file bound to mean
+// anything; re-record both together). If a re-record loses the bound, the
+// WAL hot path has regressed — fix it, do not relax the factor.
+func TestWALBenchRecordedDurableWithin2x(t *testing.T) {
+	blob, err := os.ReadFile("../../BENCH_wal.json")
+	if err != nil {
+		t.Skipf("no recorded BENCH_wal.json: %v", err)
+	}
+	var rep WALReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("recorded BENCH_wal.json does not parse: %v", err)
+	}
+
+	var memory, def *WALPoint
+	for i := range rep.Points {
+		pt := &rep.Points[i]
+		switch {
+		case pt.Mode == "memory":
+			memory = pt
+		case pt.Mode == "wal" && pt.SyncEvery == wal.DefaultSyncEvery:
+			def = pt
+		}
+	}
+	if memory == nil {
+		t.Fatal("recorded report has no memory baseline")
+	}
+	if def == nil {
+		t.Fatalf("recorded report has no wal cell at the default group commit (sync-every=%d)", wal.DefaultSyncEvery)
+	}
+	if def.Appends <= 0 || def.Fsyncs <= 0 || def.Checkpoints <= 0 {
+		t.Fatalf("default wal cell did not log, sync, and checkpoint: %+v", def)
+	}
+	const factor = 2.0
+	if got, want := def.NsPerUpdate, factor*memory.NsPerUpdate; !(got <= want) {
+		t.Errorf("durable batched ingest %.1f ns/update, need ≤ %.1f (%.0f× the sweep's memory baseline %.1f)",
+			got, want, factor, memory.NsPerUpdate)
+	}
+
+	iblob, err := os.ReadFile("../../BENCH_ingest.json")
+	if err != nil {
+		t.Skipf("no recorded BENCH_ingest.json: %v", err)
+	}
+	var irep IngestReport
+	if err := json.Unmarshal(iblob, &irep); err != nil {
+		t.Fatalf("recorded BENCH_ingest.json does not parse: %v", err)
+	}
+	var serialBatch *IngestPoint
+	for i := range irep.Points {
+		pt := &irep.Points[i]
+		if pt.Mode == "serial" && pt.Workload == "batch" {
+			serialBatch = pt
+		}
+	}
+	if serialBatch == nil {
+		t.Fatal("recorded BENCH_ingest.json has no serial batch cell")
+	}
+	if got, want := def.NsPerUpdate, factor*serialBatch.NsPerUpdate; !(got <= want) {
+		t.Errorf("durable batched ingest %.1f ns/update, need ≤ %.1f (%.0f× the recorded in-memory serial batch cell %.1f)",
+			got, want, factor, serialBatch.NsPerUpdate)
+	}
+}

@@ -62,6 +62,8 @@ const (
 	TagEstimator     byte = 6 // synopsis.Synopsis (range estimator state)
 	TagMaintainer    byte = 7 // stream.Maintainer checkpoint
 	TagSharded       byte = 8 // stream.Sharded checkpoint
+	TagWALRecord     byte = 9 // internal/wal update-batch record (one ingest call)
+	TagWALManifest   byte = 10 // internal/wal checkpoint manifest
 )
 
 // castagnoli is the CRC-32C table (iSCSI polynomial), hardware-accelerated

@@ -24,7 +24,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/{name}/add", s.handleAdd)
 	mux.HandleFunc("GET /v1/{name}/snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("PUT /v1/{name}/snapshot", s.handleSnapshotPut)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleHealthz is liveness: the process is up and the handler runs. Always
+// 200 — a wedged engine shows in /metrics and /readyz, not here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness: 200 once recovery/replay has finished and the
+// registry accepts traffic, 503 before (see Server.SetReady).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		httpError(w, http.StatusServiceUnavailable, "recovering")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
 }
 
 // JSON request/response shapes.
@@ -70,15 +91,21 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// resolve loads the synopsis a request addresses, or writes the 404.
-func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (served, bool) {
+// resolve loads the synopsis a request addresses — and its registry slot,
+// whose counters the handler bumps — or writes the 404.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (served, *entry, bool) {
 	name := r.PathValue("name")
-	sv, ok := s.lookup(name)
+	ent, ok := s.lookupEntry(name)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no synopsis named %q", name)
-		return nil, false
+		return nil, nil, false
 	}
-	return sv, true
+	p := ent.ptr.Load()
+	if p == nil {
+		httpError(w, http.StatusNotFound, "no synopsis named %q", name)
+		return nil, nil, false
+	}
+	return *p, ent, true
 }
 
 // params extracts the per-request query knobs (?k= for hierarchies; the
@@ -119,7 +146,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // handleQuery serves /at and /range in both single (GET + URL params) and
 // batch (POST + body) form. The response codec follows the request codec.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	sv, ok := s.resolve(w, r)
+	sv, ent, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
@@ -129,6 +156,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	isRange := strings.HasSuffix(r.URL.Path, "/range")
+	if isRange {
+		ent.stats.ranges.Add(1)
+	} else {
+		ent.stats.points.Add(1)
+	}
 
 	if r.Method == http.MethodGet {
 		s.handleSingleQuery(w, r, sv, q, isRange)
@@ -279,7 +311,7 @@ func (s *Server) handleSingleQuery(w http.ResponseWriter, r *http.Request, sv se
 
 // handleAdd serves ingest batches into a hosted streaming engine.
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
-	sv, ok := s.resolve(w, r)
+	sv, ent, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
@@ -288,6 +320,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "synopsis kind %q does not accept updates", sv.kind())
 		return
 	}
+	ent.stats.ingests.Add(1)
 	ct, err := contentType(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -524,6 +557,7 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no synopsis named %q", name)
 		return
 	}
+	ent.stats.snapshots.Add(1)
 	if c := ent.snap.Load(); c != nil && c.owner == p {
 		writeSnapshotBody(w, c.body)
 		return

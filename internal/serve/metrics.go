@@ -1,0 +1,247 @@
+// GET /metrics: the registry's operational counters in the Prometheus text
+// exposition format (0.0.4), hand-rendered — the repo has no client library
+// and needs none for a page of gauges and counters.
+//
+// Three layers of metrics compose the page. The handler layer counts
+// requests per hosted name (point/range/ingest/snapshot); the engine layer
+// reports ingest totals and compaction/pause latency percentiles for any
+// adapter offering ingestStats; and the durability layer reports WAL and
+// checkpoint counters for any adapter offering durableStats. Immutable
+// synopses appear only in the request-count families.
+//
+// Percentiles are computed server-side over the engines' recent-duration
+// rings (up to 512 samples per shard per kind) and exposed as gauges with a
+// quantile label — the rings are bounded windows, not histograms, so a
+// scraper gets "recent p99" rather than an aggregatable distribution. Rates
+// (ingest qps, fsyncs/s) fall out of the _total counters under rate().
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// metricsRow is one hosted name's slice of the scrape, captured before
+// rendering so samples group correctly under their family headers.
+type metricsRow struct {
+	name    string
+	points  int64
+	ranges  int64
+	ingests int64
+	snaps   int64
+	ingest  *stream.IngestStats
+	durable *stream.DurableStats
+}
+
+// handleMetrics serves the scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var rows []metricsRow
+	s.entries.Range(func(key, value any) bool {
+		ent := value.(*entry)
+		p := ent.ptr.Load()
+		if p == nil {
+			return true
+		}
+		row := metricsRow{
+			name:    key.(string),
+			points:  ent.stats.points.Load(),
+			ranges:  ent.stats.ranges.Load(),
+			ingests: ent.stats.ingests.Load(),
+			snaps:   ent.stats.snapshots.Load(),
+		}
+		switch sv := (*p).(type) {
+		case durableStatser:
+			st := sv.durableStats()
+			row.durable = &st
+			row.ingest = &st.Ingest
+		case ingestStatser:
+			st := sv.ingestStats()
+			row.ingest = &st
+		}
+		rows = append(rows, row)
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	var b bytes.Buffer
+	ready := int64(0)
+	if s.Ready() {
+		ready = 1
+	}
+	promFamily(&b, "histapprox_ready", "gauge", "Whether the server has finished recovery and accepts traffic.")
+	promInt(&b, "histapprox_ready", "", ready)
+	promFamily(&b, "histapprox_synopses", "gauge", "Number of synopses currently hosted.")
+	promInt(&b, "histapprox_synopses", "", int64(len(rows)))
+	promFamily(&b, "histapprox_snapshot_encodes_total", "counter", "Snapshot GETs that ran an encoder instead of serving the memoized body.")
+	promInt(&b, "histapprox_snapshot_encodes_total", "", s.snapshotEncodes.Load())
+
+	perName := []struct {
+		family, typ, help string
+		value             func(metricsRow) int64
+	}{
+		{"histapprox_point_queries_total", "counter", "Point-query requests served, per synopsis.", func(r metricsRow) int64 { return r.points }},
+		{"histapprox_range_queries_total", "counter", "Range-query requests served, per synopsis.", func(r metricsRow) int64 { return r.ranges }},
+		{"histapprox_ingest_requests_total", "counter", "Ingest requests accepted, per synopsis.", func(r metricsRow) int64 { return r.ingests }},
+		{"histapprox_snapshot_requests_total", "counter", "Snapshot GET requests served, per synopsis.", func(r metricsRow) int64 { return r.snaps }},
+	}
+	for _, fam := range perName {
+		promFamily(&b, fam.family, fam.typ, fam.help)
+		for _, row := range rows {
+			promInt(&b, fam.family, nameLabel(row.name), fam.value(row))
+		}
+	}
+
+	writeIngestFamilies(&b, rows)
+	writeDurableFamilies(&b, rows)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(b.Len()))
+	_, _ = w.Write(b.Bytes())
+}
+
+// writeIngestFamilies renders the engine-layer families for every row with
+// ingest stats (bare and durable streaming engines alike).
+func writeIngestFamilies(b *bytes.Buffer, rows []metricsRow) {
+	any := false
+	for _, r := range rows {
+		if r.ingest != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	ints := []struct {
+		family, typ, help string
+		value             func(*stream.IngestStats) int64
+	}{
+		{"histapprox_ingest_updates_total", "counter", "Updates applied by the streaming engine.", func(st *stream.IngestStats) int64 { return int64(st.Updates) }},
+		{"histapprox_compactions_total", "counter", "Merging-run compactions completed.", func(st *stream.IngestStats) int64 { return int64(st.Compactions) }},
+		{"histapprox_ingest_pauses_total", "counter", "Ingest stalls behind an in-flight compaction.", func(st *stream.IngestStats) int64 { return int64(st.PauseCount) }},
+		{"histapprox_ingest_shards", "gauge", "Shard count of the streaming engine.", func(st *stream.IngestStats) int64 { return int64(st.Shards) }},
+	}
+	for _, fam := range ints {
+		promFamily(b, fam.family, fam.typ, fam.help)
+		for _, row := range rows {
+			if row.ingest != nil {
+				promInt(b, fam.family, nameLabel(row.name), fam.value(row.ingest))
+			}
+		}
+	}
+	promFamily(b, "histapprox_compaction_seconds", "gauge", "Recent compaction duration percentiles.")
+	for _, row := range rows {
+		if row.ingest != nil {
+			promQuantiles(b, "histapprox_compaction_seconds", row.name, row.ingest.CompactionDurations)
+		}
+	}
+	promFamily(b, "histapprox_ingest_pause_seconds", "gauge", "Recent ingest-stall duration percentiles.")
+	for _, row := range rows {
+		if row.ingest != nil {
+			promQuantiles(b, "histapprox_ingest_pause_seconds", row.name, row.ingest.Pauses)
+		}
+	}
+}
+
+// writeDurableFamilies renders the WAL and checkpoint families for every row
+// backed by a write-ahead-logged engine.
+func writeDurableFamilies(b *bytes.Buffer, rows []metricsRow) {
+	any := false
+	for _, r := range rows {
+		if r.durable != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	ints := []struct {
+		family, typ, help string
+		value             func(*stream.DurableStats) int64
+	}{
+		{"histapprox_wal_appends_total", "counter", "Records appended to the write-ahead log.", func(st *stream.DurableStats) int64 { return st.WAL.Appends }},
+		{"histapprox_wal_appended_bytes_total", "counter", "Frame bytes appended to the write-ahead log.", func(st *stream.DurableStats) int64 { return st.WAL.AppendedBytes }},
+		{"histapprox_wal_flushes_total", "counter", "Group commits (write batches) flushed to the log.", func(st *stream.DurableStats) int64 { return st.WAL.Flushes }},
+		{"histapprox_wal_fsyncs_total", "counter", "fsyncs issued by the log flusher.", func(st *stream.DurableStats) int64 { return st.WAL.Fsyncs }},
+		{"histapprox_wal_rotations_total", "counter", "Log segment rotations (one per checkpoint).", func(st *stream.DurableStats) int64 { return st.WAL.Rotations }},
+		{"histapprox_wal_max_group_commit", "gauge", "Largest number of records one flush wrote.", func(st *stream.DurableStats) int64 { return int64(st.WAL.MaxGroup) }},
+		{"histapprox_wal_last_seq", "gauge", "Last assigned WAL sequence number.", func(st *stream.DurableStats) int64 { return int64(st.WAL.LastSeq) }},
+		{"histapprox_wal_synced_seq", "gauge", "Last WAL sequence number covered by an fsync.", func(st *stream.DurableStats) int64 { return int64(st.WAL.SyncedSeq) }},
+		{"histapprox_checkpoints_total", "counter", "Checkpoints committed (snapshot + WAL truncation).", func(st *stream.DurableStats) int64 { return st.Checkpoints }},
+		{"histapprox_replayed_records", "gauge", "WAL records replayed when this engine was recovered.", func(st *stream.DurableStats) int64 { return int64(st.Replayed) }},
+	}
+	for _, fam := range ints {
+		promFamily(b, fam.family, fam.typ, fam.help)
+		for _, row := range rows {
+			if row.durable != nil {
+				promInt(b, fam.family, nameLabel(row.name), fam.value(row.durable))
+			}
+		}
+	}
+	promFamily(b, "histapprox_checkpoint_seconds", "gauge", "Recent checkpoint duration percentiles (capture + encode + commit).")
+	for _, row := range rows {
+		if row.durable != nil {
+			promQuantiles(b, "histapprox_checkpoint_seconds", row.name, row.durable.CheckpointDurations)
+		}
+	}
+}
+
+// promFamily writes the HELP/TYPE header for one family.
+func promFamily(b *bytes.Buffer, family, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", family, help, family, typ)
+}
+
+// promInt writes one integer-valued sample. labels is the full rendered
+// label set including braces, or "" for none.
+func promInt(b *bytes.Buffer, family, labels string, v int64) {
+	b.WriteString(family)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(v, 10))
+	b.WriteByte('\n')
+}
+
+// promQuantiles writes p50/p90/p99 gauges over a recent-duration window,
+// skipping empty windows (no samples beats a misleading zero).
+func promQuantiles(b *bytes.Buffer, family, name string, durs []time.Duration) {
+	if len(durs) == 0 {
+		return
+	}
+	sorted := make([]time.Duration, len(durs))
+	copy(sorted, durs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+		idx := int(q.q * float64(len(sorted)))
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		secs := sorted[idx].Seconds()
+		fmt.Fprintf(b, "%s{name=\"%s\",quantile=\"%s\"} %s\n",
+			family, escapeLabel(name), q.label, strconv.FormatFloat(secs, 'g', -1, 64))
+	}
+}
+
+// nameLabel renders the {name="..."} label set for one hosted name.
+func nameLabel(name string) string {
+	return `{name="` + escapeLabel(name) + `"}`
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

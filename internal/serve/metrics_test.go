@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// metricValue finds the sample for the exact series prefix (family plus
+// rendered labels) and parses its value.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in scrape:\n%s", series, body)
+	return 0
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestMetricsScrape drives traffic at a durable engine and an immutable
+// histogram, then checks the /metrics page reports the request counters,
+// engine ingest totals, and WAL families with the right values.
+func TestMetricsScrape(t *testing.T) {
+	srv := NewServer(&Config{Workers: 1})
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	dur, err := stream.NewDurableSharded(1000, 6, 2, 64, opts, stream.DurableOptions{
+		Dir: t.TempDir(), SyncEvery: 1, CheckpointEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dur.Close() })
+	if err := srv.Host("dur", dur); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Host("hist", testHistogram(t, 1000, 8)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/dur/add", ContentJSON,
+		strings.NewReader(`{"points":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if st, _ := get(t, ts, "/v1/dur/at?x=5"); st != http.StatusOK {
+		t.Fatalf("point query status %d", st)
+	}
+	if st, _ := get(t, ts, "/v1/hist/range?a=1&b=10"); st != http.StatusOK {
+		t.Fatalf("range query status %d", st)
+	}
+	if st, _ := get(t, ts, "/v1/dur/snapshot"); st != http.StatusOK {
+		t.Fatalf("snapshot status %d", st)
+	}
+
+	r, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("scrape Content-Type %q lacks the exposition version", ct)
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for series, want := range map[string]float64{
+		"histapprox_ready":                               1,
+		"histapprox_synopses":                            2,
+		`histapprox_point_queries_total{name="dur"}`:     1,
+		`histapprox_point_queries_total{name="hist"}`:    0,
+		`histapprox_range_queries_total{name="hist"}`:    1,
+		`histapprox_ingest_requests_total{name="dur"}`:   1,
+		`histapprox_snapshot_requests_total{name="dur"}`: 1,
+		`histapprox_ingest_updates_total{name="dur"}`:    3,
+		`histapprox_ingest_shards{name="dur"}`:           2,
+		`histapprox_wal_appends_total{name="dur"}`:       1,
+		`histapprox_wal_last_seq{name="dur"}`:            1,
+		`histapprox_wal_synced_seq{name="dur"}`:          1,
+	} {
+		if got := metricValue(t, body, series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	// SyncEvery=1 made the acknowledged ingest durable before returning.
+	if got := metricValue(t, body, `histapprox_wal_fsyncs_total{name="dur"}`); got < 1 {
+		t.Errorf("fsyncs = %v, want ≥ 1", got)
+	}
+	// The immutable histogram must not appear in engine/WAL families.
+	if strings.Contains(body, `histapprox_wal_appends_total{name="hist"}`) {
+		t.Error("immutable histogram leaked into the WAL families")
+	}
+	// Family headers are present exactly once per family.
+	if n := strings.Count(body, "# TYPE histapprox_wal_appends_total counter"); n != 1 {
+		t.Errorf("wal_appends TYPE header appears %d times", n)
+	}
+}
+
+// TestHealthzReadyz pins the liveness/readiness split: /healthz is always
+// 200, /readyz follows SetReady in both directions.
+func TestHealthzReadyz(t *testing.T) {
+	srv := NewServer(nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	if st, body := get(t, ts, "/healthz"); st != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", st, body)
+	}
+	if st, _ := get(t, ts, "/readyz"); st != http.StatusOK {
+		t.Fatalf("readyz while ready = %d, want 200", st)
+	}
+	srv.SetReady(false)
+	if st, _ := get(t, ts, "/readyz"); st != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while recovering = %d, want 503", st)
+	}
+	if st, _ := get(t, ts, "/healthz"); st != http.StatusOK {
+		t.Fatalf("healthz while recovering = %d, want 200", st)
+	}
+	srv.SetReady(true)
+	if st, _ := get(t, ts, "/readyz"); st != http.StatusOK {
+		t.Fatalf("readyz after recovery = %d, want 200", st)
+	}
+}
+
+// TestSnapshotPutTooLarge pins the 413 on oversized snapshot pushes — the
+// MaxBytesReader must trip before the decoder materializes anything — and
+// that a legitimate snapshot under the cap still loads.
+func TestSnapshotPutTooLarge(t *testing.T) {
+	h := testHistogram(t, 200, 6)
+	var small bytes.Buffer
+	if _, err := h.WriteTo(&small); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(&Config{MaxSnapshotBytes: int64(small.Len())})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	put := func(body []byte) int {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/h/snapshot", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ContentSnapshot)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if st := put(small.Bytes()); st != http.StatusOK {
+		t.Fatalf("snapshot exactly at the cap: status %d, want 200", st)
+	}
+	// A genuinely bigger envelope: the decoder needs bytes past the cap, so
+	// the MaxBytesReader trips mid-decode.
+	big := testHistogram(t, 4000, 64)
+	var bigBuf bytes.Buffer
+	if _, err := big.WriteTo(&bigBuf); err != nil {
+		t.Fatal(err)
+	}
+	if bigBuf.Len() <= small.Len() {
+		t.Fatalf("test setup: big envelope (%d bytes) not bigger than the cap (%d)", bigBuf.Len(), small.Len())
+	}
+	if st := put(bigBuf.Bytes()); st != http.StatusRequestEntityTooLarge {
+		t.Fatalf("snapshot over the cap: status %d, want 413", st)
+	}
+	// The rejected push must not have disturbed the hosted synopsis.
+	if st, _ := get(t, ts, "/v1/h/at?x=1"); st != http.StatusOK {
+		t.Fatalf("query after rejected push: status %d", st)
+	}
+}
+
+// TestAddBodyTooLarge pins the 413 on ingest bodies exceeding the batch
+// body cap, in both codecs.
+func TestAddBodyTooLarge(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	m, err := stream.NewMaintainer(100, 4, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(&Config{MaxBatch: 4})
+	if err := srv.Host("m", m); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	huge := bytes.Repeat([]byte{'7'}, int(maxQueryBodyBytes(4))+64)
+	for _, ct := range []string{ContentJSON, ContentBatch} {
+		resp, err := ts.Client().Post(ts.URL+"/v1/m/add", ct, bytes.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized add: status %d, want 413", ct, resp.StatusCode)
+		}
+	}
+}

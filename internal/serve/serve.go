@@ -78,6 +78,11 @@ type Server struct {
 	// encoder rather than serving the memoized body — a test hook pinning
 	// the memoization contract.
 	snapshotEncodes atomic.Int64
+	// notReady inverts the readiness flag so the zero value starts ready:
+	// a server is ready unless whoever is driving recovery says otherwise.
+	// GET /readyz answers 503 while not ready; /healthz stays 200 (the
+	// process is alive, just not yet serving traffic).
+	notReady atomic.Bool
 }
 
 // entry is one registry slot. The pointer — not the entry — is what a
@@ -92,6 +97,20 @@ type entry struct {
 	// pointer it just loaded, and a racing writer stashing a body for the
 	// previous object is simply ignored and overwritten by the next reader.
 	snap atomic.Pointer[snapCache]
+	// stats tallies requests served under this name. The counters belong to
+	// the entry, not the published object, so they describe the name across
+	// hot-swaps — exactly what a /metrics scraper graphing a dashboard wants.
+	stats entryCounters
+}
+
+// entryCounters are the per-name request tallies /metrics exposes. They
+// count requests, not batch elements (batch sizes are the client's business;
+// engine-side update totals come from the ingest stats families).
+type entryCounters struct {
+	points    atomic.Int64
+	ranges    atomic.Int64
+	ingests   atomic.Int64
+	snapshots atomic.Int64
 }
 
 // snapCache is one memoized snapshot body, valid only while owner is the
@@ -115,6 +134,14 @@ func NewServer(cfg *Config) *Server {
 	}
 	return s
 }
+
+// SetReady flips the readiness gate served by GET /readyz. A durable server
+// boots not-ready, recovers its engines, hosts them, and only then calls
+// SetReady(true) — load balancers hold traffic until replay has finished.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports whether GET /readyz currently answers 200.
+func (s *Server) Ready() bool { return !s.notReady.Load() }
 
 // queryParams carries the per-request knobs a served synopsis may need: the
 // fan-out for batch kernels and, for hierarchies, the requested piece
@@ -149,7 +176,8 @@ type ingester interface {
 
 // Host registers (or atomically replaces) the synopsis served under name.
 // Supported values: *core.Histogram, *core.Hierarchy, *quantile.CDF,
-// *wavelet.Synopsis, synopsis.Synopsis, *stream.Maintainer, *stream.Sharded.
+// *wavelet.Synopsis, synopsis.Synopsis, *stream.Maintainer, *stream.Sharded,
+// *stream.DurableSharded, *stream.DurableMaintainer.
 func (s *Server) Host(name string, v any) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty synopsis name")
@@ -243,6 +271,10 @@ func adapt(v any) (served, error) {
 		return &maintServed{m: obj}, nil
 	case *stream.Sharded:
 		return shardServed{s: obj}, nil
+	case *stream.DurableSharded:
+		return durableShardServed{d: obj}, nil
+	case *stream.DurableMaintainer:
+		return durableMaintServed{d: obj}, nil
 	default:
 		if est, ok := v.(synopsis.Synopsis); ok {
 			return estServed{est: est, name: "estimator", enc: func(w io.Writer) error {
@@ -558,3 +590,97 @@ func (s shardServed) snapshot(w io.Writer) error {
 	_, err = ckpt.WriteTo(w)
 	return err
 }
+
+func (s shardServed) ingestStats() stream.IngestStats { return s.s.Stats() }
+
+func (s *maintServed) ingestStats() stream.IngestStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return stream.IngestStats{
+		Shards:              1,
+		Updates:             s.m.Updates(),
+		Compactions:         s.m.Compactions(),
+		CompactionDurations: s.m.CompactionDurations(nil),
+	}
+}
+
+// ingestStatser / durableStatser are the optional metrics faces of a served
+// synopsis: /metrics renders the ingest families for any adapter offering
+// the former and the WAL/checkpoint families for any offering the latter.
+// Immutable synopses offer neither and cost the scrape nothing.
+type ingestStatser interface {
+	ingestStats() stream.IngestStats
+}
+
+type durableStatser interface {
+	durableStats() stream.DurableStats
+}
+
+// durableShardServed serves a write-ahead-logged sharded engine. Ingest goes
+// through the durable wrapper — logged before applied, so every acknowledged
+// POST /add survives a crash per the WAL's fsync policy. Queries go straight
+// to the wrapped engine (reads need no logging), and GET /snapshot captures
+// a checkpoint of the live state without touching the WAL: the bytes are for
+// replication elsewhere; local durability is the WAL's job.
+type durableShardServed struct {
+	d *stream.DurableSharded
+}
+
+func (durableShardServed) kind() string { return "durable-sharded" }
+
+func (s durableShardServed) pointBatch(xs []int, q queryParams, out []float64) ([]float64, error) {
+	return s.rangeBatch(xs, xs, q, out)
+}
+
+func (s durableShardServed) rangeBatch(as, bs []int, _ queryParams, out []float64) ([]float64, error) {
+	out = growValues(out, len(as))
+	for i := range as {
+		v, err := s.d.EstimateRange(as[i], bs[i])
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s durableShardServed) ingest(points []int, weights []float64) error {
+	return s.d.AddBatch(points, weights)
+}
+
+func (s durableShardServed) snapshot(w io.Writer) error { return s.d.WriteSnapshot(w) }
+
+func (s durableShardServed) durableStats() stream.DurableStats { return s.d.Stats() }
+
+// durableMaintServed serves a write-ahead-logged maintainer. The durable
+// wrapper synchronizes ingest, queries, and snapshots internally, so unlike
+// the bare maintServed no adapter mutex is needed.
+type durableMaintServed struct {
+	d *stream.DurableMaintainer
+}
+
+func (durableMaintServed) kind() string { return "durable-maintainer" }
+
+func (s durableMaintServed) pointBatch(xs []int, q queryParams, out []float64) ([]float64, error) {
+	return s.rangeBatch(xs, xs, q, out)
+}
+
+func (s durableMaintServed) rangeBatch(as, bs []int, _ queryParams, out []float64) ([]float64, error) {
+	out = growValues(out, len(as))
+	for i := range as {
+		v, err := s.d.EstimateRange(as[i], bs[i])
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s durableMaintServed) ingest(points []int, weights []float64) error {
+	return s.d.AddBatch(points, weights)
+}
+
+func (s durableMaintServed) snapshot(w io.Writer) error { return s.d.WriteSnapshot(w) }
+
+func (s durableMaintServed) durableStats() stream.DurableStats { return s.d.Stats() }

@@ -1,0 +1,674 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// This file is the durability layer over the streaming engines: a
+// DurableSharded (or DurableMaintainer) is the underlying engine plus a
+// write-ahead log, so a crash loses at most the WAL's configured fsync
+// window instead of everything since the last full snapshot.
+//
+// The invariant the locking protects: every update is appended to the WAL
+// BEFORE it is applied to the engine, and a checkpoint captures the engine
+// only when no update is between those two steps. Appends hold the RWMutex
+// read-side (concurrent with each other — the WAL's group commit does the
+// coalescing); a checkpoint takes the write side for just long enough to
+// capture the engine (stream.Checkpoint, non-blocking) and rotate the log,
+// so the boundary sequence number exactly covers the captured state. The
+// expensive half — encoding the snapshot and committing the manifest —
+// happens outside the lock while ingestion continues.
+//
+// Recovery restores the manifest's snapshot, NORMALIZES the restored
+// pending logs (below), replays the WAL tail through the ordinary ingest
+// path, and cuts a fresh checkpoint. Normalization is what makes recovery
+// bit-identical: stream.Checkpoint demotes an in-flight compaction's log
+// back to pending, so a restored shard can hold more than one compaction
+// period of pending updates; folding prefix chunks of exactly bufCap
+// re-aligns the compaction boundaries with the ones the uninterrupted run
+// used, and compaction grouping is the only thing floating-point results
+// are sensitive to. With a single producer the recovered engine's
+// summaries, compaction counters, and EstimateRange answers are therefore
+// bit-identical to an uninterrupted run over the same prefix — the
+// property the crash tests assert.
+
+// DurableOptions tunes the durability layer.
+type DurableOptions struct {
+	// Dir is the WAL directory (required).
+	Dir string
+	// SyncEvery / SyncInterval set the WAL's fsync batching (see
+	// wal.Options). SyncEvery = 1 makes every ingest call wait for a
+	// group-commit fsync.
+	SyncEvery    int
+	SyncInterval time.Duration
+	// CheckpointEvery cuts a checkpoint after that many logged ingest calls
+	// (0 picks DefaultCheckpointEvery; negative disables count-triggered
+	// checkpoints).
+	CheckpointEvery int
+	// CheckpointInterval additionally cuts checkpoints on a timer when > 0.
+	CheckpointInterval time.Duration
+	// OpenFile is the WAL's segment-file opener override (fault injection).
+	OpenFile wal.OpenFileFunc
+}
+
+// DefaultCheckpointEvery is the default checkpoint cadence in ingest calls.
+// Each call is typically a batch, so the WAL tail replayed after a crash
+// stays bounded without snapshotting so often that checkpoint encoding
+// competes with ingest.
+const DefaultCheckpointEvery = 4096
+
+func (o DurableOptions) checkpointEvery() int {
+	if o.CheckpointEvery == 0 {
+		return DefaultCheckpointEvery
+	}
+	if o.CheckpointEvery < 0 {
+		return 0
+	}
+	return o.CheckpointEvery
+}
+
+func (o DurableOptions) walOptions() wal.Options {
+	return wal.Options{SyncEvery: o.SyncEvery, SyncInterval: o.SyncInterval, OpenFile: o.OpenFile}
+}
+
+// DurableStats extends the engine's ingestion stats with the durability
+// layer's counters.
+type DurableStats struct {
+	Ingest IngestStats
+	WAL    wal.Stats
+	// Checkpoints counts committed checkpoints; Replayed is how many WAL
+	// records recovery replayed when this engine was opened.
+	Checkpoints int64
+	Replayed    int
+	// CheckpointDurations holds the most recent checkpoint wall times
+	// (capture + encode + commit).
+	CheckpointDurations []time.Duration
+}
+
+// DurableSharded is a Sharded engine whose ingest calls are write-ahead
+// logged. All methods are safe for concurrent use.
+type DurableSharded struct {
+	// mu orders appends against checkpoints: ingest holds it shared (the
+	// log-then-apply pair must not straddle a checkpoint capture), a
+	// checkpoint holds it exclusive only for capture + rotate.
+	mu   sync.RWMutex
+	s    *Sharded
+	log  *wal.Log
+	opts DurableOptions
+
+	sinceCkpt atomic.Int64
+	ckptBusy  atomic.Bool
+	wg        sync.WaitGroup
+	stop      chan struct{}
+	closed    atomic.Bool
+
+	checkpoints atomic.Int64
+	replayed    int
+
+	statsMu sync.Mutex
+	ckptDur durRing
+}
+
+// NewDurableSharded builds a fresh engine with a fresh WAL in opts.Dir,
+// committing an initial (empty) checkpoint. It fails if the directory
+// already holds a log — use RecoverDurableSharded or OpenDurableSharded.
+func NewDurableSharded(n, k, shards, bufferCap int, copts core.Options, opts DurableOptions) (*DurableSharded, error) {
+	s, err := NewSharded(n, k, shards, bufferCap, copts)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Create(opts.Dir, opts.walOptions(), func(w io.Writer) error {
+		return s.Snapshot(w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newDurableSharded(s, l, opts, 0), nil
+}
+
+// RecoverDurableSharded reopens the WAL in opts.Dir: it restores the
+// manifest's snapshot, re-aligns compaction cadence, replays the log tail
+// through the ordinary ingest path, and commits a fresh checkpoint so the
+// next restart replays nothing.
+func RecoverDurableSharded(opts DurableOptions) (*DurableSharded, error) {
+	l, info, err := wal.Open(opts.Dir, opts.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(info.SnapshotPath)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	s, err := RestoreSharded(f)
+	f.Close()
+	if err != nil {
+		l.Close()
+		return nil, fmt.Errorf("stream: restoring durable snapshot: %w", err)
+	}
+	if err := normalizeRestoredCadence(s); err != nil {
+		l.Close()
+		return nil, err
+	}
+	replayed := 0
+	err = l.Replay(info.SnapshotSeq, func(r wal.Record) error {
+		replayed++
+		return s.AddBatch(r.Points, r.Weights)
+	})
+	if err != nil {
+		l.Close()
+		return nil, fmt.Errorf("stream: replaying WAL record %d: %w", replayed, err)
+	}
+	d := newDurableSharded(s, l, opts, replayed)
+	// Fold the replayed tail into a fresh checkpoint immediately: repeated
+	// crash/recover cycles then never re-replay an ever-growing tail, and
+	// the torn-tail truncation (if any) is superseded on disk.
+	if replayed > 0 {
+		if err := d.checkpoint(); err != nil {
+			d.log.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// OpenDurableSharded recovers the WAL in opts.Dir if one exists and creates
+// a fresh engine (with the given parameters) otherwise — the open-or-create
+// a serving process wants at boot. The engine parameters are only used on
+// the create path; a recovered engine keeps its checkpointed configuration.
+func OpenDurableSharded(n, k, shards, bufferCap int, copts core.Options, opts DurableOptions) (*DurableSharded, error) {
+	if wal.Exists(opts.Dir) {
+		return RecoverDurableSharded(opts)
+	}
+	return NewDurableSharded(n, k, shards, bufferCap, copts, opts)
+}
+
+func newDurableSharded(s *Sharded, l *wal.Log, opts DurableOptions, replayed int) *DurableSharded {
+	d := &DurableSharded{s: s, log: l, opts: opts, stop: make(chan struct{}), replayed: replayed}
+	if opts.CheckpointInterval > 0 {
+		d.wg.Add(1)
+		go d.checkpointTicker()
+	}
+	return d
+}
+
+// normalizeRestoredCadence re-aligns a restored engine's compaction
+// boundaries with the uninterrupted run's. RestoreSharded leaves every
+// captured pending update in the shard's active log; when the checkpoint
+// caught a compaction in flight that log holds more than one compaction
+// period, and folding it as one oversized chunk would group the
+// floating-point work differently than the original bufCap-sized chunks.
+// Folding prefix chunks of exactly bufCap reproduces the original
+// boundaries (a shard's pending log always starts at a bufCap-aligned
+// arrival offset, because flushes hand off exactly full buffers).
+func normalizeRestoredCadence(s *Sharded) error {
+	for _, sh := range s.shards {
+		for len(sh.active) >= sh.bufCap {
+			if err := sh.m.compactLog(sh.active[:sh.bufCap]); err != nil {
+				sh.err = err
+				return err
+			}
+			sh.active = append(sh.active[:0], sh.active[sh.bufCap:]...)
+		}
+	}
+	return nil
+}
+
+// Engine returns the underlying Sharded engine for queries. Mutating it
+// directly (Add/AddBatch on the engine) bypasses the WAL — route all
+// ingestion through the DurableSharded.
+func (d *DurableSharded) Engine() *Sharded { return d.s }
+
+// Replayed returns how many WAL records recovery replayed at open.
+func (d *DurableSharded) Replayed() int { return d.replayed }
+
+// Add records one update durably: logged, group-committed per the WAL
+// policy, then applied to the engine.
+func (d *DurableSharded) Add(i int, w float64) error {
+	if i < 1 || i > d.s.n {
+		return fmt.Errorf("stream: point %d out of [1, %d]", i, d.s.n)
+	}
+	pts := [1]int{i}
+	ws := [1]float64{w}
+	d.mu.RLock()
+	if _, err := d.log.Append(pts[:], ws[:]); err != nil {
+		d.mu.RUnlock()
+		return err
+	}
+	err := d.s.Add(i, w)
+	d.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	d.maybeCheckpoint()
+	return nil
+}
+
+// AddBatch records one batch durably (nil weights = unit weights). The
+// batch is validated before it is logged, so every logged record replays
+// cleanly.
+func (d *DurableSharded) AddBatch(points []int, weights []float64) error {
+	if weights != nil && len(weights) != len(points) {
+		return fmt.Errorf("stream: %d weights for %d points", len(weights), len(points))
+	}
+	for _, p := range points {
+		if p < 1 || p > d.s.n {
+			return fmt.Errorf("stream: point %d out of [1, %d]", p, d.s.n)
+		}
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	d.mu.RLock()
+	if _, err := d.log.Append(points, weights); err != nil {
+		d.mu.RUnlock()
+		return err
+	}
+	err := d.s.AddBatch(points, weights)
+	d.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	d.maybeCheckpoint()
+	return nil
+}
+
+// EstimateRange delegates to the engine.
+func (d *DurableSharded) EstimateRange(a, b int) (float64, error) { return d.s.EstimateRange(a, b) }
+
+// Summary drains and merges the per-shard summaries (see Sharded.Summary).
+func (d *DurableSharded) Summary() (*core.Histogram, error) { return d.s.Summary() }
+
+// maybeCheckpoint cuts a checkpoint in the background once CheckpointEvery
+// ingest calls accumulate; single-flight, so a slow snapshot never stacks.
+func (d *DurableSharded) maybeCheckpoint() {
+	every := d.opts.checkpointEvery()
+	if every <= 0 {
+		return
+	}
+	if d.sinceCkpt.Add(1) < int64(every) {
+		return
+	}
+	if !d.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.ckptBusy.Store(false)
+		// A failed checkpoint poisons the WAL (appends start failing), so
+		// ingestion cannot silently outrun a log that no longer truncates.
+		_ = d.checkpoint()
+	}()
+}
+
+func (d *DurableSharded) checkpointTicker() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.opts.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			if d.ckptBusy.CompareAndSwap(false, true) {
+				_ = d.checkpoint()
+				d.ckptBusy.Store(false)
+			}
+		}
+	}
+}
+
+// checkpoint rotates the WAL, captures the engine, and commits the
+// sequence-numbered snapshot + manifest. The rotation — which drains and
+// fsyncs the old segment, megabytes of dirty pages — happens BEFORE the
+// exclusive lock is taken, so ingestion never stalls on it: the lock is
+// held only for the in-memory capture, and the records appended between the
+// cut and the capture land in the new segment with seq ≤ boundary, where
+// recovery's seq filter skips them. Encoding and the durable commit run
+// while ingestion continues.
+func (d *DurableSharded) checkpoint() error {
+	start := time.Now()
+	if _, err := d.log.Rotate(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	cp, err := d.s.Checkpoint()
+	boundary := d.log.LastSeq()
+	d.sinceCkpt.Store(0)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// The manifest must never name records the log could still lose: fsync
+	// through the boundary (cheap — only the records since the cut are
+	// unwritten) before committing the snapshot that covers it.
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	if err := d.log.Commit(boundary, func(w io.Writer) error {
+		_, werr := cp.WriteTo(w)
+		return werr
+	}); err != nil {
+		return err
+	}
+	d.checkpoints.Add(1)
+	d.statsMu.Lock()
+	d.ckptDur.add(time.Since(start))
+	d.statsMu.Unlock()
+	return nil
+}
+
+// Checkpoint forces a checkpoint now (used by graceful shutdown and tests).
+func (d *DurableSharded) Checkpoint() error {
+	for !d.ckptBusy.CompareAndSwap(false, true) {
+		time.Sleep(time.Millisecond)
+	}
+	err := d.checkpoint()
+	d.ckptBusy.Store(false)
+	return err
+}
+
+// WriteSnapshot streams a point-in-time checkpoint of the engine (the same
+// TagSharded envelope Sharded.Snapshot writes) without touching the WAL —
+// the serving layer's GET /snapshot path.
+func (d *DurableSharded) WriteSnapshot(w io.Writer) error {
+	cp, err := d.s.Checkpoint()
+	if err != nil {
+		return err
+	}
+	_, err = cp.WriteTo(w)
+	return err
+}
+
+// Sync forces every logged update to stable storage.
+func (d *DurableSharded) Sync() error { return d.log.Sync() }
+
+// Stats snapshots the engine and WAL counters.
+func (d *DurableSharded) Stats() DurableStats {
+	st := DurableStats{
+		Ingest:      d.s.Stats(),
+		WAL:         d.log.Stats(),
+		Checkpoints: d.checkpoints.Load(),
+		Replayed:    d.replayed,
+	}
+	d.statsMu.Lock()
+	st.CheckpointDurations = d.ckptDur.snapshot(nil)
+	d.statsMu.Unlock()
+	return st
+}
+
+// Close cuts a final checkpoint and closes the WAL. After Close every
+// ingest call fails; queries on the engine keep working.
+func (d *DurableSharded) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(d.stop)
+	d.wg.Wait()
+	err := d.Checkpoint()
+	if cerr := d.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// DurableMaintainer is the serial engine's durability wrapper: a Maintainer
+// whose ingest calls are write-ahead logged. Unlike the sharded engine it
+// serializes everything on one mutex (the Maintainer itself is
+// single-goroutine); the WAL's group commit still coalesces fsyncs across
+// blocked callers. Maintainer.Snapshot keeps buffered updates buffered, so
+// recovery is bit-identical by construction — no cadence normalization
+// needed.
+type DurableMaintainer struct {
+	// ckptMu serializes whole checkpoints (rotate + commit must not
+	// interleave across two checkpoints, or an older manifest could land
+	// after a newer one).
+	ckptMu sync.Mutex
+	mu     sync.Mutex
+	m      *Maintainer
+	log    *wal.Log
+	opts   DurableOptions
+
+	sinceCkpt   int
+	checkpoints int64
+	replayed    int
+	ckptDur     durRing
+	closed      bool
+}
+
+// NewDurableMaintainer builds a fresh maintainer with a fresh WAL in
+// opts.Dir.
+func NewDurableMaintainer(n, k, bufferCap int, copts core.Options, opts DurableOptions) (*DurableMaintainer, error) {
+	m, err := NewMaintainer(n, k, bufferCap, copts)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Create(opts.Dir, opts.walOptions(), m.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return &DurableMaintainer{m: m, log: l, opts: opts}, nil
+}
+
+// RecoverDurableMaintainer reopens the WAL in opts.Dir and replays its tail.
+func RecoverDurableMaintainer(opts DurableOptions) (*DurableMaintainer, error) {
+	l, info, err := wal.Open(opts.Dir, opts.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(info.SnapshotPath)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	m, err := RestoreMaintainer(f)
+	f.Close()
+	if err != nil {
+		l.Close()
+		return nil, fmt.Errorf("stream: restoring durable snapshot: %w", err)
+	}
+	replayed := 0
+	err = l.Replay(info.SnapshotSeq, func(r wal.Record) error {
+		replayed++
+		return m.AddBatch(r.Points, r.Weights)
+	})
+	if err != nil {
+		l.Close()
+		return nil, fmt.Errorf("stream: replaying WAL record %d: %w", replayed, err)
+	}
+	d := &DurableMaintainer{m: m, log: l, opts: opts, replayed: replayed}
+	if replayed > 0 {
+		if err := d.Checkpoint(); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// OpenDurableMaintainer recovers opts.Dir if it holds a WAL, else creates.
+func OpenDurableMaintainer(n, k, bufferCap int, copts core.Options, opts DurableOptions) (*DurableMaintainer, error) {
+	if wal.Exists(opts.Dir) {
+		return RecoverDurableMaintainer(opts)
+	}
+	return NewDurableMaintainer(n, k, bufferCap, copts, opts)
+}
+
+// Engine returns the wrapped Maintainer for queries; route ingestion
+// through the DurableMaintainer.
+func (d *DurableMaintainer) Engine() *Maintainer { return d.m }
+
+// Replayed returns how many WAL records recovery replayed at open.
+func (d *DurableMaintainer) Replayed() int { return d.replayed }
+
+// EstimateRange answers a range query under the ingest lock (the wrapped
+// Maintainer is single-threaded; concurrent callers must come through here).
+func (d *DurableMaintainer) EstimateRange(a, b int) (float64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m.EstimateRange(a, b)
+}
+
+// Add records one update durably.
+func (d *DurableMaintainer) Add(i int, w float64) error {
+	if i < 1 || i > d.m.n {
+		return fmt.Errorf("stream: point %d out of [1, %d]", i, d.m.n)
+	}
+	pts := [1]int{i}
+	ws := [1]float64{w}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("stream: durable maintainer is closed")
+	}
+	if _, err := d.log.Append(pts[:], ws[:]); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	err := d.m.Add(i, w)
+	d.sinceCkpt++
+	due := d.checkpointDueLocked()
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if due {
+		return d.Checkpoint()
+	}
+	return nil
+}
+
+// AddBatch records one batch durably (nil weights = unit weights).
+func (d *DurableMaintainer) AddBatch(points []int, weights []float64) error {
+	if weights != nil && len(weights) != len(points) {
+		return fmt.Errorf("stream: %d weights for %d points", len(weights), len(points))
+	}
+	for _, p := range points {
+		if p < 1 || p > d.m.n {
+			return fmt.Errorf("stream: point %d out of [1, %d]", p, d.m.n)
+		}
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("stream: durable maintainer is closed")
+	}
+	if _, err := d.log.Append(points, weights); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	err := d.m.AddBatch(points, weights)
+	d.sinceCkpt++
+	due := d.checkpointDueLocked()
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if due {
+		return d.Checkpoint()
+	}
+	return nil
+}
+
+func (d *DurableMaintainer) checkpointDueLocked() bool {
+	every := d.opts.checkpointEvery()
+	return every > 0 && d.sinceCkpt >= every
+}
+
+// Checkpoint snapshots the maintainer and truncates the WAL. The segment
+// rotation (and its fsync) happens before the ingest lock is taken, the
+// snapshot is encoded to memory under the lock (O(k + buffered)), and the
+// durable commit runs outside it — concurrent Adds proceed during both
+// halves of the disk work.
+func (d *DurableMaintainer) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	start := time.Now()
+	if _, err := d.log.Rotate(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	d.mu.Lock()
+	if err := d.m.Snapshot(&buf); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	boundary := d.log.LastSeq()
+	d.sinceCkpt = 0
+	d.mu.Unlock()
+	// Fsync through the boundary before the manifest names it (the records
+	// appended since the cut are the only unsynced ones).
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	if err := d.log.Commit(boundary, func(w io.Writer) error {
+		_, werr := w.Write(buf.Bytes())
+		return werr
+	}); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.checkpoints++
+	d.ckptDur.add(time.Since(start))
+	d.mu.Unlock()
+	return nil
+}
+
+// WriteSnapshot streams the maintainer's checkpoint without touching the
+// WAL.
+func (d *DurableMaintainer) WriteSnapshot(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m.Snapshot(w)
+}
+
+// Sync forces every logged update to stable storage.
+func (d *DurableMaintainer) Sync() error { return d.log.Sync() }
+
+// Stats snapshots the maintainer and WAL counters.
+func (d *DurableMaintainer) Stats() DurableStats {
+	d.mu.Lock()
+	st := DurableStats{
+		WAL:         d.log.Stats(),
+		Checkpoints: d.checkpoints,
+		Replayed:    d.replayed,
+		Ingest: IngestStats{
+			Shards:      1,
+			Updates:     d.m.updates,
+			Compactions: d.m.compactions,
+		},
+	}
+	st.Ingest.CompactionDurations = d.m.compactDur.snapshot(nil)
+	st.CheckpointDurations = d.ckptDur.snapshot(nil)
+	d.mu.Unlock()
+	return st
+}
+
+// Close cuts a final checkpoint and closes the WAL.
+func (d *DurableMaintainer) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	err := d.Checkpoint()
+	if cerr := d.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

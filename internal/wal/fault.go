@@ -1,0 +1,257 @@
+// Fault injection for the WAL: FaultFS plugs into Options.OpenFile and
+// hands out FaultFiles that model a page cache over a real on-disk image.
+// Writes land in an in-memory cache; Sync flushes the cache to the backing
+// file and fsyncs it. Crash* methods then simulate every failure mode the
+// recovery path must survive — dropping the unsynced cache, persisting a
+// torn prefix of it, or persisting a LATER range with a zeroed hole before
+// it (the write-reordering case) — by materializing exactly those bytes in
+// the real file, so wal.Open recovers from a directory that looks the way
+// a crashed machine's disk would.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FaultFile is a File whose durable image diverges from what was written
+// until Sync, with programmable write/fsync failures.
+type FaultFile struct {
+	mu   sync.Mutex
+	disk *os.File
+	// diskLen is the durable image length; cache holds written-but-unsynced
+	// bytes that a crash may drop, tear, or reorder.
+	diskLen int64
+	cache   []byte
+
+	// failWriteAt injects a write error once total written bytes would
+	// reach it (<0 disabled); failSync makes every Sync fail.
+	failWriteAt int64
+	failSync    bool
+	closed      bool
+	crashed     bool
+}
+
+// FaultFS opens FaultFiles over real files and remembers them by path so a
+// test can reach the one behind the log's active segment.
+type FaultFS struct {
+	mu    sync.Mutex
+	files map[string]*FaultFile
+	order []*FaultFile
+
+	// NextFailWriteAt/NextFailSync arm the corresponding fault on files
+	// opened after they are set.
+	NextFailWriteAt int64
+	NextFailSync    bool
+}
+
+// NewFaultFS returns a FaultFS with no faults armed.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{files: make(map[string]*FaultFile), NextFailWriteAt: -1}
+}
+
+// Open is an OpenFileFunc.
+func (fs *FaultFS) Open(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fs.mu.Lock()
+	ff := &FaultFile{disk: f, diskLen: st.Size(), failWriteAt: fs.NextFailWriteAt, failSync: fs.NextFailSync}
+	fs.files[path] = ff
+	fs.order = append(fs.order, ff)
+	fs.mu.Unlock()
+	return ff, nil
+}
+
+// File returns the FaultFile opened for path, or nil.
+func (fs *FaultFS) File(path string) *FaultFile {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.files[path]
+}
+
+// Last returns the most recently opened FaultFile, or nil.
+func (fs *FaultFS) Last() *FaultFile {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if len(fs.order) == 0 {
+		return nil
+	}
+	return fs.order[len(fs.order)-1]
+}
+
+func (f *FaultFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.crashed {
+		return 0, fmt.Errorf("faultfile: write on closed file")
+	}
+	written := f.diskLen + int64(len(f.cache))
+	if f.failWriteAt >= 0 && written+int64(len(p)) > f.failWriteAt {
+		// Tear the write at the programmed offset: the prefix reaches the
+		// cache (it may later persist), the rest is lost with an error.
+		keep := f.failWriteAt - written
+		if keep < 0 {
+			keep = 0
+		}
+		f.cache = append(f.cache, p[:keep]...)
+		return int(keep), fmt.Errorf("faultfile: injected write failure at offset %d", f.failWriteAt)
+	}
+	f.cache = append(f.cache, p...)
+	return len(p), nil
+}
+
+func (f *FaultFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.crashed {
+		return fmt.Errorf("faultfile: sync on closed file")
+	}
+	if f.failSync {
+		return fmt.Errorf("faultfile: injected fsync failure")
+	}
+	return f.flushLocked()
+}
+
+func (f *FaultFile) flushLocked() error {
+	if len(f.cache) > 0 {
+		if _, err := f.disk.WriteAt(f.cache, f.diskLen); err != nil {
+			return err
+		}
+		f.diskLen += int64(len(f.cache))
+		f.cache = f.cache[:0]
+	}
+	return f.disk.Sync()
+}
+
+// Close flushes the cache (a clean close keeps page-cache data; only a
+// crash loses it) and closes the backing file.
+func (f *FaultFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil
+	}
+	if f.closed {
+		return fmt.Errorf("faultfile: double close")
+	}
+	f.closed = true
+	if err := f.flushLocked(); err != nil {
+		f.disk.Close()
+		return err
+	}
+	return f.disk.Close()
+}
+
+// SetFailWrite arms a write failure once total written bytes reach off
+// (pass a negative off to disarm); SetFailSync arms fsync failure.
+func (f *FaultFile) SetFailWrite(off int64) {
+	f.mu.Lock()
+	f.failWriteAt = off
+	f.mu.Unlock()
+}
+
+func (f *FaultFile) SetFailSync(fail bool) {
+	f.mu.Lock()
+	f.failSync = fail
+	f.mu.Unlock()
+}
+
+// Written returns total bytes written (durable + cached); SyncedLen the
+// durable image length.
+func (f *FaultFile) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.diskLen + int64(len(f.cache))
+}
+
+func (f *FaultFile) SyncedLen() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.diskLen
+}
+
+// UnsyncedLen returns how many written bytes an immediate crash would put
+// at risk.
+func (f *FaultFile) UnsyncedLen() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.cache))
+}
+
+// Crash simulates a machine crash that persisted only keep bytes of the
+// unsynced cache (a torn tail when keep lands mid-frame): the durable image
+// becomes synced ++ cache[:keep], the rest is gone, and the file is dead to
+// further use. keep is clamped to the cache length.
+func (f *FaultFile) Crash(keep int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil
+	}
+	f.crashed = true
+	if keep > len(f.cache) {
+		keep = len(f.cache)
+	}
+	if keep > 0 {
+		if _, err := f.disk.WriteAt(f.cache[:keep], f.diskLen); err != nil {
+			f.disk.Close()
+			return err
+		}
+		f.diskLen += int64(keep)
+	}
+	// Pin the size so the image is exactly the persisted prefix, even if
+	// the file predates this handle (reopened segments).
+	if err := f.disk.Truncate(f.diskLen); err != nil {
+		f.disk.Close()
+		return err
+	}
+	f.cache = nil
+	return f.disk.Close()
+}
+
+// CrashReordered simulates the disk persisting a LATER slice of the
+// unsynced cache while an earlier part never hit the platter: the durable
+// image becomes synced ++ zeros[lo] ++ cache[lo:hi]. Recovery must treat
+// the zeroed hole as a torn tail and keep only the records before it.
+func (f *FaultFile) CrashReordered(lo, hi int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil
+	}
+	f.crashed = true
+	if hi > len(f.cache) {
+		hi = len(f.cache)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	if lo > 0 {
+		// The hole: allocated, never written — reads back as zeros.
+		if _, err := f.disk.WriteAt(make([]byte, lo), f.diskLen); err != nil {
+			f.disk.Close()
+			return err
+		}
+	}
+	if hi > lo {
+		if _, err := f.disk.WriteAt(f.cache[lo:hi], f.diskLen+int64(lo)); err != nil {
+			f.disk.Close()
+			return err
+		}
+	}
+	f.diskLen += int64(hi)
+	if err := f.disk.Truncate(f.diskLen); err != nil {
+		f.disk.Close()
+		return err
+	}
+	f.cache = nil
+	return f.disk.Close()
+}
