@@ -41,6 +41,13 @@
 //	                                  # clients against a live loopback
 //	                                  # server; records BENCH_serve.json
 //	histbench -serve OUT.json -quick  # small smoke grid (CI)
+//	histbench -replicate OUT.json     # run the replication sweep instead:
+//	                                  # steady-state delta bytes and sync
+//	                                  # latency vs full-snapshot shipping
+//	                                  # while skewed ingest touches 1/8 of
+//	                                  # the shards; records
+//	                                  # BENCH_replicate.json
+//	histbench -replicate OUT.json -quick  # small smoke grid (CI)
 package main
 
 import (
@@ -64,9 +71,14 @@ func main() {
 	walOut := flag.String("wal", "", "run the durable-ingest sweep and write its JSON report to this file")
 	codecOut := flag.String("codec", "", "run the codec sweep and write its JSON report to this file")
 	serveOut := flag.String("serve", "", "run the HTTP serving sweep and write its JSON report to this file")
-	quick := flag.Bool("quick", false, "with -query/-ingest/-codec/-serve: small smoke grid instead of the full sweep")
+	replicateOut := flag.String("replicate", "", "run the replication sweep and write its JSON report to this file")
+	quick := flag.Bool("quick", false, "with -query/-ingest/-codec/-serve/-replicate: small smoke grid instead of the full sweep")
 	flag.Parse()
 
+	if *replicateOut != "" {
+		runReplicate(*replicateOut, *quick)
+		return
+	}
 	if *serveOut != "" {
 		runServe(*serveOut, *quick)
 		return
@@ -136,6 +148,38 @@ func runServe(outPath string, quick bool) {
 		fmt.Printf("%-12s %-7s conc=%-3d batch=%-5d  p50 %8.1f µs  p99 %8.1f µs  %9.0f rps  %12.0f qps\n",
 			pt.Workload, pt.Codec, pt.Concurrency, pt.Batch, pt.P50Us, pt.P99Us, pt.RPS, pt.QPS)
 	}
+	if rep.Note != "" {
+		fmt.Println("note:", rep.Note)
+	}
+	fmt.Printf("report written to %s (total %v)\n", outPath, time.Since(start).Round(time.Millisecond))
+}
+
+// runReplicate measures steady-state replication (version-vector deltas vs
+// full-snapshot shipping) over loopback HTTP and writes the byte/latency
+// trajectory.
+func runReplicate(outPath string, quick bool) {
+	cfg := bench.DefaultReplicateConfig()
+	if quick {
+		cfg = bench.QuickReplicateConfig()
+	}
+	fmt.Println("Delta replication — steady-state sync bytes and latency")
+	fmt.Printf("(skewed ingest touches %d of %d shards per round; both modes replay\n", cfg.HotShards, cfg.Shards)
+	fmt.Println(" the same schedule and end bit-identical to the primary)")
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	rep := bench.RunReplicateBench(cfg)
+	if err := bench.WriteReplicateJSON(f, rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range rep.Points {
+		fmt.Printf("%-6s rounds=%-4d  %9.0f bytes/round  p50 %8.1f µs  p99 %8.1f µs  (total %d bytes)\n",
+			pt.Mode, pt.Rounds, pt.BytesPerRound, pt.P50Us, pt.P99Us, pt.BytesTotal)
+	}
+	fmt.Printf("delta/full bytes = %.3f\n", rep.DeltaVsFullBytes)
 	if rep.Note != "" {
 		fmt.Println("note:", rep.Note)
 	}

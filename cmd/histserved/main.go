@@ -8,7 +8,17 @@
 //	    -load latency=latency_v1.bin \         # restore any snapshot file
 //	    -load col=estimator_v1.bin \
 //	    -sharded events=1000000,64 \           # fresh intake engine: n,k[,shards[,bufcap]]
-//	    -wal /var/lib/histserved               # make intake engines crash-safe
+//	    -wal /var/lib/histserved \             # make intake engines crash-safe
+//	    -replicate events \                    # fan events out to the replicas below
+//	    -replica http://replica1:8157 \
+//	    -replica http://replica2:8157
+//
+// With -replicate set, the daemon ships version-vector deltas of the named
+// engine to every -replica on the -replicate-interval cadence: only shards
+// that changed since a replica's last sync travel, replicas at the same
+// coordinates share one memoized encode, and a restarted primary or replica
+// self-heals through an automatic full resync. Per-replica lag, sync, and
+// byte counters appear on /metrics (histapprox_replica_* families).
 //
 // With -wal set, every -sharded engine is write-ahead logged under
 // <dir>/<name>: acknowledged ingests survive a crash (per the -sync-every
@@ -64,6 +74,20 @@ func nameValue(raw, flagName string) (name, value string, err error) {
 	return name, value, nil
 }
 
+// loopbackHostPort renders a bound listener address as something dialable:
+// a wildcard host (":8157" listens on every interface) is rewritten to
+// loopback, since the replicator's primary client runs in this process.
+func loopbackHostPort(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
 // onListen, when non-nil, receives the bound listener address before the
 // server starts accepting — the e2e test's handle on a :0 port.
 var onListen func(net.Addr)
@@ -87,7 +111,10 @@ func run(args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint after N logged ingest calls (0 = default, negative = count-based checkpoints off)")
 	ckptInterval := fs.Duration("checkpoint-interval", 0, "also checkpoint on this wall-clock period (0 = off)")
 
-	var loads, shardeds []string
+	replName := fs.String("replicate", "", "fan this hosted engine out to every -replica on a cadence (requires ≥ 1 -replica)")
+	replInterval := fs.Duration("replicate-interval", time.Second, "delta sync cadence for -replicate")
+
+	var loads, shardeds, replicas []string
 	fs.Func("load", "host a snapshot file as name=path (repeatable)", func(raw string) error {
 		loads = append(loads, raw)
 		return nil
@@ -96,8 +123,18 @@ func run(args []string) error {
 		shardeds = append(shardeds, raw)
 		return nil
 	})
+	fs.Func("replica", "replica base URL for -replicate, e.g. http://host:8158 (repeatable)", func(raw string) error {
+		replicas = append(replicas, raw)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replName != "" && len(replicas) == 0 {
+		return fmt.Errorf("-replicate %s needs at least one -replica", *replName)
+	}
+	if *replName == "" && len(replicas) > 0 {
+		return fmt.Errorf("-replica given without -replicate")
 	}
 
 	srv := histapprox.NewSynopsisServer(&histapprox.ServeConfig{Workers: *workers, MaxBatch: *maxBatch})
@@ -213,6 +250,26 @@ func run(args []string) error {
 		serveErr <- httpSrv.Serve(ln)
 	}()
 
+	// Replication fan-out: the primary client points at our own bound
+	// listener (so it works with -addr :0), the replicas at their URLs.
+	var repl *histapprox.SynopsisReplicator
+	if *replName != "" {
+		primary := histapprox.NewServeClient("http://"+loopbackHostPort(ln.Addr()), nil, true)
+		members := make([]*histapprox.ServeClient, len(replicas))
+		for i, base := range replicas {
+			members[i] = histapprox.NewServeClient(base, nil, true)
+			members[i].Retries = 2
+			members[i].RetryBackoff = 50 * time.Millisecond
+		}
+		repl, err = histapprox.NewSynopsisReplicator(*replName, primary, members, *replInterval)
+		if err != nil {
+			return err
+		}
+		srv.AttachReplicator(repl)
+		repl.Start()
+		log.Printf("replicating %s to %s every %s", *replName, strings.Join(replicas, ", "), *replInterval)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
@@ -226,6 +283,9 @@ func run(args []string) error {
 	// refused), THEN flush and checkpoint the durable engines — after the
 	// drain no ingest can race the final checkpoint.
 	srv.SetReady(false)
+	if repl != nil {
+		repl.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// ReplicatePoint is one sync strategy's steady-state measurement: bytes
+// shipped and round latency for keeping a replica current while skewed
+// ingest touches a minority of shards between rounds.
+type ReplicatePoint struct {
+	// Mode is "delta" (version-vector frames via the Replicator) or "full"
+	// (complete snapshot GET + PUT every round, the pre-delta baseline).
+	Mode string `json:"mode"`
+	// Rounds is the measured sync round count.
+	Rounds int `json:"rounds"`
+	// BytesTotal is the wire bytes shipped across all rounds; BytesPerRound
+	// the mean.
+	BytesTotal    int64   `json:"bytes_total"`
+	BytesPerRound float64 `json:"bytes_per_round"`
+	// P50Us / P99Us are per-round sync latencies (fetch + apply) in
+	// microseconds.
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
+// ReplicateReport is the BENCH_replicate.json payload.
+type ReplicateReport struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"goversion"`
+	// N, K, Shards, BufferCap echo the engine configuration.
+	N         int `json:"n"`
+	K         int `json:"k"`
+	Shards    int `json:"shards"`
+	BufferCap int `json:"buffer_cap"`
+	// HotShards is the shard subset the skewed ingest touches per round.
+	HotShards int `json:"hot_shards"`
+	// DeltaVsFullBytes is the headline ratio: delta bytes_total over full
+	// bytes_total. The delta protocol's promise is that this tracks
+	// HotShards/Shards, not 1.
+	DeltaVsFullBytes float64          `json:"delta_vs_full_bytes"`
+	Note             string           `json:"note,omitempty"`
+	Points           []ReplicatePoint `json:"points"`
+}
+
+// ReplicateConfig controls the replication benchmark.
+type ReplicateConfig struct {
+	// N is the value domain; K the per-shard piece budget; Shards the engine
+	// shard count; BufferCap the pending-log capacity.
+	N, K, Shards, BufferCap int
+	// HotShards is how many shards the skewed ingest may touch per round —
+	// the ISSUE's regime is Shards/8.
+	HotShards int
+	// Rounds is the measured sync rounds per mode; BatchPerRound the points
+	// ingested between rounds.
+	Rounds, BatchPerRound int
+	// WarmBatch is the uniform ingest before measurement starts: it gives
+	// every shard real state, so "full" genuinely reships the cold shards
+	// each round the way a production snapshot would.
+	WarmBatch int
+}
+
+// DefaultReplicateConfig is the recorded sweep: a 16-shard engine with
+// ingest confined to 2 shards (1/8) between rounds.
+func DefaultReplicateConfig() ReplicateConfig {
+	return ReplicateConfig{
+		N: 200_000, K: 32, Shards: 16, BufferCap: 4096,
+		HotShards: 2, Rounds: 60, BatchPerRound: 512, WarmBatch: 100_000,
+	}
+}
+
+// QuickReplicateConfig is the CI smoke grid.
+func QuickReplicateConfig() ReplicateConfig {
+	return ReplicateConfig{
+		N: 20_000, K: 16, Shards: 8, BufferCap: 1024,
+		HotShards: 1, Rounds: 12, BatchPerRound: 128, WarmBatch: 12_000,
+	}
+}
+
+// skewedBatch draws points whose shards all land inside the hot subset, so a
+// round dirties exactly ≤ hot shards — the steady state the delta protocol
+// is built for (a handful of hot keys, most shards quiet).
+func skewedBatch(rng *rand.Rand, eng *stream.Sharded, n, count, hot int) []int {
+	pts := make([]int, 0, count)
+	for len(pts) < count {
+		p := 1 + rng.Intn(n)
+		if eng.ShardOf(p) < hot {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// replicaPair boots a primary hosting eng and an empty replica, both behind
+// real loopback HTTP, and returns their clients plus a teardown.
+func replicaPair(eng *stream.Sharded, name string) (primary, replica *serve.Client, done func()) {
+	ps := serve.NewServer(&serve.Config{Workers: 1})
+	must(ps.Host(name, eng))
+	rs := serve.NewServer(&serve.Config{Workers: 1})
+	pts := httptest.NewServer(ps.Handler())
+	rts := httptest.NewServer(rs.Handler())
+	primary = serve.NewClient(pts.URL, pts.Client(), true)
+	replica = serve.NewClient(rts.URL, rts.Client(), true)
+	done = func() { pts.Close(); rts.Close() }
+	return primary, replica, done
+}
+
+// verifyReplica panics unless the replica's range answers are bit-identical
+// to the primary's — a sync strategy can never "win" by shipping garbage.
+func verifyReplica(primary, replica *serve.Client, name string, n int) {
+	as := []int{1, 1, n / 4, n / 2}
+	bs := []int{n, n / 2, 3 * n / 4, n}
+	p, err := primary.Ranges(name, as, bs)
+	must(err)
+	r, err := replica.Ranges(name, as, bs)
+	must(err)
+	for i := range p {
+		if p[i] != r[i] {
+			panic("bench: replica diverged from primary")
+		}
+	}
+}
+
+// RunReplicateBench measures steady-state replication two ways over real
+// loopback HTTP: version-vector delta rounds through a serve.Replicator, and
+// the full-snapshot baseline (complete GET + PUT every round). Both modes
+// replay the identical skewed ingest schedule — points confined to HotShards
+// of the Shards — and both verify the replica answers bit-identically to the
+// primary after the final round.
+func RunReplicateBench(cfg ReplicateConfig) ReplicateReport {
+	rep := ReplicateReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		N:          cfg.N, K: cfg.K, Shards: cfg.Shards, BufferCap: cfg.BufferCap,
+		HotShards: cfg.HotShards,
+	}
+
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	const name = "repl"
+
+	var totals [2]int64 // delta, full
+	for mode := 0; mode < 2; mode++ {
+		eng, err := stream.NewSharded(cfg.N, cfg.K, cfg.Shards, cfg.BufferCap, opts)
+		must(err)
+		primary, replica, done := replicaPair(eng, name)
+
+		// Identical ingest schedule across modes: same seed, same batches.
+		rng := rand.New(rand.NewSource(42))
+
+		// Warm-up: uniform ingest so every shard holds real state before
+		// measurement. Without it, cold shards are empty stubs and "full"
+		// has nothing extra to reship.
+		warm := make([]int, cfg.WarmBatch)
+		for i := range warm {
+			warm[i] = 1 + rng.Intn(cfg.N)
+		}
+		must(eng.AddBatch(warm, nil))
+
+		var rp *serve.Replicator
+		if mode == 0 {
+			rp, err = serve.NewReplicator(name, primary, []*serve.Client{replica}, time.Second)
+			must(err)
+			must(rp.SyncOnce(0)) // bootstrap: the complete frame, unmeasured
+		} else {
+			full, err := fetchFullSnapshot(primary, name)
+			must(err)
+			must(replica.PushBytes(name, full))
+		}
+
+		lats := make([]time.Duration, 0, cfg.Rounds)
+		var bytesTotal int64
+		for round := 0; round < cfg.Rounds; round++ {
+			pts := skewedBatch(rng, eng, cfg.N, cfg.BatchPerRound, cfg.HotShards)
+			must(eng.AddBatch(pts, nil))
+
+			start := time.Now()
+			if mode == 0 {
+				st0 := rp.Status()[0].DeltaBytes
+				must(rp.SyncOnce(0))
+				bytesTotal += rp.Status()[0].DeltaBytes - st0
+			} else {
+				full, err := fetchFullSnapshot(primary, name)
+				must(err)
+				must(replica.PushBytes(name, full))
+				bytesTotal += int64(len(full))
+			}
+			lats = append(lats, time.Since(start))
+		}
+		verifyReplica(primary, replica, name, cfg.N)
+		done()
+
+		totals[mode] = bytesTotal
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(q float64) float64 {
+			return float64(lats[int(q*float64(len(lats)-1))].Nanoseconds()) / 1e3
+		}
+		modeName := "delta"
+		if mode == 1 {
+			modeName = "full"
+		}
+		rep.Points = append(rep.Points, ReplicatePoint{
+			Mode:          modeName,
+			Rounds:        cfg.Rounds,
+			BytesTotal:    bytesTotal,
+			BytesPerRound: float64(bytesTotal) / float64(cfg.Rounds),
+			P50Us:         pct(0.50),
+			P99Us:         pct(0.99),
+		})
+	}
+	if totals[1] > 0 {
+		rep.DeltaVsFullBytes = float64(totals[0]) / float64(totals[1])
+	}
+	return rep
+}
+
+// fetchFullSnapshot GETs the complete snapshot envelope as bytes — the
+// baseline wire unit the delta protocol replaces.
+func fetchFullSnapshot(c *serve.Client, name string) ([]byte, error) {
+	var buf deferredBuf
+	if err := c.Snapshot(name, &buf); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// deferredBuf is a minimal append-only io.Writer (bytes.Buffer without the
+// read-side bookkeeping).
+type deferredBuf struct{ b []byte }
+
+func (d *deferredBuf) Write(p []byte) (int, error) {
+	d.b = append(d.b, p...)
+	return len(p), nil
+}
+
+// WriteReplicateJSON renders the report as indented JSON — the
+// BENCH_replicate.json trajectory recorded at the repository root.
+func WriteReplicateJSON(w io.Writer, rep ReplicateReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestReplicateBenchQuick is the ISSUE's acceptance gate: with ingest
+// confined to 1/8 of the shards between rounds, steady-state delta bytes
+// must come in at ≤ 1/4 of full-snapshot shipping — the margin between the
+// protocol's ideal (1/8, plus the fixed header) and "not actually shipping
+// deltas at all" (1.0).
+func TestReplicateBenchQuick(t *testing.T) {
+	cfg := QuickReplicateConfig()
+	if cfg.HotShards*8 != cfg.Shards {
+		t.Fatalf("quick config drifted: hot=%d shards=%d, want 1/8", cfg.HotShards, cfg.Shards)
+	}
+	rep := RunReplicateBench(cfg)
+
+	if len(rep.Points) != 2 {
+		t.Fatalf("%d points, want 2 (delta, full)", len(rep.Points))
+	}
+	var delta, full *ReplicatePoint
+	for i := range rep.Points {
+		switch rep.Points[i].Mode {
+		case "delta":
+			delta = &rep.Points[i]
+		case "full":
+			full = &rep.Points[i]
+		}
+	}
+	if delta == nil || full == nil {
+		t.Fatalf("modes = %v", []string{rep.Points[0].Mode, rep.Points[1].Mode})
+	}
+	if delta.Rounds != cfg.Rounds || full.Rounds != cfg.Rounds {
+		t.Errorf("rounds = %d/%d, want %d", delta.Rounds, full.Rounds, cfg.Rounds)
+	}
+	if delta.BytesTotal <= 0 || full.BytesTotal <= 0 {
+		t.Fatalf("bytes: delta=%d full=%d", delta.BytesTotal, full.BytesTotal)
+	}
+
+	// The acceptance ratio. RunReplicateBench verified bit-identical replica
+	// answers in both modes before returning, so the delta rounds cannot
+	// have cheated their way under the bound.
+	if rep.DeltaVsFullBytes > 0.25 {
+		t.Errorf("delta/full bytes = %.3f (delta %d, full %d), want ≤ 0.25 with 1/8 shards hot",
+			rep.DeltaVsFullBytes, delta.BytesTotal, full.BytesTotal)
+	}
+	if rep.DeltaVsFullBytes <= 0 {
+		t.Errorf("ratio = %v, want > 0", rep.DeltaVsFullBytes)
+	}
+
+	// The report must round-trip as JSON (it is a recorded artifact).
+	var buf bytes.Buffer
+	if err := WriteReplicateJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back ReplicateReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DeltaVsFullBytes != rep.DeltaVsFullBytes || len(back.Points) != 2 {
+		t.Error("JSON round-trip lost fields")
+	}
+}

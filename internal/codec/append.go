@@ -38,6 +38,33 @@ func AppendVarint(dst []byte, v int64) []byte {
 	return binary.AppendVarint(dst, v)
 }
 
+// AppendFloat64 appends the raw IEEE-754 bits, little-endian — bit-identical
+// to Writer.Float64.
+func AppendFloat64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// AppendDeltaInts appends a strictly increasing integer sequence exactly as
+// Writer.DeltaInts does: length prefix, first element as a varint, gaps as
+// uvarints. Like the Writer it panics on a non-increasing sequence —
+// encoders only pass validated boundaries.
+func AppendDeltaInts(dst []byte, xs []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(xs)))
+	prev := 0
+	for i, x := range xs {
+		if i == 0 {
+			dst = binary.AppendVarint(dst, int64(x))
+		} else {
+			if x <= prev {
+				panic(fmt.Sprintf("codec: DeltaInts not strictly increasing: %d after %d", x, prev))
+			}
+			dst = binary.AppendUvarint(dst, uint64(x-prev))
+		}
+		prev = x
+	}
+	return dst
+}
+
 // AppendPackedFloat64s appends a length prefix followed by the XOR-delta
 // byte-aligned packing Writer.PackedFloat64s produces — bit-identical bytes,
 // no intermediate buffer.
@@ -159,6 +186,67 @@ func (p *FramePayload) Byte() (byte, error) {
 	b := p.buf[p.off]
 	p.off++
 	return b, nil
+}
+
+// Float64 reads raw IEEE-754 bits, little-endian.
+func (p *FramePayload) Float64() (float64, error) {
+	if p.off+8 > len(p.buf) {
+		return 0, fmt.Errorf("codec: reading float64 at offset %d", p.off)
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(p.buf[p.off:]))
+	p.off += 8
+	return f, nil
+}
+
+// FiniteFloat64 reads a float64 and rejects NaN and ±Inf, mirroring
+// Reader.FiniteFloat64.
+func (p *FramePayload) FiniteFloat64() (float64, error) {
+	f, err := p.Float64()
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("codec: non-finite value %v", f)
+	}
+	return f, nil
+}
+
+// DeltaInts reads a strictly increasing integer sequence written by
+// Writer.DeltaInts or AppendDeltaInts, with the same validation the Reader
+// applies (no zero gaps, bounded elements, no overflow).
+func (p *FramePayload) DeltaInts() ([]int, error) {
+	k, err := p.SliceLen()
+	if err != nil {
+		return nil, err
+	}
+	const maxElem = int64(1) << 48
+	xs := make([]int, k)
+	for i := range xs {
+		if i == 0 {
+			v, err := p.Varint()
+			if err != nil {
+				return nil, err
+			}
+			if v < -maxElem || v > maxElem {
+				return nil, fmt.Errorf("codec: sequence start %d out of range", v)
+			}
+			xs[0] = int(v)
+			continue
+		}
+		gap, err := p.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if gap == 0 || gap > uint64(maxElem) {
+			return nil, fmt.Errorf("codec: bad sequence gap %d", gap)
+		}
+		next := xs[i-1] + int(gap)
+		if next <= xs[i-1] {
+			return nil, fmt.Errorf("codec: sequence overflow at element %d", i)
+		}
+		xs[i] = next
+	}
+	return xs, nil
 }
 
 // PackedFloat64s reads a sequence written by Writer.PackedFloat64s or

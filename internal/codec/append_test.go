@@ -189,3 +189,56 @@ func TestAppendPackedFloat64sDecodableByReader(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendDeltaIntsAndFloat64MatchWriter(t *testing.T) {
+	// The scalar/sequence helpers added for delta frames must stay
+	// bit-identical to their Writer counterparts, round-trip through the
+	// FramePayload cursor, and keep the Writer's panic-on-misuse contract.
+	cases := [][]int{nil, {}, {1}, {-5, 0, 3, 4, 1000}, {7, 8, 9, 1 << 20}}
+	for _, xs := range cases {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, TagHistogram)
+		w.DeltaInts(xs)
+		w.Float64(-math.Pi)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		dst := AppendFrameHeader(nil, TagHistogram)
+		dst = AppendDeltaInts(dst, xs)
+		dst = AppendFloat64(dst, -math.Pi)
+		dst = FinishFrame(dst, 0)
+		if !bytes.Equal(dst, buf.Bytes()) {
+			t.Fatalf("append path produced %x, Writer produced %x (case %v)", dst, buf.Bytes(), xs)
+		}
+		_, payload, err := ParseFrame(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewFramePayload(payload)
+		got, err := p.DeltaInts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("DeltaInts read %v, wrote %v", got, xs)
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Fatalf("DeltaInts read %v, wrote %v", got, xs)
+			}
+		}
+		f, err := p.Float64()
+		if err != nil || f != -math.Pi {
+			t.Fatalf("Float64 = %v, %v", f, err)
+		}
+		if err := p.Done(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendDeltaInts accepted a non-increasing sequence")
+		}
+	}()
+	AppendDeltaInts(nil, []int{3, 3})
+}

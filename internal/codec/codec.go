@@ -54,16 +54,22 @@ var Magic = [4]byte{'H', 'S', 'Y', 'N'}
 // which ride the same envelope machinery; synopsis tags must stay below
 // that range so a query body can never be mistaken for a synopsis.
 const (
-	TagHistogram     byte = 1 // core.Histogram
-	TagHierarchy     byte = 2 // core.Hierarchy
-	TagPiecewisePoly byte = 3 // piecewise.PiecewiseFunc
-	TagCDF           byte = 4 // quantile.CDF
-	TagWavelet       byte = 5 // wavelet.Synopsis
-	TagEstimator     byte = 6 // synopsis.Synopsis (range estimator state)
-	TagMaintainer    byte = 7 // stream.Maintainer checkpoint
-	TagSharded       byte = 8 // stream.Sharded checkpoint
-	TagWALRecord     byte = 9 // internal/wal update-batch record (one ingest call)
+	TagHistogram     byte = 1  // core.Histogram
+	TagHierarchy     byte = 2  // core.Hierarchy
+	TagPiecewisePoly byte = 3  // piecewise.PiecewiseFunc
+	TagCDF           byte = 4  // quantile.CDF
+	TagWavelet       byte = 5  // wavelet.Synopsis
+	TagEstimator     byte = 6  // synopsis.Synopsis (range estimator state)
+	TagMaintainer    byte = 7  // stream.Maintainer checkpoint
+	TagSharded       byte = 8  // stream.Sharded checkpoint
+	TagWALRecord     byte = 9  // internal/wal update-batch record (one ingest call)
 	TagWALManifest   byte = 10 // internal/wal checkpoint manifest
+
+	// TagShardedDelta lives in the serving-reserved range on purpose: a
+	// delta frame is a replication wire artifact (stream.Checkpoint deltas
+	// shipped between servers), not a persistent synopsis, and must never be
+	// decodable as one. internal/serve's body tags occupy 0xF0–0xF3.
+	TagShardedDelta byte = 0xF4 // stream.Sharded delta checkpoint (changed shards only)
 )
 
 // castagnoli is the CRC-32C table (iSCSI polynomial), hardware-accelerated

@@ -3,11 +3,13 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 )
 
 // Client talks to a synopsis server. The zero batch codec is JSON; Binary
@@ -15,6 +17,16 @@ import (
 // interchangeable (answers are bit-identical), binary just decodes faster
 // and ships fewer bytes. Snapshot calls always speak the binary envelope;
 // that IS the snapshot format.
+//
+// Reliability knobs: Timeout bounds each attempt end to end, and Retries
+// allows that many re-sends after transient failures — connection errors and
+// 5xx responses — with RetryBackoff doubling between attempts. Every request
+// the client issues is safe to re-send: queries and ingests are rebuilt from
+// their encoded bodies, and the server applies an ingest batch atomically, so
+// a retried POST /add after a connection error either landed once or not at
+// all per attempt (at-least-once overall; idempotent ingest is the caller's
+// concern, as with any HTTP retry). Non-transient failures (4xx) surface
+// immediately as *APIError.
 type Client struct {
 	// Base is the server's base URL, e.g. "http://localhost:8157".
 	Base string
@@ -22,6 +34,15 @@ type Client struct {
 	HTTP *http.Client
 	// Binary selects binary bodies for At/Ranges/Add batches.
 	Binary bool
+	// Timeout bounds one attempt (connection + request + response). 0 keeps
+	// the underlying client's own timeout.
+	Timeout time.Duration
+	// Retries is how many times a transiently failed request is re-sent
+	// (0 = single attempt).
+	Retries int
+	// RetryBackoff is the sleep before the first re-send, doubled each
+	// further attempt. 0 with Retries > 0 means 10ms.
+	RetryBackoff time.Duration
 }
 
 // NewClient builds a client for the server at base.
@@ -29,33 +50,107 @@ func NewClient(base string, hc *http.Client, binary bool) *Client {
 	return &Client{Base: base, HTTP: hc, Binary: binary}
 }
 
-func (c *Client) http() *http.Client {
-	if c.HTTP != nil {
-		return c.HTTP
-	}
-	return http.DefaultClient
+// APIError is a non-2xx response: the status code plus the server's JSON
+// diagnostic body, when it sent one.
+type APIError struct {
+	// StatusCode is the numeric HTTP status.
+	StatusCode int
+	// Status is the full status line, e.g. "409 Conflict".
+	Status string
+	// Message is the server's decoded {"error": ...} diagnostic, if any.
+	Message string
 }
 
-// apiError decodes a non-2xx response into an error.
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("serve: %s: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("serve: %s", e.Status)
+}
+
+// IsConflict reports whether err is a 409 — a replica refusing a partial
+// delta it has no base state for.
+func IsConflict(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusConflict
+}
+
+func (c *Client) http() *http.Client {
+	base := c.HTTP
+	if base == nil {
+		base = http.DefaultClient
+	}
+	if c.Timeout <= 0 {
+		return base
+	}
+	// Shallow-copy so the per-client timeout never mutates a shared client.
+	cl := *base
+	cl.Timeout = c.Timeout
+	return &cl
+}
+
+// apiError decodes a non-2xx response into an *APIError.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
+	ae := &APIError{StatusCode: resp.StatusCode, Status: resp.Status}
 	var e errorJSON
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
-		return fmt.Errorf("serve: %s: %s", resp.Status, e.Error)
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil {
+		ae.Message = e.Error
 	}
-	return fmt.Errorf("serve: %s", resp.Status)
+	return ae
 }
 
-// do issues one request and returns the response on 2xx.
-func (c *Client) do(req *http.Request) (*http.Response, error) {
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, err
+// transient reports whether a failed attempt is worth re-sending: transport
+// errors (connection refused, reset, timeout — net/http wraps them all in
+// *url.Error) and 5xx responses. 4xx responses are the caller's bug or a
+// state conflict; retrying cannot fix them.
+func transient(err error) bool {
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true
 	}
-	if resp.StatusCode/100 != 2 {
-		return nil, apiError(resp)
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode >= 500
+}
+
+// request issues one HTTP request with the client's retry policy. body may be
+// nil; non-nil bodies are re-sent from the same bytes on each attempt. The
+// returned response is always 2xx; everything else comes back as an error.
+func (c *Client) request(method, u, contentType string, body []byte) (*http.Response, error) {
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
 	}
-	return resp, nil
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, u, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.http().Do(req)
+		if err == nil && resp.StatusCode/100 == 2 {
+			return resp, nil
+		}
+		if err == nil {
+			err = apiError(resp)
+		}
+		lastErr = err
+		if !transient(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
 }
 
 // queryURL assembles /v1/{name}/{verb} with optional k.
@@ -80,12 +175,7 @@ func (c *Client) batch(u string, encodeBinary func(io.Writer) error, jsonBody an
 	} else if err := json.NewEncoder(&buf).Encode(jsonBody); err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequest(http.MethodPost, u, &buf)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", ct)
-	resp, err := c.do(req)
+	resp, err := c.request(http.MethodPost, u, ct, buf.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -136,12 +226,9 @@ func (c *Client) Range(name string, a, b int) (float64, error) {
 }
 
 func (c *Client) single(u string) (float64, error) {
-	resp, err := c.http().Get(u)
+	resp, err := c.request(http.MethodGet, u, "", nil)
 	if err != nil {
 		return 0, err
-	}
-	if resp.StatusCode/100 != 2 {
-		return 0, apiError(resp)
 	}
 	defer resp.Body.Close()
 	var v struct {
@@ -166,12 +253,7 @@ func (c *Client) Add(name string, points []int, weights []float64) error {
 	} else if err := json.NewEncoder(&buf).Encode(addJSON{Points: points, Weights: weights}); err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/"+url.PathEscape(name)+"/add", &buf)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", ct)
-	resp, err := c.do(req)
+	resp, err := c.request(http.MethodPost, c.Base+"/v1/"+url.PathEscape(name)+"/add", ct, buf.Bytes())
 	if err != nil {
 		return err
 	}
@@ -182,27 +264,55 @@ func (c *Client) Add(name string, points []int, weights []float64) error {
 // Snapshot fetches the named synopsis as one binary envelope into w — ready
 // to write to disk, decode with the library, or push to another server.
 func (c *Client) Snapshot(name string, w io.Writer) error {
-	resp, err := c.http().Get(c.Base + "/v1/" + url.PathEscape(name) + "/snapshot")
+	resp, err := c.request(http.MethodGet, c.Base+"/v1/"+url.PathEscape(name)+"/snapshot", "", nil)
 	if err != nil {
 		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
 	}
 	defer resp.Body.Close()
 	_, err = io.Copy(w, resp.Body)
 	return err
 }
 
+// SnapshotDelta fetches a delta frame for the named sharded engine. since is
+// "0" (or "") for the complete state, else the FormatSince coordinates the
+// caller holds. Returns the frame plus the epoch and version vector it
+// brings a replica to, read from the response headers.
+func (c *Client) SnapshotDelta(name, since string) (body []byte, epoch uint64, versions []uint64, err error) {
+	if since == "" {
+		since = "0"
+	}
+	u := c.Base + "/v1/" + url.PathEscape(name) + "/snapshot?since=" + url.QueryEscape(since)
+	resp, err := c.request(http.MethodGet, u, "", nil)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	if epoch, err = strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64); err != nil {
+		return nil, 0, nil, fmt.Errorf("serve: bad %s header %q", HeaderEpoch, resp.Header.Get(HeaderEpoch))
+	}
+	if versions, err = ParseVersionsHeader(resp.Header.Get(HeaderVersions)); err != nil {
+		return nil, 0, nil, err
+	}
+	if body, err = io.ReadAll(resp.Body); err != nil {
+		return nil, 0, nil, err
+	}
+	return body, epoch, versions, nil
+}
+
 // Push uploads a binary envelope, hot-swapping (or creating) the synopsis
 // served under name.
 func (c *Client) Push(name string, r io.Reader) error {
-	req, err := http.NewRequest(http.MethodPut, c.Base+"/v1/"+url.PathEscape(name)+"/snapshot", r)
+	body, err := io.ReadAll(r)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", ContentSnapshot)
-	resp, err := c.do(req)
+	return c.PushBytes(name, body)
+}
+
+// PushBytes is Push from a byte slice — the body every delta-replication
+// round already holds, re-sendable across retries without buffering twice.
+func (c *Client) PushBytes(name string, body []byte) error {
+	resp, err := c.request(http.MethodPut, c.Base+"/v1/"+url.PathEscape(name)+"/snapshot", ContentSnapshot, body)
 	if err != nil {
 		return err
 	}
@@ -212,12 +322,9 @@ func (c *Client) Push(name string, r io.Reader) error {
 
 // List fetches the registry listing.
 func (c *Client) List() ([]NameInfo, error) {
-	resp, err := c.http().Get(c.Base + "/v1")
+	resp, err := c.request(http.MethodGet, c.Base+"/v1", "", nil)
 	if err != nil {
 		return nil, err
-	}
-	if resp.StatusCode/100 != 2 {
-		return nil, apiError(resp)
 	}
 	defer resp.Body.Close()
 	var v struct {

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler fails the first n requests with the given status, then
+// delegates — the standard shape of a server mid-restart or briefly
+// overloaded.
+func flakyHandler(n int64, status int, inner http.Handler) (http.Handler, *atomic.Int64) {
+	var seen atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) <= n {
+			httpError(w, status, "transient failure, try again")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}), &seen
+}
+
+// TestClientRetriesTransientFailures pins the retry contract: 5xx responses
+// are retried up to Retries times with backoff, and a request that succeeds
+// within budget surfaces no error at all.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	srv := NewServer(&Config{Workers: 1})
+	if err := srv.Host("h", testHistogram(t, 500, 8)); err != nil {
+		t.Fatal(err)
+	}
+	handler, seen := flakyHandler(2, http.StatusServiceUnavailable, srv.Handler())
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ts.Client(), true)
+	c.Retries = 3
+	c.RetryBackoff = time.Millisecond
+	vals, err := c.At("h", []int{1, 2, 3})
+	if err != nil {
+		t.Fatalf("with 3 retries against 2 failures: %v", err)
+	}
+	if len(vals) != 3 {
+		t.Fatalf("%d values", len(vals))
+	}
+	if got := seen.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestClientRetryBudgetExhausted pins the other half: more failures than the
+// budget surfaces the last transient error, and a zero-retry client fails on
+// the first one.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	srv := NewServer(&Config{Workers: 1})
+	if err := srv.Host("h", testHistogram(t, 500, 8)); err != nil {
+		t.Fatal(err)
+	}
+	handler, seen := flakyHandler(100, http.StatusInternalServerError, srv.Handler())
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ts.Client(), false)
+	c.Retries = 2
+	c.RetryBackoff = time.Millisecond
+	_, err := c.At("h", []int{1})
+	var ae *APIError
+	if err == nil || !errors.As(err, &ae) || ae.StatusCode != 500 {
+		t.Fatalf("exhausted retries: %v, want a 500 APIError", err)
+	}
+	if got := seen.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+
+	c2 := NewClient(ts.URL, ts.Client(), false)
+	if _, err := c2.At("h", []int{1}); err == nil {
+		t.Fatal("zero-retry client succeeded against a failing server")
+	}
+	if got := seen.Load(); got != 4 {
+		t.Fatalf("zero-retry client issued %d extra attempts, want 1", got-3)
+	}
+}
+
+// TestClientDoesNotRetryCallerErrors pins that 4xx responses surface
+// immediately: retrying a bad request cannot fix it, and a conflict must
+// reach the replicator as a conflict, not as three delayed conflicts.
+func TestClientDoesNotRetryCallerErrors(t *testing.T) {
+	srv := NewServer(&Config{Workers: 1})
+	if err := srv.Host("h", testHistogram(t, 500, 8)); err != nil {
+		t.Fatal(err)
+	}
+	var seen atomic.Int64
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen.Add(1)
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counting)
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ts.Client(), false)
+	c.Retries = 5
+	c.RetryBackoff = time.Millisecond
+	_, err := c.At("h", []int{100000}) // out of domain: 400
+	var ae *APIError
+	if err == nil || !errors.As(err, &ae) || ae.StatusCode != 400 {
+		t.Fatalf("%v, want a 400 APIError", err)
+	}
+	if ae.Message == "" {
+		t.Fatal("400 lost the server's diagnostic message")
+	}
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("a 400 was attempted %d times", got)
+	}
+}
+
+// TestClientRetriesConnectionRefused pins the transport-error half of
+// transient(): a dead endpoint is retried (observable via elapsed backoff)
+// and still fails cleanly.
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	base := ts.URL
+	ts.Close() // nothing listens here any more
+
+	c := NewClient(base, nil, false)
+	c.Retries = 2
+	c.RetryBackoff = 8 * time.Millisecond
+	start := time.Now()
+	_, err := c.At("h", []int{1})
+	if err == nil {
+		t.Fatal("query against a closed port succeeded")
+	}
+	// 8ms + 16ms of backoff must have elapsed if both retries ran.
+	if elapsed := time.Since(start); elapsed < 24*time.Millisecond {
+		t.Fatalf("returned after %v; backoff schedule says ≥ 24ms", elapsed)
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("connection error surfaced as an APIError: %v", err)
+	}
+}
+
+// TestClientTimeout pins the per-attempt timeout: a hung server turns into a
+// prompt transport error instead of an indefinite stall, without mutating a
+// shared http.Client.
+func TestClientTimeout(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hang until the client gives up
+	}))
+	defer ts.Close()
+
+	shared := ts.Client()
+	c := NewClient(ts.URL, shared, false)
+	c.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := c.Point("h", 1)
+	if err == nil {
+		t.Fatal("query against a hung server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timed out only after %v", elapsed)
+	}
+	if shared.Timeout != 0 {
+		t.Fatal("client timeout leaked into the shared http.Client")
+	}
+}
+
+// TestClientErrorPaths pins satellite-grade decode robustness: diagnostic
+// bodies on non-2xx, truncated binary frames, and checksum-corrupted frames
+// all surface as errors — typed where the server answered, never a panic.
+func TestClientErrorPaths(t *testing.T) {
+	srv := NewServer(&Config{Workers: 1})
+	if err := srv.Host("h", testHistogram(t, 500, 8)); err != nil {
+		t.Fatal(err)
+	}
+	real := httptest.NewServer(srv.Handler())
+	defer real.Close()
+	realCl := NewClient(real.URL, real.Client(), true)
+
+	// Non-2xx with diagnostic body → typed error carrying the message.
+	_, err := realCl.Ranges("missing", []int{1}, []int{2})
+	var ae *APIError
+	if err == nil || !errors.As(err, &ae) {
+		t.Fatalf("%v, want an APIError", err)
+	}
+	if ae.StatusCode != 404 || !strings.Contains(ae.Message, "missing") {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if !strings.Contains(ae.Error(), "404") || !strings.Contains(ae.Error(), "missing") {
+		t.Fatalf("Error() lost information: %q", ae.Error())
+	}
+
+	// A server that truncates and corrupts binary response frames: the
+	// client must reject both without panicking.
+	sabotage := ""
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		switch sabotage {
+		case "truncate":
+			body = body[:len(body)/2]
+		case "corrupt":
+			body = append([]byte(nil), body...)
+			body[len(body)-5] ^= 0x20
+		}
+		w.Header().Set("Content-Type", rec.Header().Get("Content-Type"))
+		w.WriteHeader(rec.Code)
+		_, _ = w.Write(body)
+	}))
+	defer evil.Close()
+	evilCl := NewClient(evil.URL, evil.Client(), true)
+
+	for _, mode := range []string{"truncate", "corrupt"} {
+		sabotage = mode
+		if _, err := evilCl.At("h", []int{1, 2, 3, 4}); err == nil {
+			t.Fatalf("%sd binary response decoded", mode)
+		}
+	}
+	sabotage = ""
+	if _, err := evilCl.At("h", []int{1, 2, 3, 4}); err != nil {
+		t.Fatalf("clean pass-through failed: %v", err)
+	}
+
+	// A corrupted snapshot push: the server's CRC check answers 400 with a
+	// diagnostic, and the client surfaces it typed.
+	var snap strings.Builder
+	if err := realCl.Snapshot("h", &snap); err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte(snap.String())
+	bad[len(bad)/2] ^= 0x01
+	err = realCl.PushBytes("h2", bad)
+	if err == nil || !errors.As(err, &ae) || ae.StatusCode != 400 || ae.Message == "" {
+		t.Fatalf("corrupt push: %v, want a 400 APIError with a message", err)
+	}
+}

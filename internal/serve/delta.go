@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Delta replication endpoints.
+//
+//	GET /v1/{name}/snapshot?since=<vector>   serve a delta frame
+//	PUT /v1/{name}/snapshot  (delta body)    apply a delta frame
+//
+// The since vector is "0" for "send me everything" or
+// "<epoch>:<v1>,<v2>,..." — the epoch and per-shard version vector the
+// replica currently holds. The response carries the coordinates the frame
+// brings the replica to in X-Hsyn-Epoch / X-Hsyn-Versions, so a replicator
+// tracks the fleet without ever decoding a frame.
+//
+// A GET never conflicts: an unknown epoch (the primary restarted), a
+// malformed-but-parsable topology mismatch, or since=0 all fall back to the
+// complete delta, which is self-contained. A PUT of a non-complete delta is
+// where consistency is enforced: it applies only if the entry's recorded
+// fleet state matches every carried shard's fromVersion, and answers 409
+// otherwise — the replicator's cue to request a complete frame.
+
+// Delta response/request headers.
+const (
+	HeaderEpoch    = "X-Hsyn-Epoch"
+	HeaderVersions = "X-Hsyn-Versions"
+)
+
+// FormatSince renders a replica's coordinates as a since parameter.
+func FormatSince(epoch uint64, versions []uint64) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(epoch, 10))
+	b.WriteByte(':')
+	for i, v := range versions {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(v, 10))
+	}
+	return b.String()
+}
+
+// parseSince interprets a since parameter against a live engine. A nil
+// returned vector means "serve the complete delta". Only syntactically
+// malformed input errors; a stale epoch or foreign topology just downgrades
+// to the complete frame.
+func parseSince(raw string, epoch uint64, shards int) ([]uint64, error) {
+	if raw == "0" {
+		return nil, nil
+	}
+	es, vs, ok := strings.Cut(raw, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad since %q (want 0 or epoch:v1,v2,...)", raw)
+	}
+	e, err := strconv.ParseUint(es, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad since epoch %q", es)
+	}
+	parts := strings.Split(vs, ",")
+	vec := make([]uint64, len(parts))
+	for i, p := range parts {
+		if vec[i], err = strconv.ParseUint(p, 10, 64); err != nil {
+			return nil, fmt.Errorf("bad since version %q", p)
+		}
+	}
+	if e != epoch || len(vec) != shards {
+		return nil, nil // different engine life or topology: complete delta
+	}
+	return vec, nil
+}
+
+// handleSnapshotDelta serves GET /v1/{name}/snapshot?since=. The encoded
+// frame is memoized per (published pointer, since string) and revalidated
+// against the engine's live version vector, so N replicas polling at the same
+// coordinates share one encode — the memo twin of the full-snapshot cache,
+// with freshness proven by versions instead of immutability.
+func (s *Server) handleSnapshotDelta(w http.ResponseWriter, r *http.Request, since string) {
+	name := r.PathValue("name")
+	ent, ok := s.lookupEntry(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no synopsis named %q", name)
+		return
+	}
+	p := ent.ptr.Load()
+	if p == nil {
+		httpError(w, http.StatusNotFound, "no synopsis named %q", name)
+		return
+	}
+	ds, ok := (*p).(deltaSource)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "synopsis kind %q does not serve deltas", (*p).kind())
+		return
+	}
+	eng := ds.deltaEngine()
+	sinceVec, err := parseSince(since, eng.Epoch(), eng.Shards())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ent.stats.snapshots.Add(1)
+	if c := ent.delta.Load(); c != nil && c.owner == p && c.since == since {
+		if vecEqual(eng.Versions(nil), c.to) {
+			writeDeltaBody(w, eng.Epoch(), c.to, c.body)
+			return
+		}
+	}
+	s.deltaEncodes.Add(1)
+	ckpt, err := eng.Checkpoint()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	frame, err := ckpt.AppendDelta(nil, sinceVec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	to := ckpt.Versions(nil)
+	ent.delta.Store(&deltaCache{owner: p, since: since, to: to, body: frame})
+	writeDeltaBody(w, ckpt.Epoch(), to, frame)
+}
+
+func vecEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeDeltaBody writes one delta frame with its coordinate headers.
+func writeDeltaBody(w http.ResponseWriter, epoch uint64, to []uint64, body []byte) {
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+	w.Header().Set(HeaderVersions, versionsHeader(to))
+	writeSnapshotBody(w, body)
+}
+
+func versionsHeader(to []uint64) string {
+	var b strings.Builder
+	for i, v := range to {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(v, 10))
+	}
+	return b.String()
+}
+
+// ParseVersionsHeader decodes an X-Hsyn-Versions value.
+func ParseVersionsHeader(raw string) ([]uint64, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("serve: empty %s header", HeaderVersions)
+	}
+	parts := strings.Split(raw, ",")
+	vec := make([]uint64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad %s entry %q", HeaderVersions, p)
+		}
+		vec[i] = v
+	}
+	return vec, nil
+}
+
+// deltaPutJSON is the PUT response for an applied delta.
+type deltaPutJSON struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Applied int    `json:"applied"` // shards swapped
+	Full    bool   `json:"full"`    // complete delta: engine rebuilt, not patched
+}
+
+// applyDelta handles a PUT /snapshot whose body is a TagShardedDelta frame.
+// A complete frame rebuilds the engine from scratch and hosts it (creating
+// the name if needed) — the full-resync path, which can never conflict. A
+// partial frame is an in-place patch: under the entry's apply mutex, the
+// recorded fleet state must match the frame's epoch and every carried
+// shard's fromVersion, and only then are the named shards swapped. Any
+// mismatch is a 409, telling the replicator to fall back to a complete
+// frame. Partial applies are refused for anything but the bare sharded
+// adapter: patching the engine under a durable wrapper would leave its WAL
+// claiming a history the state no longer came from.
+func (s *Server) applyDelta(w http.ResponseWriter, name string, frame []byte) {
+	d, err := stream.ParseShardedDelta(frame)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if d.Complete() {
+		eng, err := stream.NewShardedFromDelta(d)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.Host(name, eng); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ent, _ := s.lookupEntry(name)
+		ent.fleet.Store(&fleetState{epoch: d.Epoch(), versions: d.ToVersions(nil)})
+		writeJSON(w, deltaPutJSON{Name: name, Kind: "sharded", Applied: d.ChangedShards(), Full: true})
+		return
+	}
+	ent, ok := s.lookupEntry(name)
+	if !ok {
+		httpError(w, http.StatusConflict, "no synopsis named %q to apply a partial delta to", name)
+		return
+	}
+	ent.applyMu.Lock()
+	defer ent.applyMu.Unlock()
+	p := ent.ptr.Load()
+	if p == nil {
+		httpError(w, http.StatusConflict, "no synopsis named %q to apply a partial delta to", name)
+		return
+	}
+	sh, ok := (*p).(shardServed)
+	if !ok {
+		httpError(w, http.StatusConflict, "synopsis kind %q does not accept partial deltas", (*p).kind())
+		return
+	}
+	fl := ent.fleet.Load()
+	if fl == nil || fl.epoch != d.Epoch() || len(fl.versions) != d.TotalShards() {
+		httpError(w, http.StatusConflict, "replica holds no base state from epoch %d", d.Epoch())
+		return
+	}
+	for j := 0; j < d.ChangedShards(); j++ {
+		idx, from, _ := d.Shard(j)
+		if fl.versions[idx] != from {
+			httpError(w, http.StatusConflict, "shard %d at version %d, delta starts from %d", idx, fl.versions[idx], from)
+			return
+		}
+	}
+	if err := sh.s.ApplyDelta(d); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	ent.fleet.Store(&fleetState{epoch: d.Epoch(), versions: d.ToVersions(fl.versions)})
+	writeJSON(w, deltaPutJSON{Name: name, Kind: "sharded", Applied: d.ChangedShards()})
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Fleet routes synopsis names across a set of servers with a consistent-hash
+// ring: each server contributes fleetVnodes virtual points, a name is served
+// by the first point clockwise of its hash, and adding or removing one server
+// remaps only the names that hashed to its arcs (~1/N of them) instead of
+// reshuffling everything, the way modulo routing would.
+type Fleet struct {
+	clients []*Client
+	ring    []ringPoint
+}
+
+// ringPoint is one virtual node: a position on the hash circle and the index
+// of the client that owns it.
+type ringPoint struct {
+	pos uint64
+	idx int
+}
+
+// fleetVnodes is the virtual-node count per server. 64 keeps the per-server
+// load spread within a few percent of even for small fleets while the ring
+// stays tiny (N×64 points, binary-searched).
+const fleetVnodes = 64
+
+// NewFleet builds a consistent-hash router over the given clients. Ring
+// positions are derived from each client's Base URL, so every process that
+// builds a fleet from the same member list routes identically — the property
+// that lets stateless clients agree on placement with no coordination.
+func NewFleet(clients []*Client) (*Fleet, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("serve: fleet needs at least one client")
+	}
+	f := &Fleet{
+		clients: clients,
+		ring:    make([]ringPoint, 0, len(clients)*fleetVnodes),
+	}
+	for i, c := range clients {
+		if c == nil || c.Base == "" {
+			return nil, fmt.Errorf("serve: fleet client %d has no base URL", i)
+		}
+		for v := 0; v < fleetVnodes; v++ {
+			f.ring = append(f.ring, ringPoint{pos: fnv1a(c.Base + "#" + strconv.Itoa(v)), idx: i})
+		}
+	}
+	sort.Slice(f.ring, func(a, b int) bool {
+		if f.ring[a].pos != f.ring[b].pos {
+			return f.ring[a].pos < f.ring[b].pos
+		}
+		return f.ring[a].idx < f.ring[b].idx
+	})
+	return f, nil
+}
+
+// ClientFor returns the server that owns name on the ring.
+func (f *Fleet) ClientFor(name string) *Client {
+	h := fnv1a(name)
+	i := sort.Search(len(f.ring), func(i int) bool { return f.ring[i].pos >= h })
+	if i == len(f.ring) {
+		i = 0 // wrap: the circle's first point owns everything past the last
+	}
+	return f.clients[f.ring[i].idx]
+}
+
+// Clients returns the fleet members in construction order.
+func (f *Fleet) Clients() []*Client { return f.clients }
+
+// fnv1a is the 64-bit FNV-1a hash run through a full-avalanche finalizer —
+// stable across processes and platforms, which ring placement requires
+// (maphash seeds would not be). Raw FNV-1a's high bits barely change across
+// short keys with a shared prefix ("events-1", "events-2", ...), so without
+// the finalizer sequential names clump onto a handful of arcs instead of
+// spreading around the ring.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	// murmur3's fmix64: every input bit flips ~half the output bits.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/codec"
 )
 
 // Handler returns the HTTP handler serving the registry. Routing uses the
@@ -546,6 +548,10 @@ func decodeJSONFloatArray(dec *json.Decoder, maxBatch int) ([]float64, error) {
 // is also what retires the cache. Mutable engines (anything that ingests) are
 // never cached — their bytes change without a swap.
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	if since := r.URL.Query().Get("since"); since != "" {
+		s.handleSnapshotDelta(w, r, since)
+		return
+	}
 	name := r.PathValue("name")
 	ent, ok := s.lookupEntry(name)
 	if !ok {
@@ -586,17 +592,33 @@ func writeSnapshotBody(w http.ResponseWriter, body []byte) {
 // handleSnapshotPut replaces (or creates) the synopsis served under a name
 // from a pushed binary envelope: decode and validate the complete
 // replacement first, then publish it with one atomic pointer store.
-// In-flight requests keep serving the object they already loaded.
+// In-flight requests keep serving the object they already loaded. The body
+// lands in a pooled wire buffer — on a replica syncing every few hundred
+// milliseconds this is the hot path, and steady-state decode should recycle
+// its scratch like the binary query paths do. A TagShardedDelta body is
+// dispatched to the delta-apply path instead of the decode-and-swap one.
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes)
-	if err := s.Load(name, body); err != nil {
+	wb := s.bufs.get()
+	defer s.bufs.put(wb)
+	req, err := readBodyInto(wb.req, body)
+	wb.req = req
+	if err != nil {
 		status := http.StatusBadRequest
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		httpError(w, status, "%v", err)
+		return
+	}
+	if len(req) >= 6 && [4]byte(req[:4]) == codec.Magic && req[5] == codec.TagShardedDelta {
+		s.applyDelta(w, name, req)
+		return
+	}
+	if err := s.Load(name, bytes.NewReader(req)); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	sv, _ := s.lookup(name)

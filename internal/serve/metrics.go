@@ -81,6 +81,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promInt(&b, "histapprox_synopses", "", int64(len(rows)))
 	promFamily(&b, "histapprox_snapshot_encodes_total", "counter", "Snapshot GETs that ran an encoder instead of serving the memoized body.")
 	promInt(&b, "histapprox_snapshot_encodes_total", "", s.snapshotEncodes.Load())
+	promFamily(&b, "histapprox_delta_encodes_total", "counter", "Delta GETs that ran an encoder instead of serving the memoized frame.")
+	promInt(&b, "histapprox_delta_encodes_total", "", s.deltaEncodes.Load())
 
 	perName := []struct {
 		family, typ, help string
@@ -100,6 +102,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	writeIngestFamilies(&b, rows)
 	writeDurableFamilies(&b, rows)
+	if rp := s.repl.Load(); rp != nil {
+		writeReplicaFamilies(&b, rp)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Header().Set("Content-Length", strconv.Itoa(b.Len()))
@@ -192,6 +197,42 @@ func writeDurableFamilies(b *bytes.Buffer, rows []metricsRow) {
 			promQuantiles(b, "histapprox_checkpoint_seconds", row.name, row.durable.CheckpointDurations)
 		}
 	}
+}
+
+// writeReplicaFamilies renders the fan-out replication families from the
+// attached replicator: per-replica sync counters and a lag gauge (seconds
+// since the last successful round — the number an alert should watch).
+func writeReplicaFamilies(b *bytes.Buffer, rp *Replicator) {
+	statuses := rp.Status()
+	ints := []struct {
+		family, typ, help string
+		value             func(ReplicaStatus) int64
+	}{
+		{"histapprox_replica_syncs_total", "counter", "Successful replication rounds, per replica.", func(s ReplicaStatus) int64 { return s.Syncs }},
+		{"histapprox_replica_full_syncs_total", "counter", "Rounds that shipped a complete state instead of a delta.", func(s ReplicaStatus) int64 { return s.FullSyncs }},
+		{"histapprox_replica_sync_errors_total", "counter", "Failed replication rounds, per replica.", func(s ReplicaStatus) int64 { return s.SyncErrors }},
+		{"histapprox_replica_delta_bytes_total", "counter", "Frame bytes shipped to each replica.", func(s ReplicaStatus) int64 { return s.DeltaBytes }},
+	}
+	for _, fam := range ints {
+		promFamily(b, fam.family, fam.typ, fam.help)
+		for _, st := range statuses {
+			promInt(b, fam.family, targetLabel(st.Target), fam.value(st))
+		}
+	}
+	promFamily(b, "histapprox_replica_lag_seconds", "gauge", "Seconds since each replica's last successful sync.")
+	for _, st := range statuses {
+		if st.LastSync.IsZero() {
+			continue // never synced: no sample beats a misleading huge one
+		}
+		lag := time.Since(st.LastSync).Seconds()
+		fmt.Fprintf(b, "histapprox_replica_lag_seconds%s %s\n",
+			targetLabel(st.Target), strconv.FormatFloat(lag, 'g', -1, 64))
+	}
+}
+
+// targetLabel renders the {target="..."} label set for one replica.
+func targetLabel(target string) string {
+	return `{target="` + escapeLabel(target) + `"}`
 }
 
 // promFamily writes the HELP/TYPE header for one family.

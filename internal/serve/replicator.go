@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Replicator fans one primary's sharded engine out to N replicas by shipping
+// version-vector deltas on a fixed cadence.
+//
+// Each replica has its own goroutine and its own tracked coordinates
+// (epoch + version vector), so a slow or down replica never holds the others
+// back — per-replica pipelining, not a barrier sync. A round for one replica
+// is: GET /snapshot?since=<tracked> from the primary, PUT the frame to the
+// replica, advance the tracked coordinates to what the response headers
+// promised. Two self-healing paths fall out of the delta protocol itself:
+//
+//   - Primary restart: its epoch changes, the replica's since names a dead
+//     epoch, and the primary answers with a complete frame — which applies
+//     unconditionally.
+//   - Replica restart: the replicator's tracked vector no longer matches the
+//     replica's (empty) state, the PUT answers 409, and the replicator
+//     re-requests the complete frame and resets its tracking.
+//
+// Replicas polling at the same coordinates share the primary's memoized
+// frame, so fan-out costs one encode per state change, not one per replica.
+type Replicator struct {
+	name     string
+	primary  *Client
+	replicas []*Client
+	interval time.Duration
+
+	states []replicaState
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// replicaState is one replica's tracking and telemetry. The mutex covers the
+// coordinates (one sync round at a time per replica); counters are atomics so
+// /metrics scrapes never contend with a round in flight.
+type replicaState struct {
+	mu       sync.Mutex
+	known    bool
+	epoch    uint64
+	versions []uint64
+
+	syncs      atomic.Int64
+	fullSyncs  atomic.Int64
+	syncErrors atomic.Int64
+	deltaBytes atomic.Int64
+	lastSync   atomic.Int64 // unix nanos of the last successful round
+	lastErr    atomic.Pointer[string]
+}
+
+// ReplicaStatus is one replica's externally visible replication state.
+type ReplicaStatus struct {
+	// Target is the replica's base URL.
+	Target string
+	// Known reports whether the replicator holds valid coordinates for the
+	// replica (false until its first successful sync).
+	Known bool
+	// Epoch is the primary epoch the replica last synced from.
+	Epoch uint64
+	// Syncs counts successful rounds; FullSyncs the subset that shipped a
+	// complete state (first sync, primary restart, or 409 recovery).
+	Syncs, FullSyncs int64
+	// SyncErrors counts failed rounds.
+	SyncErrors int64
+	// DeltaBytes totals the frame bytes shipped to this replica.
+	DeltaBytes int64
+	// LastSync is the completion time of the last successful round (zero if
+	// none yet); LastErr the message of the most recent failure.
+	LastSync time.Time
+	LastErr  string
+}
+
+// NewReplicator builds a replicator for the named engine. interval is the
+// sync cadence for Start; SyncOnce/SyncAll work regardless.
+func NewReplicator(name string, primary *Client, replicas []*Client, interval time.Duration) (*Replicator, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: replicator needs a synopsis name")
+	}
+	if primary == nil || len(replicas) == 0 {
+		return nil, fmt.Errorf("serve: replicator needs a primary and at least one replica")
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Replicator{
+		name:     name,
+		primary:  primary,
+		replicas: replicas,
+		interval: interval,
+		states:   make([]replicaState, len(replicas)),
+	}, nil
+}
+
+// Name returns the replicated synopsis name.
+func (r *Replicator) Name() string { return r.name }
+
+// SyncOnce drives one complete round for replica i: fetch the delta since
+// the replica's tracked coordinates, apply it, advance. Deterministic ground
+// truth for tests and benchmarks; Start's goroutines call exactly this.
+func (r *Replicator) SyncOnce(i int) error {
+	st := &r.states[i]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	since := "0"
+	if st.known {
+		since = FormatSince(st.epoch, st.versions)
+	}
+	body, epoch, versions, err := r.primary.SnapshotDelta(r.name, since)
+	if err != nil {
+		return r.fail(st, fmt.Errorf("fetch: %w", err))
+	}
+	full := !st.known || epoch != st.epoch
+	if err := r.replicas[i].PushBytes(r.name, body); err != nil {
+		if !IsConflict(err) {
+			return r.fail(st, fmt.Errorf("apply: %w", err))
+		}
+		// The replica refused the partial frame — it lost (or never had) the
+		// base state our tracking assumed. Reset and ship the complete state.
+		full = true
+		if body, epoch, versions, err = r.primary.SnapshotDelta(r.name, "0"); err != nil {
+			return r.fail(st, fmt.Errorf("resync fetch: %w", err))
+		}
+		if err = r.replicas[i].PushBytes(r.name, body); err != nil {
+			return r.fail(st, fmt.Errorf("resync apply: %w", err))
+		}
+	}
+	st.known, st.epoch, st.versions = true, epoch, versions
+	st.syncs.Add(1)
+	if full {
+		st.fullSyncs.Add(1)
+	}
+	st.deltaBytes.Add(int64(len(body)))
+	st.lastSync.Store(time.Now().UnixNano())
+	return nil
+}
+
+func (r *Replicator) fail(st *replicaState, err error) error {
+	st.syncErrors.Add(1)
+	msg := err.Error()
+	st.lastErr.Store(&msg)
+	return err
+}
+
+// SyncAll runs one round against every replica, returning the first error
+// (all replicas are still attempted).
+func (r *Replicator) SyncAll() error {
+	var first error
+	for i := range r.replicas {
+		if err := r.SyncOnce(i); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Start launches one sync goroutine per replica on the configured cadence.
+// Idempotent; Stop shuts the goroutines down and waits for in-flight rounds.
+func (r *Replicator) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return
+	}
+	r.started = true
+	r.stop = make(chan struct{})
+	for i := range r.replicas {
+		r.wg.Add(1)
+		go func(i int) {
+			defer r.wg.Done()
+			ticker := time.NewTicker(r.interval)
+			defer ticker.Stop()
+			_ = r.SyncOnce(i) // first sync immediately, not one interval late
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-ticker.C:
+					_ = r.SyncOnce(i)
+				}
+			}
+		}(i)
+	}
+}
+
+// Stop halts the sync goroutines and waits for in-flight rounds to finish.
+func (r *Replicator) Stop() {
+	r.mu.Lock()
+	if !r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = false
+	close(r.stop)
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// Status reports every replica's replication state, in replica order.
+func (r *Replicator) Status() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(r.replicas))
+	for i := range r.replicas {
+		st := &r.states[i]
+		s := ReplicaStatus{
+			Target:     r.replicas[i].Base,
+			Syncs:      st.syncs.Load(),
+			FullSyncs:  st.fullSyncs.Load(),
+			SyncErrors: st.syncErrors.Load(),
+			DeltaBytes: st.deltaBytes.Load(),
+		}
+		if ns := st.lastSync.Load(); ns != 0 {
+			s.LastSync = time.Unix(0, ns)
+		}
+		if msg := st.lastErr.Load(); msg != nil {
+			s.LastErr = *msg
+		}
+		// Coordinates under the round mutex so epoch/known are consistent.
+		st.mu.Lock()
+		s.Known, s.Epoch = st.known, st.epoch
+		st.mu.Unlock()
+		out[i] = s
+	}
+	return out
+}
+
+// AttachReplicator exposes rp's per-replica telemetry on this server's
+// /metrics page (histapprox_replica_* families). Pass nil to detach.
+func (s *Server) AttachReplicator(rp *Replicator) { s.repl.Store(rp) }

@@ -1,0 +1,406 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// replTestEngine builds a sharded engine with deterministic knobs for
+// replication tests: serial compaction, a buffer big enough that tests
+// control exactly when compactions run.
+func replTestEngine(t testing.TB, n, shards int) *stream.Sharded {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	s, err := stream.NewSharded(n, 5, shards, 8192, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// replServer hosts one registry behind a real listener and returns it with a
+// client.
+func replServer(t testing.TB) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	srv := NewServer(&Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, NewClient(ts.URL, ts.Client(), true)
+}
+
+// assertReplicaConverged checks that the replica's served answers are
+// bit-identical to the primary's across a probe workload.
+func assertReplicaConverged(t *testing.T, primary, replica *Client, name string, n int) {
+	t.Helper()
+	_, as, bs := queries(n, 64)
+	want, err := primary.Ranges(name, as, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.Ranges(name, as, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("range [%d, %d] = %v on replica, %v on primary", as[i], bs[i], got[i], want[i])
+		}
+	}
+}
+
+// TestReplicatorConvergesEveryRound is the acceptance property: across many
+// rounds of skewed ingest, every SyncAll leaves both replicas answering
+// bit-identically to the primary — including rounds where a compaction
+// replaced whole summary views and rounds with nothing to ship.
+func TestReplicatorConvergesEveryRound(t *testing.T) {
+	const n = 3000
+	eng := replTestEngine(t, n, 4)
+	primarySrv, _, primaryCl := replServer(t)
+	if err := primarySrv.Host("hist", eng); err != nil {
+		t.Fatal(err)
+	}
+	_, _, replicaCl1 := replServer(t)
+	_, _, replicaCl2 := replServer(t)
+	rp, err := NewReplicator("hist", primaryCl, []*Client{replicaCl1, replicaCl2}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(42)
+	for round := 0; round < 10; round++ {
+		switch round % 3 {
+		case 0, 1:
+			points := make([]int, 200)
+			weights := make([]float64, 200)
+			for i := range points {
+				state = state*6364136223846793005 + 1442695040888963407
+				points[i] = 1 + int(state>>33)%n
+				weights[i] = 1 + float64(state>>55)/8
+			}
+			if err := eng.AddBatch(points, weights); err != nil {
+				t.Fatal(err)
+			}
+			if round%3 == 1 {
+				if _, err := eng.Summary(); err != nil { // compact + install
+					t.Fatal(err)
+				}
+			}
+		case 2: // quiet round: deltas must be empty and still converge
+		}
+		if err := rp.SyncAll(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		assertReplicaConverged(t, primaryCl, replicaCl1, "hist", n)
+		assertReplicaConverged(t, primaryCl, replicaCl2, "hist", n)
+	}
+	for i, st := range rp.Status() {
+		if st.Syncs != 10 || st.SyncErrors != 0 {
+			t.Fatalf("replica %d: %d syncs, %d errors", i, st.Syncs, st.SyncErrors)
+		}
+		if st.FullSyncs != 1 {
+			t.Fatalf("replica %d: %d full syncs, want only the bootstrap one", i, st.FullSyncs)
+		}
+		if !st.Known || st.Epoch != eng.Epoch() {
+			t.Fatalf("replica %d tracking epoch %d, engine %d", i, st.Epoch, eng.Epoch())
+		}
+	}
+}
+
+// TestReplicatorRecoversFromReplicaRestart kills a replica mid-stream
+// (simulated by a fresh empty server at the same role) and checks the
+// protocol heals: the stale tracked vector draws a 409, the replicator
+// full-resyncs, and convergence resumes — the crash/restart half of the
+// acceptance property.
+func TestReplicatorRecoversFromReplicaRestart(t *testing.T) {
+	const n = 2000
+	eng := replTestEngine(t, n, 4)
+	primarySrv, _, primaryCl := replServer(t)
+	if err := primarySrv.Host("hist", eng); err != nil {
+		t.Fatal(err)
+	}
+	replicaSrv, ts, replicaCl := replServer(t)
+	rp, err := NewReplicator("hist", primaryCl, []*Client{replicaCl}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(seed uint64) {
+		points := make([]int, 150)
+		for i := range points {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			points[i] = 1 + int(seed>>33)%n
+		}
+		if err := eng.AddBatch(points, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest(1)
+	if err := rp.SyncOnce(0); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaConverged(t, primaryCl, replicaCl, "hist", n)
+
+	// "Restart" the replica: swap in a brand-new registry behind the same
+	// URL. Its hist entry is gone; the replicator still trusts its tracking.
+	fresh := NewServer(&Config{Workers: 1})
+	ts.Config.Handler = fresh.Handler()
+	_ = replicaSrv
+
+	ingest(2)
+	if err := rp.SyncOnce(0); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaConverged(t, primaryCl, replicaCl, "hist", n)
+	st := rp.Status()[0]
+	if st.FullSyncs != 2 { // bootstrap + post-restart resync
+		t.Fatalf("%d full syncs, want 2", st.FullSyncs)
+	}
+	if st.SyncErrors != 0 {
+		t.Fatalf("%d sync errors; the 409 path must not count as a failure", st.SyncErrors)
+	}
+
+	// And ordinary delta rounds resume after the resync.
+	ingest(3)
+	if err := rp.SyncOnce(0); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaConverged(t, primaryCl, replicaCl, "hist", n)
+	if got := rp.Status()[0].FullSyncs; got != 2 {
+		t.Fatalf("full syncs grew to %d; steady state should ship deltas", got)
+	}
+}
+
+// TestReplicatorRecoversFromPrimaryRestart replaces the primary engine (new
+// epoch) and checks replicas heal through the epoch-mismatch path: the GET
+// itself downgrades to a complete frame, no 409 needed.
+func TestReplicatorRecoversFromPrimaryRestart(t *testing.T) {
+	const n = 1500
+	eng := replTestEngine(t, n, 3)
+	primarySrv, _, primaryCl := replServer(t)
+	if err := primarySrv.Host("hist", eng); err != nil {
+		t.Fatal(err)
+	}
+	_, _, replicaCl := replServer(t)
+	rp, err := NewReplicator("hist", primaryCl, []*Client{replicaCl}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddBatch([]int{5, 9, 700, 1200}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.SyncOnce(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the primary: a fresh engine under the same name, new epoch.
+	eng2 := replTestEngine(t, n, 3)
+	if err := eng2.AddBatch([]int{42, 43, 44, 900}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := primarySrv.Host("hist", eng2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.SyncOnce(0); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaConverged(t, primaryCl, replicaCl, "hist", n)
+	st := rp.Status()[0]
+	if st.Epoch != eng2.Epoch() {
+		t.Fatalf("tracking epoch %d after primary restart, want %d", st.Epoch, eng2.Epoch())
+	}
+	if st.FullSyncs != 2 {
+		t.Fatalf("%d full syncs, want 2 (bootstrap + epoch change)", st.FullSyncs)
+	}
+}
+
+// TestDeltaGetMemoizedAcrossReplicas pins the fan-out economics: N replicas
+// polling at the same coordinates cost ONE delta encode, and a quiet primary
+// re-serves the memoized frame until its version vector moves.
+func TestDeltaGetMemoizedAcrossReplicas(t *testing.T) {
+	const n = 1000
+	eng := replTestEngine(t, n, 2)
+	primarySrv, _, primaryCl := replServer(t)
+	if err := primarySrv.Host("hist", eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddBatch([]int{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, epoch, versions, err := primaryCl.SnapshotDelta("hist", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := primarySrv.deltaEncodes.Load()
+	since := FormatSince(epoch, versions)
+	for i := 0; i < 5; i++ { // five replicas at identical coordinates
+		if _, _, _, err := primaryCl.SnapshotDelta("hist", since); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := primarySrv.deltaEncodes.Load() - base; got != 1 {
+		t.Fatalf("5 same-coordinate GETs ran %d encodes, want 1", got)
+	}
+	// Ingest moves the vector: the memo must miss exactly once more.
+	if err := eng.AddBatch([]int{7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := primaryCl.SnapshotDelta("hist", since); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := primarySrv.deltaEncodes.Load() - base; got != 2 {
+		t.Fatalf("after one vector move, %d encodes total, want 2", got)
+	}
+}
+
+// TestDeltaEndpointGuardrails pins the HTTP-level contract: malformed since
+// values are 400s, non-sharded synopses refuse deltas, partial deltas against
+// empty replicas conflict, and durable engines serve deltas but refuse
+// partial applies.
+func TestDeltaEndpointGuardrails(t *testing.T) {
+	const n = 800
+	eng := replTestEngine(t, n, 2)
+	primarySrv, _, primaryCl := replServer(t)
+	if err := primarySrv.Host("hist", eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := primarySrv.Host("static", testHistogram(t, n, 6)); err != nil {
+		t.Fatal(err)
+	}
+	for _, since := range []string{"nope", "1:x,y", ":", "12:"} {
+		_, _, _, err := primaryCl.SnapshotDelta("hist", since)
+		var ae *APIError
+		if err == nil || !errors.As(err, &ae) || ae.StatusCode != 400 {
+			t.Fatalf("since=%q: %v, want a 400 APIError", since, err)
+		}
+	}
+	if _, _, _, err := primaryCl.SnapshotDelta("static", "0"); err == nil {
+		t.Fatal("a histogram served a delta")
+	}
+	if _, _, _, err := primaryCl.SnapshotDelta("ghost", "0"); err == nil {
+		t.Fatal("a missing name served a delta")
+	}
+
+	// Build a genuinely partial delta: a base checkpoint, then updates
+	// routed to a single shard, then the delta between the two.
+	if err := eng.AddBatch([]int{1, 2, 3, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	base, err := eng.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := base.AppendDelta(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := 1
+	for eng.ShardOf(pt) != 0 {
+		pt++
+	}
+	if err := eng.Add(pt, 2); err != nil {
+		t.Fatal(err)
+	}
+	next, err := eng.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := next.AppendDelta(nil, base.Versions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := stream.ParseShardedDelta(partial); err != nil || d.Complete() {
+		t.Fatalf("test frame not partial (err %v)", err)
+	}
+
+	// Against a server with no base state, the partial frame must 409.
+	_, _, emptyCl := replServer(t)
+	if err := emptyCl.PushBytes("hist", partial); !IsConflict(err) {
+		t.Fatalf("partial delta on an empty replica: %v, want 409", err)
+	}
+	// The complete base frame succeeds, and the partial then applies on top.
+	if err := emptyCl.PushBytes("hist", full); err != nil {
+		t.Fatal(err)
+	}
+	if err := emptyCl.PushBytes("hist", partial); err != nil {
+		t.Fatalf("partial delta after full resync: %v", err)
+	}
+	assertReplicaConverged(t, primaryCl, emptyCl, "hist", n)
+	// Re-applying the same partial is now a stale-from conflict, not silent
+	// double application.
+	if err := emptyCl.PushBytes("hist", partial); !IsConflict(err) {
+		t.Fatalf("duplicate partial delta: %v, want 409", err)
+	}
+}
+
+// TestFleetRouting pins the consistent-hash router: deterministic placement,
+// every name lands on a member, and removing one member remaps only the
+// names it owned.
+func TestFleetRouting(t *testing.T) {
+	mk := func(bases ...string) *Fleet {
+		cs := make([]*Client, len(bases))
+		for i, b := range bases {
+			cs[i] = NewClient(b, nil, false)
+		}
+		f, err := NewFleet(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f3 := mk("http://a:1", "http://b:1", "http://c:1")
+	names := make([]string, 200)
+	for i := range names {
+		names[i] = "synopsis-" + strings.Repeat("x", i%7) + string(rune('a'+i%26))
+	}
+	owners := make(map[string]string, len(names))
+	counts := map[string]int{}
+	for _, nm := range names {
+		c := f3.ClientFor(nm)
+		if c == nil {
+			t.Fatalf("no owner for %q", nm)
+		}
+		if again := f3.ClientFor(nm); again != c {
+			t.Fatalf("routing for %q is not deterministic", nm)
+		}
+		owners[nm] = c.Base
+		counts[c.Base]++
+	}
+	for _, base := range []string{"http://a:1", "http://b:1", "http://c:1"} {
+		if counts[base] == 0 {
+			t.Fatalf("member %s owns nothing across %d names", base, len(names))
+		}
+		// Balance: 64 vnodes keep shares near 1/3; a member hoarding well
+		// over half the names means the ring hash lost its avalanche (the
+		// failure mode of raw FNV-1a on short similar keys).
+		if counts[base] > len(names)*6/10 {
+			t.Fatalf("member %s owns %d of %d names — ring badly unbalanced", base, counts[base], len(names))
+		}
+	}
+	// Rebuild without c: names owned by a or b must not move.
+	f2 := mk("http://a:1", "http://b:1")
+	moved := 0
+	for _, nm := range names {
+		now := f2.ClientFor(nm).Base
+		if owners[nm] == "http://c:1" {
+			moved++
+			continue
+		}
+		if now != owners[nm] {
+			t.Fatalf("%q moved %s -> %s though its owner never left", nm, owners[nm], now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("member c owned nothing; the remap property was not exercised")
+	}
+	if _, err := NewFleet(nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}

@@ -78,6 +78,13 @@ type Server struct {
 	// encoder rather than serving the memoized body — a test hook pinning
 	// the memoization contract.
 	snapshotEncodes atomic.Int64
+	// deltaEncodes is snapshotEncodes' twin for GET /snapshot?since= delta
+	// requests: fan-out replication relies on N replicas at the same version
+	// vector sharing one encoded frame.
+	deltaEncodes atomic.Int64
+	// repl is the replicator driving this server's fan-out, if one is
+	// attached; /metrics renders per-replica lag and sync families from it.
+	repl atomic.Pointer[Replicator]
 	// notReady inverts the readiness flag so the zero value starts ready:
 	// a server is ready unless whoever is driving recovery says otherwise.
 	// GET /readyz answers 503 while not ready; /healthz stays 200 (the
@@ -101,6 +108,35 @@ type entry struct {
 	// the entry, not the published object, so they describe the name across
 	// hot-swaps — exactly what a /metrics scraper graphing a dashboard wants.
 	stats entryCounters
+	// delta memoizes the last encoded GET /snapshot?since= frame, keyed by
+	// the published pointer AND the since string, validated against the
+	// engine's live version vector at read time (a delta source is mutable,
+	// so unlike snap the owner check alone cannot prove freshness).
+	delta atomic.Pointer[deltaCache]
+	// applyMu serializes PUT delta applies on this name: the fleet-state
+	// check and the in-place shard swap must be one atomic step with respect
+	// to other appliers (readers stay lock-free as always).
+	applyMu sync.Mutex
+	// fleet is the replication coordinate this entry's engine embodies: the
+	// primary epoch and version vector of the last delta applied to it. Only
+	// PUT delta applies maintain it; a primary serving GETs never needs it.
+	fleet atomic.Pointer[fleetState]
+}
+
+// fleetState is a replica's record of which primary state its engine holds.
+type fleetState struct {
+	epoch    uint64
+	versions []uint64
+}
+
+// deltaCache is one memoized delta frame. to is the version vector the frame
+// brings a replica to; the cache is live only while the engine still sits at
+// exactly that vector.
+type deltaCache struct {
+	owner *served
+	since string
+	to    []uint64
+	body  []byte
 }
 
 // entryCounters are the per-name request tallies /metrics exposes. They
@@ -174,6 +210,16 @@ type ingester interface {
 	ingest(points []int, weights []float64) error
 }
 
+// deltaSource is the optional replication face: adapters backed by a sharded
+// engine expose it, and GET /snapshot?since= serves version-vector deltas
+// from it. Note that exposing deltaSource does NOT make an adapter a delta
+// PUT target — in-place applies are restricted to the bare sharded adapter,
+// because swapping shard states under a write-ahead-logged engine would leave
+// the WAL blind to the change.
+type deltaSource interface {
+	deltaEngine() *stream.Sharded
+}
+
 // Host registers (or atomically replaces) the synopsis served under name.
 // Supported values: *core.Histogram, *core.Hierarchy, *quantile.CDF,
 // *wavelet.Synopsis, synopsis.Synopsis, *stream.Maintainer, *stream.Sharded,
@@ -190,9 +236,10 @@ func (s *Server) Host(name string, v any) error {
 	ent := e.(*entry)
 	// The pointer store is the publish AND the snapshot-cache invalidation:
 	// a memoized body is only trusted while its owner matches the published
-	// pointer. The explicit clear just releases the stale body to the GC.
+	// pointer. The explicit clears just release the stale bodies to the GC.
 	ent.ptr.Store(&sv)
 	ent.snap.Store(nil)
+	ent.delta.Store(nil)
 	return nil
 }
 
@@ -593,6 +640,8 @@ func (s shardServed) snapshot(w io.Writer) error {
 
 func (s shardServed) ingestStats() stream.IngestStats { return s.s.Stats() }
 
+func (s shardServed) deltaEngine() *stream.Sharded { return s.s }
+
 func (s *maintServed) ingestStats() stream.IngestStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -651,6 +700,8 @@ func (s durableShardServed) ingest(points []int, weights []float64) error {
 func (s durableShardServed) snapshot(w io.Writer) error { return s.d.WriteSnapshot(w) }
 
 func (s durableShardServed) durableStats() stream.DurableStats { return s.d.Stats() }
+
+func (s durableShardServed) deltaEngine() *stream.Sharded { return s.d.Engine() }
 
 // durableMaintServed serves a write-ahead-logged maintainer. The durable
 // wrapper synchronizes ingest, queries, and snapshots internally, so unlike

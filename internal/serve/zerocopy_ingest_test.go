@@ -235,3 +235,59 @@ func TestHandleAddJSONRejectsOversizedBatchEarly(t *testing.T) {
 		t.Fatalf("%d updates ingested from a rejected body, want 0", maint.Updates())
 	}
 }
+
+// TestSnapshotPutUsesPooledBody pins the satellite contract on the PUT
+// /snapshot decode path: the request body lands in the recycled wire-pool
+// scratch (observable through the pool's request high-water mark, which only
+// put() raises), and the pooled body read itself is allocation-free at
+// steady state — a replica absorbing a delta every few hundred milliseconds
+// should not churn a fresh body buffer per sync.
+func TestSnapshotPutUsesPooledBody(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector makes sync.Pool drop items at random")
+	}
+	src, err := stream.NewSharded(50000, 8, 2, 4096, func() core.Options { o := core.DefaultOptions(); o.Workers = 1; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.AddBatch([]int{1, 7, 900, 49999}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ckpt.AppendDelta(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewServer(&Config{Workers: 1})
+	for i := 0; i < 8; i++ {
+		req := httptest.NewRequest(http.MethodPut, "/v1/hist/snapshot", bytes.NewReader(frame))
+		req.Header.Set("Content-Type", ContentSnapshot)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("PUT %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	if hwm := s.bufs.reqHWM.Load(); hwm < int64(len(frame)) {
+		t.Fatalf("request HWM %d after %d-byte PUTs: body did not go through the pool", hwm, len(frame))
+	}
+
+	// The pooled body read — the part the pool exists for — is zero-alloc.
+	rd := bytes.NewReader(frame)
+	if allocs := testing.AllocsPerRun(100, func() {
+		wb := s.bufs.get()
+		rd.Reset(frame)
+		req, err := readBodyInto(wb.req, rd)
+		wb.req = req
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.bufs.put(wb)
+	}); allocs != 0 {
+		t.Fatalf("pooled snapshot body read allocates %v/op at steady state, want 0", allocs)
+	}
+}

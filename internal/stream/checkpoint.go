@@ -34,6 +34,13 @@ type Checkpoint struct {
 	opts      core.Options
 	bufferCap int
 	states    []maintainerState
+	// epoch and versions are the replication coordinates of the capture:
+	// the engine instance it came from and, per shard, the version counter
+	// at the moment that shard was captured (read under the same lock as
+	// the state, so the pair is consistent). AppendDelta uses them to emit
+	// {shard, fromVersion, toVersion} triples.
+	epoch    uint64
+	versions []uint64
 }
 
 // Checkpoint captures the engine's current state without waiting for
@@ -46,6 +53,8 @@ func (s *Sharded) Checkpoint() (*Checkpoint, error) {
 		n: s.n, k: s.k, opts: s.opts,
 		bufferCap: s.shards[0].bufCap,
 		states:    make([]maintainerState, len(s.shards)),
+		epoch:     s.epoch,
+		versions:  make([]uint64, len(s.shards)),
 	}
 	var combined []sparse.Entry
 	for i, sh := range s.shards {
@@ -65,6 +74,7 @@ func (s *Sharded) Checkpoint() (*Checkpoint, error) {
 		combined = append(combined, sh.active...)
 		c.states[i] = captureState(sh.m, combined)
 		c.states[i].updates = sh.updates
+		c.versions[i] = sh.version
 		sh.mu.Unlock()
 	}
 	return c, nil
@@ -72,6 +82,15 @@ func (s *Sharded) Checkpoint() (*Checkpoint, error) {
 
 // Shards returns the captured shard count.
 func (c *Checkpoint) Shards() int { return len(c.states) }
+
+// Epoch returns the captured engine's replication epoch.
+func (c *Checkpoint) Epoch() uint64 { return c.epoch }
+
+// Versions appends the captured per-shard version vector to dst and returns
+// it. Comparable only against vectors from the same Epoch.
+func (c *Checkpoint) Versions(dst []uint64) []uint64 {
+	return append(dst[:0], c.versions...)
+}
 
 // Updates returns the total updates the captured engine had ingested.
 func (c *Checkpoint) Updates() int {

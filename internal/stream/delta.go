@@ -1,0 +1,427 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/sparse"
+)
+
+// Delta checkpoints: replication proportional to change, not state.
+//
+// A full TagSharded envelope re-ships every shard on every sync even when one
+// shard changed. The delta frame (TagShardedDelta) instead carries a header
+// of {shard, fromVersion, toVersion} triples plus ONLY the changed shards'
+// summary views and pending logs. Versions are the per-shard counters
+// Sharded maintains (bumped on every pending-log mutation and every
+// compaction install), captured consistently with the state by Checkpoint;
+// the epoch scopes them to one engine life, so a restarted primary can never
+// alias a replica's stale vector.
+//
+// The frame is built with the append-style zero-copy builder (one CRC-32C
+// pass over the finished region) and parsed in place from a single buffer —
+// the same machinery as the binary query bodies, because delta frames are
+// serving-layer wire artifacts, not persistent snapshots. A delta built with
+// a nil since-vector includes every shard with fromVersion 0: the "complete"
+// delta, which doubles as the full-resync payload (a replica can rebuild an
+// engine from it with no prior state).
+
+// AppendDelta appends one complete TagShardedDelta envelope to dst and
+// returns the extended slice. since is the requesting replica's version
+// vector (from this checkpoint's epoch): shards whose captured version
+// differs from since[i] are included with fromVersion since[i]. A nil since
+// requests a complete delta: every shard, fromVersion 0. A checkpoint is
+// immutable, so repeated calls with the same since emit identical bytes.
+func (c *Checkpoint) AppendDelta(dst []byte, since []uint64) ([]byte, error) {
+	if since != nil && len(since) != len(c.states) {
+		return nil, fmt.Errorf("stream: since vector has %d entries for %d shards", len(since), len(c.states))
+	}
+	start := len(dst)
+	dst = codec.AppendFrameHeader(dst, codec.TagShardedDelta)
+	dst = codec.AppendUvarint(dst, uint64(c.n))
+	dst = codec.AppendUvarint(dst, uint64(c.k))
+	dst = codec.AppendFloat64(dst, c.opts.Delta)
+	dst = codec.AppendFloat64(dst, c.opts.Gamma)
+	dst = codec.AppendVarint(dst, int64(c.opts.Workers))
+	dst = codec.AppendUvarint(dst, uint64(c.bufferCap))
+	dst = codec.AppendUvarint(dst, c.epoch)
+	dst = codec.AppendUvarint(dst, uint64(len(c.states)))
+	changed := make([]int, 0, len(c.states))
+	for i := range c.states {
+		if since == nil || c.versions[i] != since[i] {
+			changed = append(changed, i)
+		}
+	}
+	dst = codec.AppendUvarint(dst, uint64(len(changed)))
+	for _, i := range changed {
+		var from uint64
+		if since != nil {
+			from = since[i]
+		}
+		dst = codec.AppendUvarint(dst, uint64(i))
+		dst = codec.AppendUvarint(dst, from)
+		dst = codec.AppendUvarint(dst, c.versions[i])
+	}
+	var vals []float64
+	for _, i := range changed {
+		dst, vals = appendState(dst, &c.states[i], vals)
+	}
+	return codec.FinishFrame(dst, start), nil
+}
+
+// appendState appends one shard state in the same shape maintainerState.encode
+// writes: counters, view flag (+ boundaries, packed values, certified error),
+// then the pending log as indices followed by packed values. vals is scratch
+// reused across shards.
+func appendState(dst []byte, st *maintainerState, vals []float64) ([]byte, []float64) {
+	dst = codec.AppendUvarint(dst, uint64(st.updates))
+	dst = codec.AppendUvarint(dst, uint64(st.compactions))
+	if st.hasView {
+		dst = append(dst, 1)
+		dst = codec.AppendDeltaInts(dst, st.ends)
+		dst = codec.AppendPackedFloat64s(dst, st.values)
+		dst = codec.AppendFloat64(dst, st.viewErr)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = codec.AppendUvarint(dst, uint64(len(st.log)))
+	vals = vals[:0]
+	for _, e := range st.log {
+		dst = codec.AppendUvarint(dst, uint64(e.Index))
+		vals = append(vals, e.Value)
+	}
+	dst = codec.AppendPackedFloat64s(dst, vals)
+	return dst, vals
+}
+
+// ShardedDelta is a parsed, validated delta frame, ready to apply.
+type ShardedDelta struct {
+	n, k      int
+	opts      core.Options
+	bufferCap int
+	epoch     uint64
+	total     int
+	shards    []int
+	from, to  []uint64
+	states    []maintainerState
+}
+
+// Epoch returns the engine epoch the delta was captured from.
+func (d *ShardedDelta) Epoch() uint64 { return d.epoch }
+
+// TotalShards returns the shard count of the source engine.
+func (d *ShardedDelta) TotalShards() int { return d.total }
+
+// ChangedShards returns how many shards the delta carries.
+func (d *ShardedDelta) ChangedShards() int { return len(d.shards) }
+
+// Shard returns the j-th carried shard's index and version transition.
+func (d *ShardedDelta) Shard(j int) (shard int, from, to uint64) {
+	return d.shards[j], d.from[j], d.to[j]
+}
+
+// ToVersions returns the version vector a replica holds after applying the
+// delta on top of base (the replica's current vector, nil for a complete
+// delta): carried shards move to their toVersion, the rest keep base.
+func (d *ShardedDelta) ToVersions(base []uint64) []uint64 {
+	out := make([]uint64, d.total)
+	copy(out, base)
+	for j, idx := range d.shards {
+		out[idx] = d.to[j]
+	}
+	return out
+}
+
+// Complete reports whether the delta carries every shard from version zero —
+// a self-contained full state a replica can rebuild an engine from with no
+// prior state (see NewShardedFromDelta).
+func (d *ShardedDelta) Complete() bool {
+	if len(d.shards) != d.total {
+		return false
+	}
+	for _, f := range d.from {
+		if f != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// payloadInt reads a non-negative counter with Reader.Int's bound (counters
+// like updates legitimately exceed the SliceLen sanity bound).
+func payloadInt(p *codec.FramePayload) (int, error) {
+	u, err := p.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u > (1 << 62) {
+		return 0, fmt.Errorf("stream: integer %d out of range", u)
+	}
+	return int(u), nil
+}
+
+// ParseShardedDelta validates one complete delta frame (magic, version, tag,
+// CRC-32C footer) and decodes it in place — states reference freshly decoded
+// slices, never the input buffer, so the frame buffer may be recycled after
+// the call. Every shape and range check decodeState applies to full
+// checkpoints is applied here, plus the delta-specific ones: strictly
+// increasing shard indices inside the engine's shard count, and per-shard
+// version transitions that do not go backwards.
+func ParseShardedDelta(frame []byte) (*ShardedDelta, error) {
+	tag, payload, err := codec.ParseFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	if tag != codec.TagShardedDelta {
+		return nil, fmt.Errorf("stream: envelope holds type tag %d, not a sharded delta", tag)
+	}
+	p := codec.NewFramePayload(payload)
+	d := &ShardedDelta{}
+	if d.n, err = payloadInt(&p); err != nil {
+		return nil, err
+	}
+	if d.k, err = payloadInt(&p); err != nil {
+		return nil, err
+	}
+	if d.opts.Delta, err = p.FiniteFloat64(); err != nil {
+		return nil, err
+	}
+	if d.opts.Gamma, err = p.FiniteFloat64(); err != nil {
+		return nil, err
+	}
+	workers, err := p.Varint()
+	if err != nil {
+		return nil, err
+	}
+	d.opts.Workers = int(workers)
+	if d.bufferCap, err = payloadInt(&p); err != nil {
+		return nil, err
+	}
+	if d.n < 1 || d.k < 1 {
+		return nil, fmt.Errorf("stream: delta with n=%d, k=%d", d.n, d.k)
+	}
+	if err := d.opts.Validate(); err != nil {
+		return nil, err
+	}
+	if d.bufferCap < 1 {
+		return nil, fmt.Errorf("stream: delta with buffer capacity %d", d.bufferCap)
+	}
+	if d.epoch, err = p.Uvarint(); err != nil {
+		return nil, err
+	}
+	if d.total, err = p.SliceLen(); err != nil {
+		return nil, err
+	}
+	if d.total < 1 {
+		return nil, fmt.Errorf("stream: delta with %d shards", d.total)
+	}
+	changed, err := p.SliceLen()
+	if err != nil {
+		return nil, err
+	}
+	if changed > d.total {
+		return nil, fmt.Errorf("stream: delta carries %d of %d shards", changed, d.total)
+	}
+	d.shards = make([]int, changed)
+	d.from = make([]uint64, changed)
+	d.to = make([]uint64, changed)
+	prev := -1
+	for j := 0; j < changed; j++ {
+		idx, err := payloadInt(&p)
+		if err != nil {
+			return nil, err
+		}
+		if idx <= prev || idx >= d.total {
+			return nil, fmt.Errorf("stream: delta shard index %d after %d (of %d)", idx, prev, d.total)
+		}
+		prev = idx
+		d.shards[j] = idx
+		if d.from[j], err = p.Uvarint(); err != nil {
+			return nil, err
+		}
+		if d.to[j], err = p.Uvarint(); err != nil {
+			return nil, err
+		}
+		if d.to[j] < d.from[j] {
+			return nil, fmt.Errorf("stream: shard %d version going backwards (%d → %d)", idx, d.from[j], d.to[j])
+		}
+	}
+	d.states = make([]maintainerState, changed)
+	for j := range d.states {
+		if d.states[j], err = parseStatePayload(&p, d.n); err != nil {
+			return nil, fmt.Errorf("stream: delta shard %d: %w", d.shards[j], err)
+		}
+		// Pre-validate the partition now so ApplyDelta cannot fail midway
+		// through mutating a live engine on a malformed frame.
+		if d.states[j].hasView {
+			if _, err := interval.FromBoundaries(d.n, d.states[j].ends); err != nil {
+				return nil, fmt.Errorf("stream: delta shard %d summary: %w", d.shards[j], err)
+			}
+		}
+	}
+	if err := p.Done(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseStatePayload is decodeState over a zero-copy frame cursor.
+func parseStatePayload(p *codec.FramePayload, n int) (maintainerState, error) {
+	var st maintainerState
+	var err error
+	if st.updates, err = payloadInt(p); err != nil {
+		return st, err
+	}
+	if st.compactions, err = payloadInt(p); err != nil {
+		return st, err
+	}
+	flag, err := p.Byte()
+	if err != nil {
+		return st, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		st.hasView = true
+		if st.ends, err = p.DeltaInts(); err != nil {
+			return st, err
+		}
+		if st.values, err = p.PackedFloat64s(nil); err != nil {
+			return st, err
+		}
+		if len(st.values) != len(st.ends) {
+			return st, fmt.Errorf("%d view values for %d pieces", len(st.values), len(st.ends))
+		}
+		if st.viewErr, err = p.FiniteFloat64(); err != nil {
+			return st, err
+		}
+		if st.viewErr < 0 {
+			return st, fmt.Errorf("negative summary error %v", st.viewErr)
+		}
+	default:
+		return st, fmt.Errorf("bad view flag %d", flag)
+	}
+	logLen, err := p.SliceLen()
+	if err != nil {
+		return st, err
+	}
+	idxs := make([]int, logLen)
+	for i := range idxs {
+		if idxs[i], err = payloadInt(p); err != nil {
+			return st, err
+		}
+		if idxs[i] < 1 || idxs[i] > n {
+			return st, fmt.Errorf("buffered point %d out of [1, %d]", idxs[i], n)
+		}
+	}
+	vals, err := p.PackedFloat64s(nil)
+	if err != nil {
+		return st, err
+	}
+	if len(vals) != logLen {
+		return st, fmt.Errorf("%d buffered values for %d points", len(vals), logLen)
+	}
+	st.log = make([]sparse.Entry, logLen)
+	for i := range st.log {
+		st.log[i] = sparse.Entry{Index: idxs[i], Value: vals[i]}
+	}
+	return st, nil
+}
+
+// replaceState swaps the maintainer's entire checkpoint-observable state for
+// a decoded one, dropping any staged-but-uninstalled view and the memoized
+// histogram. Unlike apply (which only installs onto a fresh maintainer), a
+// replacement must also clear a previously installed view when the incoming
+// state has none.
+func (m *Maintainer) replaceState(st *maintainerState) error {
+	m.hist = nil
+	m.staged = summaryView{}
+	m.stagedOK = false
+	if !st.hasView {
+		m.updates = st.updates
+		m.compactions = st.compactions
+		m.view = summaryView{}
+		return nil
+	}
+	return st.apply(m)
+}
+
+// NewShardedFromDelta rebuilds a fresh engine from a complete delta — the
+// full-resync path: a replica with no usable base state (fresh boot, restart,
+// epoch change) asks the primary for a nil-since delta and reconstructs. The
+// rebuilt engine answers EstimateRange bit-identically to the source at
+// capture, like RestoreSharded from a full envelope.
+func NewShardedFromDelta(d *ShardedDelta) (*Sharded, error) {
+	if !d.Complete() {
+		return nil, fmt.Errorf("stream: delta carries %d of %d shards — not a complete state", len(d.shards), d.total)
+	}
+	s, err := NewSharded(d.n, d.k, d.total, d.bufferCap, d.opts)
+	if err != nil {
+		return nil, err
+	}
+	for j, idx := range d.shards {
+		sh := s.shards[idx]
+		st := &d.states[j]
+		if err := st.apply(sh.m); err != nil {
+			return nil, fmt.Errorf("stream: shard %d: %w", idx, err)
+		}
+		sh.updates = st.updates
+		if len(st.log) > cap(sh.active) {
+			sh.active = make([]sparse.Entry, 0, len(st.log))
+		}
+		sh.active = append(sh.active[:0], st.log...)
+	}
+	return s, nil
+}
+
+// ApplyDelta swaps ONLY the named shards' states into the live engine —
+// the in-place half of delta replication. Each carried shard is replaced
+// under its lock (waiting out an in-flight compaction first, like Snapshot),
+// so concurrent readers serve either the old or the new state of a shard,
+// never a torn one. The caller is responsible for version bookkeeping: this
+// method checks only that the delta's shape matches the engine (domain,
+// piece budget, merging options, shard count, buffer capacity); whether
+// fromVersions match the replica's tracked vector is the serving layer's
+// check, since a bare engine does not know which fleet vector it embodies.
+func (s *Sharded) ApplyDelta(d *ShardedDelta) error {
+	if d.n != s.n || d.k != s.k {
+		return fmt.Errorf("stream: delta for n=%d k=%d against engine n=%d k=%d", d.n, d.k, s.n, s.k)
+	}
+	if d.total != len(s.shards) {
+		return fmt.Errorf("stream: delta for %d shards against engine with %d", d.total, len(s.shards))
+	}
+	if d.bufferCap != s.shards[0].bufCap {
+		return fmt.Errorf("stream: delta buffer capacity %d against engine's %d", d.bufferCap, s.shards[0].bufCap)
+	}
+	if d.opts.Delta != s.opts.Delta || d.opts.Gamma != s.opts.Gamma {
+		return fmt.Errorf("stream: delta merging options (δ=%v, γ=%v) against engine's (δ=%v, γ=%v)",
+			d.opts.Delta, d.opts.Gamma, s.opts.Delta, s.opts.Gamma)
+	}
+	for j, idx := range d.shards {
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		for sh.compacting {
+			sh.cond.Wait()
+		}
+		if sh.err != nil {
+			err := sh.err
+			sh.mu.Unlock()
+			return err
+		}
+		st := &d.states[j]
+		if err := sh.m.replaceState(st); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("stream: shard %d: %w", idx, err)
+		}
+		sh.updates = st.updates
+		if len(st.log) > cap(sh.active) {
+			sh.active = make([]sparse.Entry, 0, len(st.log))
+		}
+		sh.active = append(sh.active[:0], st.log...)
+		sh.version++
+		sh.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,428 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// assertSameEstimates fails unless replica answers every probe range
+// bit-identically to primary.
+func assertSameEstimates(t *testing.T, primary, replica *Sharded, n int) {
+	t.Helper()
+	for _, r := range [][2]int{{1, n}, {1, 1}, {n, n}, {n / 3, 2 * n / 3}, {2, 5}} {
+		want, err1 := primary.EstimateRange(r[0], r[1])
+		got, err2 := replica.EstimateRange(r[0], r[1])
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("EstimateRange(%d, %d) = %v replica, %v primary", r[0], r[1], got, want)
+		}
+	}
+}
+
+// TestShardVersionsMonotone pins the version counters' contract: zero at
+// birth, bumped by pending-log appends and by compaction installs, never
+// decreasing, and captured consistently by Checkpoint.
+func TestShardVersionsMonotone(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	s, err := NewSharded(1000, 4, 3, 64, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() == 0 {
+		t.Fatal("engine epoch is zero")
+	}
+	v0 := s.Versions(nil)
+	if len(v0) != 3 {
+		t.Fatalf("Versions has %d entries", len(v0))
+	}
+	for i, v := range v0 {
+		if v != 0 {
+			t.Fatalf("fresh shard %d at version %d", i, v)
+		}
+	}
+	pt := 1
+	for s.ShardOf(pt) != 0 {
+		pt++
+	}
+	if err := s.Add(pt, 1); err != nil {
+		t.Fatal(err)
+	}
+	v1 := s.Versions(nil)
+	if v1[0] != 1 || v1[1] != 0 || v1[2] != 0 {
+		t.Fatalf("after one add to shard 0: versions %v", v1)
+	}
+	// A drain-compact (Summary) must bump the shard again: the install
+	// changes the captured state even though no new update arrived.
+	if _, err := s.Summary(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := s.Versions(nil)
+	if v2[0] <= v1[0] {
+		t.Fatalf("compaction install did not bump shard 0: %v -> %v", v1, v2)
+	}
+	ckpt, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Epoch() != s.Epoch() {
+		t.Fatalf("checkpoint epoch %d, engine %d", ckpt.Epoch(), s.Epoch())
+	}
+	cv := ckpt.Versions(nil)
+	for i := range cv {
+		if cv[i] != v2[i] {
+			t.Fatalf("checkpoint versions %v, engine %v", cv, v2)
+		}
+	}
+	// AddBatch bumps every shard it lands on.
+	if err := s.AddBatch([]int{1, 2, 3, 4, 5, 6, 7, 8}, []float64{1, 1, 1, 1, 1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	v3 := s.Versions(nil)
+	bumped := 0
+	for i := range v3 {
+		if v3[i] < v2[i] {
+			t.Fatalf("version went backwards on shard %d: %v -> %v", i, v2, v3)
+		}
+		if v3[i] > v2[i] {
+			bumped++
+		}
+	}
+	if bumped == 0 {
+		t.Fatal("AddBatch bumped no shard version")
+	}
+}
+
+// TestDeltaCompleteRoundTrip pins the full-resync path: a nil-since delta is
+// complete, parses back, and rebuilds an engine answering bit-identically.
+func TestDeltaCompleteRoundTrip(t *testing.T) {
+	const n = 2500
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	s, err := NewSharded(n, 4, 4, 4096, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9000; i++ {
+		if err := s.Add(1+(i*31)%n, 1+float64(i%3)/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Summary(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := s.Add(1+(i*13)%n, 2.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpt, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ckpt.AppendDelta(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ckpt.AppendDelta(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, again) {
+		t.Fatal("AppendDelta is not deterministic")
+	}
+	d, err := ParseShardedDelta(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Complete() {
+		t.Fatal("nil-since delta is not complete")
+	}
+	if d.Epoch() != s.Epoch() || d.TotalShards() != 4 || d.ChangedShards() != 4 {
+		t.Fatalf("epoch %d shards %d/%d", d.Epoch(), d.ChangedShards(), d.TotalShards())
+	}
+	tv := d.ToVersions(nil)
+	cv := ckpt.Versions(nil)
+	for i := range tv {
+		if tv[i] != cv[i] {
+			t.Fatalf("ToVersions %v, checkpoint %v", tv, cv)
+		}
+	}
+	replica, err := NewShardedFromDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replica.Updates() != s.Updates() {
+		t.Fatalf("replica %d updates, primary %d", replica.Updates(), s.Updates())
+	}
+	assertSameEstimates(t, s, replica, n)
+}
+
+// TestDeltaShipsOnlyChangedShards pins the payload-proportionality contract:
+// after touching a single shard, a since-delta names exactly that shard and
+// is far smaller than the complete frame, and applying it brings a replica
+// back to bit-identity.
+func TestDeltaShipsOnlyChangedShards(t *testing.T) {
+	const n = 3000
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	s, err := NewSharded(n, 5, 8, 4096, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12000; i++ {
+		if err := s.Add(1+(i*17)%n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Summary(); err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := base.AppendDelta(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := ParseShardedDelta(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := NewShardedFromDelta(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := base.Versions(nil)
+
+	// Touch only points routed to shard 0.
+	pts := make([]int, 0, 40)
+	for i := 1; len(pts) < 40; i++ {
+		if s.ShardOf(i) == 0 {
+			pts = append(pts, i)
+		}
+	}
+	for _, p := range pts {
+		if err := s.Add(p, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := next.AppendDelta(nil, tracked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseShardedDelta(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChangedShards() != 1 {
+		t.Fatalf("delta carries %d shards, want 1", d.ChangedShards())
+	}
+	shard, from, to := d.Shard(0)
+	if shard != 0 {
+		t.Fatalf("delta names shard %d, want 0", shard)
+	}
+	if from != tracked[0] || to <= from {
+		t.Fatalf("shard 0 transition %d -> %d (tracked %d)", from, to, tracked[0])
+	}
+	if d.Complete() {
+		t.Fatal("one-shard delta claims to be complete")
+	}
+	if len(frame) >= len(full)/4 {
+		t.Fatalf("1-of-8-shard delta is %d bytes, full frame %d", len(frame), len(full))
+	}
+	if err := replica.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	assertSameEstimates(t, s, replica, n)
+}
+
+// TestDeltaMultiRoundSync drives a replica through many sync rounds —
+// pending-only deltas, post-compaction deltas, empty deltas — checking
+// bit-identity after every round. This is the engine-level core of the
+// replication acceptance property.
+func TestDeltaMultiRoundSync(t *testing.T) {
+	const n = 2000
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	s, err := NewSharded(n, 4, 4, 8192, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := base.AppendDelta(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := ParseShardedDelta(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := NewShardedFromDelta(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := base.Versions(nil)
+	for round := 0; round < 12; round++ {
+		switch round % 3 {
+		case 0: // skewed pending tail
+			for i := 0; i < 150; i++ {
+				if err := s.Add(1+(round*7919+i*13)%n, 1+float64(i%5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 1: // force compaction installs, ship replaced views
+			for i := 0; i < 300; i++ {
+				if err := s.Add(1+(round*104729+i*29)%n, 0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.Summary(); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // no ingest at all: the delta must be empty
+		}
+		ckpt, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := ckpt.AppendDelta(nil, tracked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := ParseShardedDelta(frame)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if round%3 == 2 && d.ChangedShards() != 0 {
+			t.Fatalf("round %d: quiet engine shipped %d shards", round, d.ChangedShards())
+		}
+		if err := replica.ApplyDelta(d); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		tracked = d.ToVersions(tracked)
+		cv := ckpt.Versions(nil)
+		for i := range cv {
+			if tracked[i] != cv[i] {
+				t.Fatalf("round %d: tracked %v, checkpoint %v", round, tracked, cv)
+			}
+		}
+		if replica.Updates() != s.Updates() {
+			t.Fatalf("round %d: replica %d updates, primary %d", round, replica.Updates(), s.Updates())
+		}
+		assertSameEstimates(t, s, replica, n)
+	}
+}
+
+// TestDeltaErrorPaths pins the decode and apply guardrails: corruption,
+// truncation, foreign tags, mismatched engines, and misuse all surface typed
+// errors instead of panics or silent misapplication.
+func TestDeltaErrorPaths(t *testing.T) {
+	const n = 1200
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	s, err := NewSharded(n, 4, 2, 256, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 800; i++ {
+		if err := s.Add(1+(i*7)%n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpt, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ckpt.AppendDelta(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ckpt.AppendDelta(nil, make([]uint64, 5)); err == nil {
+		t.Fatal("AppendDelta accepted a wrong-length since vector")
+	}
+
+	// Corrupt one payload byte: the CRC footer must catch it.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := ParseShardedDelta(bad); !errors.Is(err, codec.ErrChecksum) {
+		t.Fatalf("corrupted frame: %v, want ErrChecksum", err)
+	}
+	// Truncation at every prefix must error, never panic.
+	for cut := 0; cut < len(frame); cut += 7 {
+		if _, err := ParseShardedDelta(frame[:cut]); err == nil {
+			t.Fatalf("truncated frame of %d bytes parsed", cut)
+		}
+	}
+	// A full snapshot envelope is a valid frame with the wrong tag.
+	var snap bytes.Buffer
+	if _, err := ckpt.WriteTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseShardedDelta(snap.Bytes()); err == nil {
+		t.Fatal("full snapshot envelope parsed as a delta")
+	}
+
+	d, err := ParseShardedDelta(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply onto engines whose shape differs: domain, shard count, buffer.
+	if other, err := NewSharded(n+1, 4, 2, 256, opts); err != nil {
+		t.Fatal(err)
+	} else if err := other.ApplyDelta(d); err == nil {
+		t.Fatal("applied onto an engine with a different domain")
+	}
+	if other, err := NewSharded(n, 4, 3, 256, opts); err != nil {
+		t.Fatal(err)
+	} else if err := other.ApplyDelta(d); err == nil {
+		t.Fatal("applied onto an engine with a different shard count")
+	}
+	if other, err := NewSharded(n, 4, 2, 512, opts); err != nil {
+		t.Fatal(err)
+	} else if err := other.ApplyDelta(d); err == nil {
+		t.Fatal("applied onto an engine with a different buffer capacity")
+	}
+
+	// Rebuilding from a non-complete delta must refuse.
+	tracked := ckpt.Versions(nil)
+	for i := 0; i < 20; i++ {
+		if err := s.Add(1+i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partFrame, err := next.AppendDelta(nil, tracked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := ParseShardedDelta(partFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Complete() {
+		t.Skip("every shard changed; cannot exercise the incomplete path")
+	}
+	if _, err := NewShardedFromDelta(part); err == nil {
+		t.Fatal("rebuilt an engine from an incomplete delta")
+	}
+}

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
@@ -41,6 +43,12 @@ type Sharded struct {
 	n, k   int
 	opts   core.Options
 	shards []*ingestShard
+	// epoch identifies this engine instance for delta replication: version
+	// counters are process-local and restart from zero, so a replica must
+	// never compare vectors across two engine lives. Every construction path
+	// (fresh, restored, delta-built) draws a fresh random epoch; a replica
+	// seeing an unfamiliar epoch falls back to a full sync.
+	epoch uint64
 	// batchScratch recycles AddBatch's per-shard scatter buffers across
 	// calls (and across concurrent batching producers).
 	batchScratch sync.Pool
@@ -81,6 +89,13 @@ type ingestShard struct {
 	bufCap int
 
 	updates int
+	// version counts state changes observable through a checkpoint capture:
+	// it bumps on every pending-log mutation (Add/AddBatch append, delta
+	// apply) and on every compaction install (background or synchronous
+	// drain). Delta replication ships a shard exactly when its version moved
+	// since the replica's last sync, so the counter must change iff the
+	// captured (view, pending log, counters) tuple could have.
+	version uint64
 
 	pauses   durRing // Add-side stalls waiting for a free log buffer
 	compacts durRing // background compaction durations
@@ -93,7 +108,7 @@ type ingestShard struct {
 // themselves and the Summary aggregation tree.
 func NewSharded(n, k, shards, bufferCap int, opts core.Options) (*Sharded, error) {
 	p := parallel.Resolve(shards)
-	s := &Sharded{n: n, k: k, opts: opts, shards: make([]*ingestShard, p)}
+	s := &Sharded{n: n, k: k, opts: opts, shards: make([]*ingestShard, p), epoch: newEpoch()}
 	for i := range s.shards {
 		m, err := newMaintainer(n, k, bufferCap, opts)
 		if err != nil {
@@ -114,8 +129,49 @@ func NewSharded(n, k, shards, bufferCap int, opts core.Options) (*Sharded, error
 	return s, nil
 }
 
+// newEpoch draws a random engine-instance identifier. Collisions across a
+// fleet would merely delay convergence by one full sync, so 64 random bits
+// are plenty; zero is reserved as "no epoch known".
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; here a fixed
+		// nonzero epoch only costs replicas a spurious full sync.
+		return 1
+	}
+	e := binary.LittleEndian.Uint64(b[:])
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
 // Shards returns the shard count P.
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Epoch identifies this engine instance for delta replication. Shard version
+// counters are only comparable within one epoch; a restored or rebuilt engine
+// carries a fresh epoch, telling replicas their tracked vectors are stale.
+func (s *Sharded) Epoch() uint64 { return s.epoch }
+
+// Versions appends every shard's current version counter to dst (reset to
+// length zero first) and returns it — the engine's fleet version vector.
+// Each counter is read under its shard lock, so vector entry i is exactly
+// the version a checkpoint capturing shard i at that moment would record.
+func (s *Sharded) Versions(dst []uint64) []uint64 {
+	dst = dst[:0]
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		dst = append(dst, sh.version)
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// ShardOf returns the shard index point i routes to — exported so benchmarks
+// and replication tests can construct workloads that touch a chosen subset of
+// shards. Routing is a pure function of (i, shard count).
+func (s *Sharded) ShardOf(i int) int { return s.shardFor(i) }
 
 // shardFor routes a point to its shard: Fibonacci hashing spreads
 // consecutive points across shards (so a hot band doesn't serialize on one
@@ -194,6 +250,7 @@ func (sh *ingestShard) addLocked(e sparse.Entry) error {
 	}
 	sh.active = append(sh.active, e)
 	sh.updates++
+	sh.version++
 	if len(sh.active) >= sh.bufCap {
 		sh.flushLocked()
 	}
@@ -212,6 +269,7 @@ func (sh *ingestShard) addBatchLocked(es []sparse.Entry) error {
 		if room > 0 {
 			sh.active = append(sh.active, es[:room]...)
 			sh.updates += room
+			sh.version++
 			es = es[room:]
 		}
 		if len(sh.active) >= sh.bufCap {
@@ -273,6 +331,10 @@ func (sh *ingestShard) backgroundCompact(log []sparse.Entry) {
 		}
 	} else {
 		sh.m.installStaged()
+		// The install changes the captured state (view swapped, in-flight
+		// log absorbed) without any producer action, so it must bump the
+		// version for delta replication to ship the compacted form.
+		sh.version++
 	}
 	sh.compacts.add(time.Since(start))
 	sh.spare = log[:0]
@@ -297,6 +359,7 @@ func (sh *ingestShard) drainLocked() error {
 			return err
 		}
 		sh.active = sh.active[:0]
+		sh.version++
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package histapprox
 
 import (
 	"net/http"
+	"time"
 
 	"repro/internal/serve"
 	"repro/internal/stream"
@@ -52,6 +53,26 @@ type ServeClient = serve.Client
 // ServedSynopsisInfo is one row of a server's registry listing.
 type ServedSynopsisInfo = serve.NameInfo
 
+// ServeAPIError is the typed error a ServeClient returns when the server
+// answered with a non-2xx status: it carries the status code and the
+// server's diagnostic message. Transport failures (refused connections,
+// timeouts) are NOT ServeAPIErrors.
+type ServeAPIError = serve.APIError
+
+// SynopsisReplicator fans one primary's sharded engine out to N replicas by
+// shipping version-vector deltas on a fixed cadence, with per-replica
+// pipelined tracking and automatic full-resync after a primary or replica
+// restart.
+type SynopsisReplicator = serve.Replicator
+
+// ReplicaStatus is one replica's externally visible replication state.
+type ReplicaStatus = serve.ReplicaStatus
+
+// ServeFleet routes synopsis names across a set of servers with a
+// consistent-hash ring: adding or removing one server remaps only ~1/N of
+// the names instead of reshuffling everything.
+type ServeFleet = serve.Fleet
+
 // ShardedCheckpoint is an immutable, non-blocking capture of a
 // ShardedHistogram's state: Checkpoint() never waits for an in-flight
 // background compaction, and WriteTo emits the same binary envelope
@@ -71,6 +92,21 @@ func NewSynopsisServer(cfg *ServeConfig) *SynopsisServer {
 // cheaper to ship and decode.
 func NewServeClient(base string, hc *http.Client, binary bool) *ServeClient {
 	return serve.NewClient(base, hc, binary)
+}
+
+// NewSynopsisReplicator builds a replicator shipping the named engine from
+// primary to every replica. interval is the cadence for Start (≤ 0 means
+// one second); SyncOnce/SyncAll drive rounds by hand regardless.
+func NewSynopsisReplicator(name string, primary *ServeClient, replicas []*ServeClient, interval time.Duration) (*SynopsisReplicator, error) {
+	return serve.NewReplicator(name, primary, replicas, interval)
+}
+
+// NewServeFleet builds a consistent-hash router over the given clients. Ring
+// positions derive from each client's Base URL, so every process that builds
+// a fleet from the same member list routes identically — stateless clients
+// agree on placement with no coordination.
+func NewServeFleet(clients []*ServeClient) (*ServeFleet, error) {
+	return serve.NewFleet(clients)
 }
 
 // WaveletEstimatorOf adapts an existing WaveletSynopsis (for example one
