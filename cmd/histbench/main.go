@@ -48,6 +48,12 @@
 //	                                  # the shards; records
 //	                                  # BENCH_replicate.json
 //	histbench -replicate OUT.json -quick  # small smoke grid (CI)
+//	histbench -window OUT.json        # run the windowed-query sweep instead:
+//	                                  # EstimateRangeOver latency across
+//	                                  # window spans and decay half-lives on
+//	                                  # a wrapped epoch ring; records
+//	                                  # BENCH_window.json
+//	histbench -window OUT.json -quick # small smoke grid (CI)
 package main
 
 import (
@@ -72,9 +78,14 @@ func main() {
 	codecOut := flag.String("codec", "", "run the codec sweep and write its JSON report to this file")
 	serveOut := flag.String("serve", "", "run the HTTP serving sweep and write its JSON report to this file")
 	replicateOut := flag.String("replicate", "", "run the replication sweep and write its JSON report to this file")
-	quick := flag.Bool("quick", false, "with -query/-ingest/-codec/-serve/-replicate: small smoke grid instead of the full sweep")
+	windowOut := flag.String("window", "", "run the windowed-query sweep and write its JSON report to this file")
+	quick := flag.Bool("quick", false, "with -query/-ingest/-codec/-serve/-replicate/-window: small smoke grid instead of the full sweep")
 	flag.Parse()
 
+	if *windowOut != "" {
+		runWindow(*windowOut, *quick)
+		return
+	}
 	if *replicateOut != "" {
 		runReplicate(*replicateOut, *quick)
 		return
@@ -148,6 +159,37 @@ func runServe(outPath string, quick bool) {
 		fmt.Printf("%-12s %-7s conc=%-3d batch=%-5d  p50 %8.1f µs  p99 %8.1f µs  %9.0f rps  %12.0f qps\n",
 			pt.Workload, pt.Codec, pt.Concurrency, pt.Batch, pt.P50Us, pt.P99Us, pt.RPS, pt.QPS)
 	}
+	if rep.Note != "" {
+		fmt.Println("note:", rep.Note)
+	}
+	fmt.Printf("report written to %s (total %v)\n", outPath, time.Since(start).Round(time.Millisecond))
+}
+
+// runWindow sweeps windowed and decayed range queries over a fully wrapped
+// epoch ring and writes the latency trajectory.
+func runWindow(outPath string, quick bool) {
+	cfg := bench.DefaultWindowConfig()
+	if quick {
+		cfg = bench.QuickWindowConfig()
+	}
+	fmt.Println("Windowed & decayed queries — epoch-ring combine latency")
+	fmt.Printf("(ring of %d sealed epochs plus a live tail; window=0 is the full\n", cfg.Epochs)
+	fmt.Println(" retained history; decay scales sealed slots by exp2(-age/halflife))")
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	rep := bench.RunWindowBench(cfg)
+	if err := bench.WriteWindowJSON(f, rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range rep.Points {
+		fmt.Printf("window=%-3d halflife=%-5.4g  %9.1f ns/query  summary %9.0f ns\n",
+			pt.Window, pt.Halflife, pt.NsPerQuery, pt.SummaryNs)
+	}
+	fmt.Printf("%d-epoch window / full-history query = %.3f\n", cfg.MEpochWindow, rep.WindowVsFullQuery)
 	if rep.Note != "" {
 		fmt.Println("note:", rep.Note)
 	}

@@ -8,6 +8,8 @@
 //	    -load latency=latency_v1.bin \         # restore any snapshot file
 //	    -load col=estimator_v1.bin \
 //	    -sharded events=1000000,64 \           # fresh intake engine: n,k[,shards[,bufcap]]
+//	    -windowed recent=1000000,64,24 \       # sliding-window engine: n,k,epochs[,shards[,bufcap]]
+//	    -advance-interval 1h \                 # seal every -windowed engine's epoch hourly
 //	    -wal /var/lib/histserved \             # make intake engines crash-safe
 //	    -replicate events \                    # fan events out to the replicas below
 //	    -replica http://replica1:8157 \
@@ -34,6 +36,7 @@
 //	GET  /v1/{name}/at?x=42         one point query
 //	POST /v1/{name}/at              batch point queries (JSON or binary body)
 //	GET  /v1/{name}/range?a=1&b=99  one range query
+//	     ...&window=6&halflife=12   windowed/decayed answers (-windowed engines)
 //	POST /v1/{name}/range           batch range queries
 //	POST /v1/{name}/add             ingest updates (streaming engines)
 //	GET  /v1/{name}/snapshot        download the binary snapshot
@@ -113,14 +116,19 @@ func run(args []string) error {
 
 	replName := fs.String("replicate", "", "fan this hosted engine out to every -replica on a cadence (requires ≥ 1 -replica)")
 	replInterval := fs.Duration("replicate-interval", time.Second, "delta sync cadence for -replicate")
+	advanceInterval := fs.Duration("advance-interval", 0, "seal every -windowed engine's live epoch on this wall-clock period (0 = only external seals)")
 
-	var loads, shardeds, replicas []string
+	var loads, shardeds, windoweds, replicas []string
 	fs.Func("load", "host a snapshot file as name=path (repeatable)", func(raw string) error {
 		loads = append(loads, raw)
 		return nil
 	})
 	fs.Func("sharded", "host a fresh sharded intake engine as name=n,k[,shards[,bufcap]] (repeatable)", func(raw string) error {
 		shardeds = append(shardeds, raw)
+		return nil
+	})
+	fs.Func("windowed", "host a fresh sliding-window sharded engine as name=n,k,epochs[,shards[,bufcap]]; query with ?window= / ?halflife= (repeatable)", func(raw string) error {
+		windoweds = append(windoweds, raw)
 		return nil
 	})
 	fs.Func("replica", "replica base URL for -replicate, e.g. http://host:8158 (repeatable)", func(raw string) error {
@@ -213,6 +221,65 @@ func run(args []string) error {
 		}
 		hosted = append(hosted, fmt.Sprintf("%s (durable sharded, wal=%s%s)", name, dir, detail))
 	}
+	// advancers are the windowed engines the -advance-interval ticker seals.
+	var advancers []func() error
+	for _, raw := range windoweds {
+		name, spec, err := nameValue(raw, "windowed")
+		if err != nil {
+			return err
+		}
+		parts := strings.Split(spec, ",")
+		if len(parts) < 3 || len(parts) > 5 {
+			return fmt.Errorf("-windowed wants name=n,k,epochs[,shards[,bufcap]], got %q", raw)
+		}
+		nums := make([]int, 5)
+		for i, p := range parts {
+			if nums[i], err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
+				return fmt.Errorf("-windowed %q: %w", raw, err)
+			}
+		}
+		n, k, epochs, shards, bufcap := nums[0], nums[1], nums[2], nums[3], nums[4]
+		if *walDir == "" {
+			engine, err := histapprox.NewWindowedShardedMaintainer(n, k, epochs, shards, bufcap, nil)
+			if err != nil {
+				return err
+			}
+			if err := srv.Host(name, engine); err != nil {
+				return err
+			}
+			advancers = append(advancers, engine.Advance)
+			hosted = append(hosted, fmt.Sprintf("%s (windowed n=%d k=%d epochs=%d shards=%d)", name, n, k, epochs, engine.Shards()))
+			continue
+		}
+		dir := filepath.Join(*walDir, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		engine, err := histapprox.OpenDurableShardedMaintainer(n, k, shards, bufcap, nil,
+			histapprox.DurabilityOptions{
+				Dir:                dir,
+				SyncEvery:          *syncEvery,
+				CheckpointEvery:    *ckptEvery,
+				CheckpointInterval: *ckptInterval,
+				WindowEpochs:       epochs,
+			})
+		if err != nil {
+			return fmt.Errorf("opening durable windowed engine %q in %s: %w", name, dir, err)
+		}
+		closers = append(closers, engine)
+		if err := srv.Host(name, engine); err != nil {
+			return err
+		}
+		advancers = append(advancers, engine.Advance)
+		detail := ""
+		if n := engine.Replayed(); n > 0 {
+			detail = fmt.Sprintf(", replayed %d WAL records", n)
+		}
+		hosted = append(hosted, fmt.Sprintf("%s (durable windowed epochs=%d, wal=%s%s)", name, epochs, dir, detail))
+	}
+	if *advanceInterval > 0 && len(advancers) == 0 {
+		return fmt.Errorf("-advance-interval given without any -windowed engine")
+	}
 	if len(hosted) == 0 {
 		log.Print("warning: nothing hosted at boot; push snapshots via PUT /v1/{name}/snapshot")
 	}
@@ -270,6 +337,30 @@ func run(args []string) error {
 		log.Printf("replicating %s to %s every %s", *replName, strings.Join(replicas, ", "), *replInterval)
 	}
 
+	// Epoch ticker: wall-clock epochs for the windowed engines. Sealing is
+	// cheap (one drain + compaction per shard), so one goroutine serves all.
+	var advanceStop chan struct{}
+	if *advanceInterval > 0 {
+		advanceStop = make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(*advanceInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					for _, adv := range advancers {
+						if err := adv(); err != nil {
+							log.Printf("sealing windowed epoch: %v", err)
+						}
+					}
+				case <-advanceStop:
+					return
+				}
+			}
+		}()
+		log.Printf("sealing windowed epochs every %s", *advanceInterval)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
@@ -285,6 +376,9 @@ func run(args []string) error {
 	srv.SetReady(false)
 	if repl != nil {
 		repl.Stop()
+	}
+	if advanceStop != nil {
+		close(advanceStop)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -116,6 +116,84 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestDaemonWindowedEngine boots a durable windowed engine with an epoch
+// ticker, ingests, answers windowed and decayed queries over HTTP, rejects
+// malformed knobs, and keeps the window across a restart.
+func TestDaemonWindowedEngine(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-windowed", "rec=1000,6,4,2,32",
+		"-advance-interval", "25ms",
+		"-wal", dir, "-sync-every", "1",
+	}
+	base, done := startDaemon(t, args)
+	resp, err := http.Post(base+"/v1/rec/add", "application/json",
+		strings.NewReader(`{"points":[5,5,7],"weights":[2,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+	// Windowed and decayed answers are 200s; the full-history mass includes
+	// the ingest regardless of how many epochs the ticker has sealed so far.
+	var out struct {
+		Value float64 `json:"value"`
+	}
+	r, err := http.Get(base + "/v1/rec/range?a=1&b=1000&window=4&halflife=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonDecode(r, &out); err != nil {
+		t.Fatal(err)
+	}
+	r, err = http.Get(base + "/v1/rec/range?a=1&b=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonDecode(r, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != 7 {
+		t.Errorf("full-history mass = %v, want 7", out.Value)
+	}
+	// Malformed knobs are client errors.
+	for _, q := range []string{"window=0", "window=abc", "window=99", "halflife=-1"} {
+		r, err := http.Get(base + "/v1/rec/range?a=1&b=1000&" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s: status %d, want 400", q, r.StatusCode)
+		}
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	// Restart on the same WAL: recovery restores the windowed shape, so
+	// windowed queries keep answering (a plain engine would 400).
+	base, done = startDaemon(t, args)
+	r, err = http.Get(base + "/v1/rec/range?a=1&b=1000&window=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonDecode(r, &out); err != nil {
+		t.Fatalf("windowed query after restart: %v", err)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
 // TestDaemonRestartRecovers boots, ingests, shuts down cleanly, then boots
 // AGAIN on the same WAL directory and checks the served answers include the
 // first life's updates.

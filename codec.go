@@ -100,6 +100,8 @@ func Decode(r io.Reader) (any, error) {
 		v, err = stream.DecodeMaintainerPayload(dec)
 	case codec.TagSharded:
 		v, err = stream.DecodeShardedPayload(dec)
+	case codec.TagWindowed:
+		v, err = stream.DecodeWindowedPayload(dec)
 	default:
 		return nil, fmt.Errorf("histapprox: unknown type tag %d", tag)
 	}

@@ -85,6 +85,14 @@ func goldenObjects(t *testing.T) map[string]any {
 	if err != nil {
 		t.Fatal(err)
 	}
+	winMaint, err := NewWindowedStreamingHistogram(600, 4, 3, 64, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winSharded, err := NewWindowedShardedMaintainer(600, 4, 3, 2, 64, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range points {
 		if err := maint.Add(points[i], weights[i]); err != nil {
 			t.Fatal(err)
@@ -92,17 +100,35 @@ func goldenObjects(t *testing.T) map[string]any {
 		if err := sharded.Add(points[i], weights[i]); err != nil {
 			t.Fatal(err)
 		}
+		if err := winMaint.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := winSharded.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+		// Seal two epochs mid-stream so the windowed fixtures carry a
+		// non-trivial ring (two slots, a live view, and a pending tail).
+		if i == 150 || i == 350 {
+			if err := winMaint.Advance(); err != nil {
+				t.Fatal(err)
+			}
+			if err := winSharded.Advance(); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 
 	return map[string]any{
-		"histogram":  h,
-		"hierarchy":  hier,
-		"poly":       poly,
-		"cdf":        cdf,
-		"wavelet":    wave,
-		"estimator":  est,
-		"maintainer": maint,
-		"sharded":    sharded,
+		"histogram":        h,
+		"hierarchy":        hier,
+		"poly":             poly,
+		"cdf":              cdf,
+		"wavelet":          wave,
+		"estimator":        est,
+		"maintainer":       maint,
+		"sharded":          sharded,
+		"windowed":         winMaint,
+		"windowed_sharded": winSharded,
 	}
 }
 

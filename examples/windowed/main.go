@@ -1,0 +1,90 @@
+// Windowed & time-decayed streaming synopses: maintain a histogram summary
+// over a sliding window of recent epochs, and answer queries that either
+// restrict to the last m epochs or exponentially down-weight older ones.
+//
+// The engine keeps a ring of per-epoch summaries. Advance() seals the live
+// epoch into the ring; queries combine the requested slots on demand, scaling
+// each sealed slot by exp2(-age/halflife). Because the merging guarantee is
+// scale-invariant, decayed answers keep the same √(1+δ)·opt certificate as
+// undecayed ones.
+//
+// Run with:
+//
+//	go run ./examples/windowed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	histapprox "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		n      = 10000 // value domain
+		k      = 8     // piece budget per summary
+		epochs = 6     // ring span: the sliding window's maximum extent
+	)
+	wm, err := histapprox.NewWindowedStreamingHistogram(n, k, epochs, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each epoch's traffic concentrates on a different band of the domain,
+	// so windowed answers visibly track "what happened recently".
+	state := uint64(777)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for e := 0; e < 9; e++ { // more epochs than the ring holds: it wraps
+		lo := 1 + (e%5)*1800
+		for i := 0; i < 50_000; i++ {
+			point := lo + int(next())%1800
+			if err := wm.Add(point, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if e < 8 { // the final epoch stays live (unsealed)
+			if err := wm.Advance(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("windowed maintainer: ring of %d epochs, tick %d (oldest epochs evicted)\n\n",
+		wm.WindowEpochs(), wm.Tick())
+
+	// The band the live epoch is using (e=8 → lo=5401..7200).
+	const a, b = 5401, 7200
+	full, err := wm.EstimateRange(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mass in [%d, %d]:\n", a, b)
+	fmt.Printf("  full retained history          %10.0f\n", full)
+	for _, w := range []int{1, 3, epochs} {
+		v, err := wm.EstimateRangeOver(a, b, w, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  last %d epoch(s)                %10.0f\n", w, v)
+	}
+	for _, hl := range []float64{1, 3} {
+		v, err := wm.EstimateRangeOver(a, b, 0, hl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  decayed, half-life %g epoch(s)  %10.1f\n", hl, v)
+	}
+
+	// SummaryOver materializes the combined windowed histogram — same object
+	// the HTTP layer serves for ?window=/&halflife= queries.
+	h, err := wm.SummaryOver(2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n2-epoch window summary: %d pieces over [1, %d]\n", h.NumPieces(), n)
+}

@@ -24,6 +24,19 @@ func NewStreamingHistogram(n, k, bufferCap int, opts *Options) (*StreamingHistog
 	return stream.NewMaintainer(n, k, bufferCap, resolveOpts(opts))
 }
 
+// NewWindowedStreamingHistogram builds a maintainer whose summaries cover a
+// sliding window of the newest epochs: Advance seals the live epoch into a
+// ring of at most epochs−1 per-epoch summaries (evicting the oldest), and
+// EstimateRangeOver / SummaryOver answer over the newest `window` epochs,
+// optionally down-weighting older epochs by an exponential half-life. Decay
+// scales each sealed summary's masses by the elapsed-epoch factor as it
+// enters the combined answer — the merging guarantee is scale-invariant, so
+// the √(1+δ)·opt certificate survives the reweighting. epochs ≥ 1; the other
+// parameters follow NewStreamingHistogram.
+func NewWindowedStreamingHistogram(n, k, epochs, bufferCap int, opts *Options) (*StreamingHistogram, error) {
+	return stream.NewWindowedMaintainer(n, k, epochs, bufferCap, resolveOpts(opts))
+}
+
 // MergeHistograms combines the summaries of two disjoint data sets over the
 // same domain into one O(k)-piece summary: the pointwise sum is formed
 // exactly on the common refinement of the two partitions, then recompacted
@@ -70,6 +83,15 @@ type IngestStats = stream.IngestStats
 // positive count for cross-machine reproducibility).
 func NewShardedMaintainer(n, k, shards, bufferCap int, opts *Options) (*ShardedHistogram, error) {
 	return stream.NewSharded(n, k, shards, bufferCap, resolveOpts(opts))
+}
+
+// NewWindowedShardedMaintainer builds a sharded maintainer with a sliding
+// epoch window, following the NewWindowedStreamingHistogram contract per
+// shard: Advance seals every shard's live epoch in lockstep, and windowed /
+// decayed queries combine the per-shard rings. shards ≤ 0 defaults to one
+// shard per core, as in NewShardedMaintainer.
+func NewWindowedShardedMaintainer(n, k, epochs, shards, bufferCap int, opts *Options) (*ShardedHistogram, error) {
+	return stream.NewWindowedSharded(n, k, epochs, shards, bufferCap, resolveOpts(opts))
 }
 
 // --- Crash-safe durability: write-ahead logging + incremental checkpoints. ---

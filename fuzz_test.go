@@ -61,6 +61,105 @@ func FuzzHistogramCodec(f *testing.F) {
 	})
 }
 
+// FuzzWindowedSnapshot is FuzzSummarySnapshot's sliding-window twin: a
+// windowed maintainer advances through fuzz-chosen epoch seals, snapshots at
+// a fuzz-chosen cut (a TagWindowed envelope carrying the epoch ring), and the
+// restored engine must be indistinguishable — identical re-snapshot bytes,
+// bit-identical windowed and decayed answers, and a bit-identical final
+// summary after both see the same remaining stream and seals.
+func FuzzWindowedSnapshot(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 250, 0, 9, 9, 77}, uint8(4), uint8(3))
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add(bytes.Repeat([]byte{128, 255, 7}, 60), uint8(33), uint8(11))
+
+	f.Fuzz(func(t *testing.T, data []byte, cutByte, periodByte uint8) {
+		const n, W = 300, 3
+		period := 1 + int(periodByte)%40
+		opts := DefaultOptions()
+		opts.Workers = 1
+		straight, err := NewWindowedStreamingHistogram(n, 3, W, 16, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashy, err := NewWindowedStreamingHistogram(n, 3, W, 16, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := func(m *StreamingHistogram, i int) {
+			point := 1 + (int(data[i])*7+i)%n
+			w := float64(i%17) + 0.5
+			if i%5 == 0 {
+				w = -w
+			}
+			if err := m.Add(point, w); err != nil {
+				t.Fatal(err)
+			}
+			if (i+1)%period == 0 {
+				if err := m.Advance(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		cut := 0
+		if len(data) > 0 {
+			cut = int(cutByte) % (len(data) + 1)
+		}
+		for i := 0; i < cut; i++ {
+			step(straight, i)
+			step(crashy, i)
+		}
+		var ckpt bytes.Buffer
+		if err := crashy.Snapshot(&ckpt); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := RestoreStreamingHistogram(bytes.NewReader(ckpt.Bytes()))
+		if err != nil {
+			t.Fatalf("own windowed snapshot failed to restore: %v", err)
+		}
+		if !restored.Windowed() || restored.WindowEpochs() != W || restored.Tick() != crashy.Tick() {
+			t.Fatalf("restored windowed=%v epochs=%d tick=%d, want true/%d/%d",
+				restored.Windowed(), restored.WindowEpochs(), restored.Tick(), W, crashy.Tick())
+		}
+		var again bytes.Buffer
+		if err := restored.Snapshot(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ckpt.Bytes(), again.Bytes()) {
+			t.Fatal("windowed snapshot → restore → snapshot bytes differ")
+		}
+		for w := 0; w <= W; w++ {
+			for _, hl := range []float64{0, 1.25} {
+				want, err1 := crashy.EstimateRangeOver(1, n, w, hl)
+				got, err2 := restored.EstimateRangeOver(1, n, w, hl)
+				if err1 != nil || err2 != nil || math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("EstimateRangeOver(1, n, %d, %g): %v vs %v (%v, %v)", w, hl, got, want, err1, err2)
+				}
+			}
+		}
+		for i := cut; i < len(data); i++ {
+			step(straight, i)
+			step(restored, i)
+		}
+		hw, err := straight.SummaryOver(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg, err := restored.SummaryOver(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hw.NumPieces() != hg.NumPieces() {
+			t.Fatalf("restored run: %d pieces, uninterrupted: %d", hg.NumPieces(), hw.NumPieces())
+		}
+		for i, pc := range hw.Pieces() {
+			gpc := hg.Pieces()[i]
+			if gpc.Interval != pc.Interval || math.Float64bits(gpc.Value) != math.Float64bits(pc.Value) {
+				t.Fatalf("piece %d differs between restored and uninterrupted runs", i)
+			}
+		}
+	})
+}
+
 func mustFit(f *testing.F, q []float64, k int, opts *Options) *Histogram {
 	h, _, err := Fit(q, k, opts)
 	if err != nil {

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// WindowPoint is one windowed-query cell: the latency of EstimateRangeOver
+// at a given window span (0 = full retained history) and half-life.
+type WindowPoint struct {
+	// Window is the queried epoch span (0 = every retained epoch).
+	Window int `json:"window"`
+	// Halflife is the exponential-decay half-life in epochs (0 = no decay).
+	Halflife float64 `json:"halflife"`
+	// NsPerQuery is the mean latency of one EstimateRangeOver call.
+	NsPerQuery float64 `json:"ns_per_query"`
+	// SummaryNs is the latency of one SummaryOver call at these knobs — the
+	// k-way combine that materializes the windowed histogram.
+	SummaryNs float64 `json:"summary_ns"`
+}
+
+// WindowReport is the BENCH_window.json payload.
+type WindowReport struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"goversion"`
+	// N..BufferCap echo the engine configuration; PerEpoch is the updates
+	// ingested per sealed epoch, Tail the live pending updates.
+	N         int `json:"n"`
+	K         int `json:"k"`
+	Epochs    int `json:"epochs"`
+	BufferCap int `json:"buffer_cap"`
+	PerEpoch  int `json:"per_epoch"`
+	Tail      int `json:"tail"`
+	// MEpochWindow is the "recent window" span the acceptance ratio pins.
+	MEpochWindow int `json:"m_epoch_window"`
+	// WindowVsFullQuery is the headline ratio: ns/query at Window=MEpochWindow
+	// over ns/query at Window=0 (full history). The ring design's promise is
+	// that a small-window query does no more work than the full combine — the
+	// ratio stays within a small constant of 1.
+	WindowVsFullQuery float64       `json:"window_vs_full_query"`
+	Note              string        `json:"note,omitempty"`
+	Points            []WindowPoint `json:"points"`
+}
+
+// WindowConfig controls the windowed-query benchmark.
+type WindowConfig struct {
+	// N is the value domain; K the piece budget; Epochs the ring span;
+	// BufferCap the pending-log capacity.
+	N, K, Epochs, BufferCap int
+	// PerEpoch updates are ingested before each seal; Tail lands in the live
+	// epoch after the last seal, so queries pay a real live-view combine on
+	// top of the sealed slots.
+	PerEpoch, Tail int
+	// MEpochWindow is the small window span for the headline ratio.
+	MEpochWindow int
+	// Queries is the timed EstimateRangeOver calls per cell.
+	Queries int
+}
+
+// DefaultWindowConfig is the recorded sweep: a 24-epoch ring (think hourly
+// epochs, one day retained) under a 200k domain.
+func DefaultWindowConfig() WindowConfig {
+	return WindowConfig{
+		N: 200_000, K: 64, Epochs: 24, BufferCap: 4096,
+		PerEpoch: 20_000, Tail: 1500, MEpochWindow: 6, Queries: 20_000,
+	}
+}
+
+// QuickWindowConfig is the CI smoke grid.
+func QuickWindowConfig() WindowConfig {
+	return WindowConfig{
+		N: 20_000, K: 16, Epochs: 8, BufferCap: 1024,
+		PerEpoch: 2_000, Tail: 300, MEpochWindow: 3, Queries: 4_000,
+	}
+}
+
+// RunWindowBench builds a windowed maintainer, seals Epochs+2 epochs (so the
+// ring has wrapped and every slot is live), and times windowed and decayed
+// range queries across window spans, plus the SummaryOver materialization.
+func RunWindowBench(cfg WindowConfig) WindowReport {
+	rep := WindowReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		N:          cfg.N, K: cfg.K, Epochs: cfg.Epochs, BufferCap: cfg.BufferCap,
+		PerEpoch: cfg.PerEpoch, Tail: cfg.Tail,
+		MEpochWindow: cfg.MEpochWindow,
+	}
+
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	m, err := stream.NewWindowedMaintainer(cfg.N, cfg.K, cfg.Epochs, cfg.BufferCap, opts)
+	must(err)
+	rng := rand.New(rand.NewSource(7))
+	for e := 0; e < cfg.Epochs+2; e++ {
+		for i := 0; i < cfg.PerEpoch; i++ {
+			must(m.Add(1+rng.Intn(cfg.N), 1+rng.Float64()))
+		}
+		must(m.Advance())
+	}
+	for i := 0; i < cfg.Tail; i++ {
+		must(m.Add(1+rng.Intn(cfg.N), 1+rng.Float64()))
+	}
+	// Fold the tail into the live epoch's view up front: each cell's
+	// SummaryOver call drains the pending log as a side effect, so without
+	// this the first cell alone would pay a per-query pending-log scan and
+	// the grid would not be comparable cell to cell. (The pending-scan cost
+	// itself is the ingest benchmark's territory.)
+	if _, err := m.SummaryOver(0, 0); err != nil {
+		must(err)
+	}
+
+	// A deterministic query workload reused by every cell.
+	as := make([]int, cfg.Queries)
+	bs := make([]int, cfg.Queries)
+	for i := range as {
+		a := 1 + rng.Intn(cfg.N)
+		b := a + rng.Intn(cfg.N-a+1)
+		as[i], bs[i] = a, b
+	}
+
+	cell := func(window int, halflife float64) WindowPoint {
+		// Warm untimed (builds the lazy slot indexes, faults in the ring,
+		// settles the branch predictor) so the first grid cell isn't an
+		// outlier, then time.
+		for i := 0; i < cfg.Queries/10+1; i++ {
+			if _, err := m.EstimateRangeOver(as[i], bs[i], window, halflife); err != nil {
+				must(err)
+			}
+		}
+		var sink float64
+		start := time.Now()
+		for i := range as {
+			v, err := m.EstimateRangeOver(as[i], bs[i], window, halflife)
+			must(err)
+			sink += v
+		}
+		elapsed := time.Since(start)
+		_ = sink
+
+		sumStart := time.Now()
+		_, err := m.SummaryOver(window, halflife)
+		must(err)
+		return WindowPoint{
+			Window: window, Halflife: halflife,
+			NsPerQuery: float64(elapsed.Nanoseconds()) / float64(cfg.Queries),
+			SummaryNs:  float64(time.Since(sumStart).Nanoseconds()),
+		}
+	}
+
+	var mNs, fullNs float64
+	for _, w := range []int{0, 1, cfg.MEpochWindow, cfg.Epochs} {
+		for _, hl := range []float64{0, float64(cfg.Epochs) / 4} {
+			pt := cell(w, hl)
+			rep.Points = append(rep.Points, pt)
+			if hl == 0 {
+				switch w {
+				case 0:
+					fullNs = pt.NsPerQuery
+				case cfg.MEpochWindow:
+					mNs = pt.NsPerQuery
+				}
+			}
+		}
+	}
+	if fullNs > 0 {
+		rep.WindowVsFullQuery = mNs / fullNs
+	}
+	return rep
+}
+
+// WriteWindowJSON renders the report as indented JSON — the BENCH_window.json
+// trajectory recorded at the repository root.
+func WriteWindowJSON(w io.Writer, rep WindowReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

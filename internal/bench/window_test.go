@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWindowBenchQuick runs the CI-sized windowed-query grid and pins the
+// ISSUE acceptance bound: an m-epoch window query must cost no more than a
+// small constant times the full-history query. The windowed path combines
+// m ring slots instead of all of them, so the true ratio hovers at or below
+// 1; the 3× pin absorbs scheduler noise on loaded CI machines.
+func TestWindowBenchQuick(t *testing.T) {
+	cfg := QuickWindowConfig()
+	rep := RunWindowBench(cfg)
+
+	if got, want := len(rep.Points), 8; got != want {
+		t.Fatalf("got %d grid points, want %d", got, want)
+	}
+	for _, pt := range rep.Points {
+		if pt.NsPerQuery <= 0 || pt.SummaryNs <= 0 {
+			t.Errorf("window=%d halflife=%g: non-positive timings %+v", pt.Window, pt.Halflife, pt)
+		}
+	}
+	if rep.WindowVsFullQuery <= 0 {
+		t.Fatalf("window-vs-full ratio %v, want > 0", rep.WindowVsFullQuery)
+	}
+	if rep.WindowVsFullQuery > 3 {
+		t.Errorf("%d-epoch window query is %.2fx the full-history query, want ≤ 3x",
+			cfg.MEpochWindow, rep.WindowVsFullQuery)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteWindowJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back WindowReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.MEpochWindow != cfg.MEpochWindow || len(back.Points) != len(rep.Points) {
+		t.Fatalf("round-tripped report lost fields: %+v", back)
+	}
+}

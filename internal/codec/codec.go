@@ -64,6 +64,7 @@ const (
 	TagSharded       byte = 8  // stream.Sharded checkpoint
 	TagWALRecord     byte = 9  // internal/wal update-batch record (one ingest call)
 	TagWALManifest   byte = 10 // internal/wal checkpoint manifest
+	TagWindowed      byte = 11 // stream windowed-engine checkpoint (epoch ring; maintainer or sharded)
 
 	// TagShardedDelta lives in the serving-reserved range on purpose: a
 	// delta frame is a replication wire artifact (stream.Checkpoint deltas

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"mime"
 	"net/http"
 	"strconv"
@@ -110,8 +111,9 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (served, *entry
 	return *p, ent, true
 }
 
-// params extracts the per-request query knobs (?k= for hierarchies; the
-// batch fan-out comes from the server configuration).
+// params extracts the per-request query knobs (?k= for hierarchies,
+// ?window= / ?halflife= for windowed streaming engines; the batch fan-out
+// comes from the server configuration).
 func (s *Server) params(r *http.Request) (queryParams, error) {
 	q := queryParams{workers: s.cfg.Workers}
 	if raw := r.URL.Query().Get("k"); raw != "" {
@@ -120,6 +122,20 @@ func (s *Server) params(r *http.Request) (queryParams, error) {
 			return q, fmt.Errorf("bad k %q", raw)
 		}
 		q.k = k
+	}
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		w, err := strconv.Atoi(raw)
+		if err != nil || w < 1 {
+			return q, fmt.Errorf("bad window %q (want an integer ≥ 1 epochs)", raw)
+		}
+		q.window = w
+	}
+	if raw := r.URL.Query().Get("halflife"); raw != "" {
+		hl, err := strconv.ParseFloat(raw, 64)
+		if err != nil || hl <= 0 || math.IsInf(hl, 0) || math.IsNaN(hl) {
+			return q, fmt.Errorf("bad halflife %q (want a finite number of epochs > 0)", raw)
+		}
+		q.halflife = hl
 	}
 	return q, nil
 }
@@ -156,6 +172,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if q.windowed() {
+		ws, ok := sv.(windowedServed)
+		if !ok || !ws.windowedQueries() {
+			httpError(w, http.StatusBadRequest,
+				"synopsis kind %q does not answer windowed or decayed queries (?window= / ?halflife= need a windowed streaming engine)", sv.kind())
+			return
+		}
 	}
 	isRange := strings.HasSuffix(r.URL.Path, "/range")
 	if isRange {

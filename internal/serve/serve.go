@@ -180,11 +180,28 @@ func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
 func (s *Server) Ready() bool { return !s.notReady.Load() }
 
 // queryParams carries the per-request knobs a served synopsis may need: the
-// fan-out for batch kernels and, for hierarchies, the requested piece
-// budget k.
+// fan-out for batch kernels, for hierarchies the requested piece budget k,
+// and for windowed streaming engines the sliding-window span (?window=, in
+// epochs; 0 means every retained epoch) and exponential-decay half-life
+// (?halflife=, in epochs; 0 means no decay).
 type queryParams struct {
-	workers int
-	k       int
+	workers  int
+	k        int
+	window   int
+	halflife float64
+}
+
+// windowed reports whether the request asked for a windowed or decayed
+// answer — the signal that routes stream adapters through EstimateRangeOver
+// and makes every other synopsis kind reject the request instead of silently
+// ignoring the parameters.
+func (q queryParams) windowed() bool { return q.window > 0 || q.halflife > 0 }
+
+// windowedServed is the optional sliding-window face of a served synopsis:
+// only adapters backed by a windowed streaming engine accept ?window= /
+// ?halflife= queries.
+type windowedServed interface {
+	windowedQueries() bool
 }
 
 // served is one hosted synopsis behind its serving adapter. Implementations
@@ -357,6 +374,8 @@ func decodeAny(r io.Reader) (any, error) {
 		v, err = stream.DecodeMaintainerPayload(dec)
 	case codec.TagSharded:
 		v, err = stream.DecodeShardedPayload(dec)
+	case codec.TagWindowed:
+		v, err = stream.DecodeWindowedPayload(dec)
 	default:
 		return nil, fmt.Errorf("serve: envelope type tag %d is not servable", tag)
 	}
@@ -573,18 +592,40 @@ func (s *maintServed) pointBatch(xs []int, _ queryParams, out []float64) ([]floa
 	return s.rangeBatch(xs, xs, queryParams{}, out)
 }
 
-func (s *maintServed) rangeBatch(as, bs []int, _ queryParams, out []float64) ([]float64, error) {
+func (s *maintServed) rangeBatch(as, bs []int, q queryParams, out []float64) ([]float64, error) {
 	out = growValues(out, len(as))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range as {
-		v, err := s.m.EstimateRange(as[i], bs[i])
+		v, err := estimateRange(s.m, as[i], bs[i], q)
 		if err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)
 		}
 		out[i] = v
 	}
 	return out, nil
+}
+
+// rangeEstimator is the query face the four stream adapters share; the
+// windowed variant answers over the newest q.window epochs with exponential
+// decay at half-life q.halflife.
+type rangeEstimator interface {
+	EstimateRange(a, b int) (float64, error)
+	EstimateRangeOver(a, b, window int, halflife float64) (float64, error)
+}
+
+// estimateRange routes one range query to the plain or windowed kernel.
+func estimateRange(e rangeEstimator, a, b int, q queryParams) (float64, error) {
+	if q.windowed() {
+		return e.EstimateRangeOver(a, b, q.window, q.halflife)
+	}
+	return e.EstimateRange(a, b)
+}
+
+func (s *maintServed) windowedQueries() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Windowed()
 }
 
 func (s *maintServed) ingest(points []int, weights []float64) error {
@@ -613,10 +654,10 @@ func (s shardServed) pointBatch(xs []int, q queryParams, out []float64) ([]float
 	return s.rangeBatch(xs, xs, q, out)
 }
 
-func (s shardServed) rangeBatch(as, bs []int, _ queryParams, out []float64) ([]float64, error) {
+func (s shardServed) rangeBatch(as, bs []int, q queryParams, out []float64) ([]float64, error) {
 	out = growValues(out, len(as))
 	for i := range as {
-		v, err := s.s.EstimateRange(as[i], bs[i])
+		v, err := estimateRange(s.s, as[i], bs[i], q)
 		if err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)
 		}
@@ -641,6 +682,8 @@ func (s shardServed) snapshot(w io.Writer) error {
 func (s shardServed) ingestStats() stream.IngestStats { return s.s.Stats() }
 
 func (s shardServed) deltaEngine() *stream.Sharded { return s.s }
+
+func (s shardServed) windowedQueries() bool { return s.s.Windowed() }
 
 func (s *maintServed) ingestStats() stream.IngestStats {
 	s.mu.Lock()
@@ -681,10 +724,10 @@ func (s durableShardServed) pointBatch(xs []int, q queryParams, out []float64) (
 	return s.rangeBatch(xs, xs, q, out)
 }
 
-func (s durableShardServed) rangeBatch(as, bs []int, _ queryParams, out []float64) ([]float64, error) {
+func (s durableShardServed) rangeBatch(as, bs []int, q queryParams, out []float64) ([]float64, error) {
 	out = growValues(out, len(as))
 	for i := range as {
-		v, err := s.d.EstimateRange(as[i], bs[i])
+		v, err := estimateRange(s.d, as[i], bs[i], q)
 		if err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)
 		}
@@ -703,6 +746,8 @@ func (s durableShardServed) durableStats() stream.DurableStats { return s.d.Stat
 
 func (s durableShardServed) deltaEngine() *stream.Sharded { return s.d.Engine() }
 
+func (s durableShardServed) windowedQueries() bool { return s.d.Windowed() }
+
 // durableMaintServed serves a write-ahead-logged maintainer. The durable
 // wrapper synchronizes ingest, queries, and snapshots internally, so unlike
 // the bare maintServed no adapter mutex is needed.
@@ -716,10 +761,10 @@ func (s durableMaintServed) pointBatch(xs []int, q queryParams, out []float64) (
 	return s.rangeBatch(xs, xs, q, out)
 }
 
-func (s durableMaintServed) rangeBatch(as, bs []int, _ queryParams, out []float64) ([]float64, error) {
+func (s durableMaintServed) rangeBatch(as, bs []int, q queryParams, out []float64) ([]float64, error) {
 	out = growValues(out, len(as))
 	for i := range as {
-		v, err := s.d.EstimateRange(as[i], bs[i])
+		v, err := estimateRange(s.d, as[i], bs[i], q)
 		if err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)
 		}
@@ -735,3 +780,5 @@ func (s durableMaintServed) ingest(points []int, weights []float64) error {
 func (s durableMaintServed) snapshot(w io.Writer) error { return s.d.WriteSnapshot(w) }
 
 func (s durableMaintServed) durableStats() stream.DurableStats { return s.d.Stats() }
+
+func (s durableMaintServed) windowedQueries() bool { return s.d.Windowed() }

@@ -41,6 +41,10 @@ type Checkpoint struct {
 	// {shard, fromVersion, toVersion} triples.
 	epoch    uint64
 	versions []uint64
+	// windowEpochs is the captured engine's sliding-window span (0 when
+	// plain); when set, every state carries its epoch ring and WriteTo emits
+	// the TagWindowed envelope instead of TagSharded.
+	windowEpochs int
 }
 
 // Checkpoint captures the engine's current state without waiting for
@@ -53,8 +57,9 @@ func (s *Sharded) Checkpoint() (*Checkpoint, error) {
 		n: s.n, k: s.k, opts: s.opts,
 		bufferCap: s.shards[0].bufCap,
 		states:    make([]maintainerState, len(s.shards)),
-		epoch:     s.epoch,
-		versions:  make([]uint64, len(s.shards)),
+		epoch:        s.epoch,
+		versions:     make([]uint64, len(s.shards)),
+		windowEpochs: s.windowEpochs,
 	}
 	var combined []sparse.Entry
 	for i, sh := range s.shards {
@@ -106,6 +111,9 @@ func (c *Checkpoint) Updates() int {
 // Decode) reads it. A checkpoint is immutable: WriteTo may be called any
 // number of times and always emits identical bytes.
 func (c *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	if c.windowEpochs > 0 {
+		return writeWindowedSharded(w, c.n, c.k, c.opts, c.bufferCap, c.windowEpochs, c.states)
+	}
 	enc := codec.NewWriter(w, codec.TagSharded)
 	encodeConfig(enc, c.n, c.k, c.opts, c.bufferCap)
 	enc.Int(len(c.states))

@@ -46,6 +46,7 @@ func (c *Checkpoint) AppendDelta(dst []byte, since []uint64) ([]byte, error) {
 	dst = codec.AppendFloat64(dst, c.opts.Gamma)
 	dst = codec.AppendVarint(dst, int64(c.opts.Workers))
 	dst = codec.AppendUvarint(dst, uint64(c.bufferCap))
+	dst = codec.AppendUvarint(dst, uint64(c.windowEpochs))
 	dst = codec.AppendUvarint(dst, c.epoch)
 	dst = codec.AppendUvarint(dst, uint64(len(c.states)))
 	changed := make([]int, 0, len(c.states))
@@ -67,8 +68,32 @@ func (c *Checkpoint) AppendDelta(dst []byte, since []uint64) ([]byte, error) {
 	var vals []float64
 	for _, i := range changed {
 		dst, vals = appendState(dst, &c.states[i], vals)
+		if c.windowEpochs > 0 {
+			// A windowed engine's shard state includes its epoch ring: the
+			// sealed summaries are version-bearing state (Advance bumps the
+			// shard version), so a delta must carry them.
+			dst = appendRing(dst, c.states[i].ring)
+		}
 	}
 	return codec.FinishFrame(dst, start), nil
+}
+
+// appendRing appends one epoch ring in the same shape encodeRing writes.
+func appendRing(dst []byte, r *capturedRing) []byte {
+	dst = codec.AppendUvarint(dst, r.tick)
+	dst = codec.AppendUvarint(dst, uint64(len(r.slots)))
+	for _, h := range r.slots {
+		pieces := h.Pieces()
+		ends := make([]int, len(pieces))
+		vals := make([]float64, len(pieces))
+		for i, pc := range pieces {
+			ends[i] = pc.Hi
+			vals[i] = pc.Value
+		}
+		dst = codec.AppendDeltaInts(dst, ends)
+		dst = codec.AppendPackedFloat64s(dst, vals)
+	}
+	return dst
 }
 
 // appendState appends one shard state in the same shape maintainerState.encode
@@ -101,11 +126,15 @@ type ShardedDelta struct {
 	n, k      int
 	opts      core.Options
 	bufferCap int
-	epoch     uint64
-	total     int
-	shards    []int
-	from, to  []uint64
-	states    []maintainerState
+	// windowEpochs is the source engine's sliding-window span (0 when
+	// plain); when set, every carried state's ring field holds its epoch
+	// ring.
+	windowEpochs int
+	epoch        uint64
+	total        int
+	shards       []int
+	from, to     []uint64
+	states       []maintainerState
 }
 
 // Epoch returns the engine epoch the delta was captured from.
@@ -208,6 +237,9 @@ func ParseShardedDelta(frame []byte) (*ShardedDelta, error) {
 	if d.bufferCap < 1 {
 		return nil, fmt.Errorf("stream: delta with buffer capacity %d", d.bufferCap)
 	}
+	if d.windowEpochs, err = payloadInt(&p); err != nil {
+		return nil, err
+	}
 	if d.epoch, err = p.Uvarint(); err != nil {
 		return nil, err
 	}
@@ -258,6 +290,13 @@ func ParseShardedDelta(frame []byte) (*ShardedDelta, error) {
 		if d.states[j].hasView {
 			if _, err := interval.FromBoundaries(d.n, d.states[j].ends); err != nil {
 				return nil, fmt.Errorf("stream: delta shard %d summary: %w", d.shards[j], err)
+			}
+		}
+		if d.windowEpochs > 0 {
+			// Ring slots are fully validated here (FromBoundaries +
+			// NewHistogram), so applying them later cannot fail midway.
+			if d.states[j].ring, err = parseRingPayload(&p, d.n, d.windowEpochs); err != nil {
+				return nil, fmt.Errorf("stream: delta shard %d: %w", d.shards[j], err)
 			}
 		}
 	}
@@ -330,6 +369,44 @@ func parseStatePayload(p *codec.FramePayload, n int) (maintainerState, error) {
 	return st, nil
 }
 
+// parseRingPayload is decodeRing over a zero-copy frame cursor.
+func parseRingPayload(p *codec.FramePayload, n, epochs int) (*capturedRing, error) {
+	tick, err := p.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := p.SliceLen()
+	if err != nil {
+		return nil, err
+	}
+	if count > epochs-1 {
+		return nil, fmt.Errorf("%d sealed epochs in a %d-epoch window", count, epochs)
+	}
+	if uint64(count) > tick {
+		return nil, fmt.Errorf("%d sealed epochs after %d ticks", count, tick)
+	}
+	ring := &capturedRing{tick: tick}
+	for i := 0; i < count; i++ {
+		ends, err := p.DeltaInts()
+		if err != nil {
+			return nil, err
+		}
+		vals, err := p.PackedFloat64s(nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(ends) {
+			return nil, fmt.Errorf("epoch slot with %d values for %d pieces", len(vals), len(ends))
+		}
+		part, err := interval.FromBoundaries(n, ends)
+		if err != nil {
+			return nil, fmt.Errorf("epoch slot %d: %w", i, err)
+		}
+		ring.slots = append(ring.slots, core.NewHistogram(n, part, vals))
+	}
+	return ring, nil
+}
+
 // replaceState swaps the maintainer's entire checkpoint-observable state for
 // a decoded one, dropping any staged-but-uninstalled view and the memoized
 // histogram. Unlike apply (which only installs onto a fresh maintainer), a
@@ -357,7 +434,13 @@ func NewShardedFromDelta(d *ShardedDelta) (*Sharded, error) {
 	if !d.Complete() {
 		return nil, fmt.Errorf("stream: delta carries %d of %d shards — not a complete state", len(d.shards), d.total)
 	}
-	s, err := NewSharded(d.n, d.k, d.total, d.bufferCap, d.opts)
+	var s *Sharded
+	var err error
+	if d.windowEpochs > 0 {
+		s, err = NewWindowedSharded(d.n, d.k, d.windowEpochs, d.total, d.bufferCap, d.opts)
+	} else {
+		s, err = NewSharded(d.n, d.k, d.total, d.bufferCap, d.opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -366,6 +449,9 @@ func NewShardedFromDelta(d *ShardedDelta) (*Sharded, error) {
 		st := &d.states[j]
 		if err := st.apply(sh.m); err != nil {
 			return nil, fmt.Errorf("stream: shard %d: %w", idx, err)
+		}
+		if st.ring != nil {
+			st.ring.install(sh.m)
 		}
 		sh.updates = st.updates
 		if len(st.log) > cap(sh.active) {
@@ -399,6 +485,9 @@ func (s *Sharded) ApplyDelta(d *ShardedDelta) error {
 		return fmt.Errorf("stream: delta merging options (δ=%v, γ=%v) against engine's (δ=%v, γ=%v)",
 			d.opts.Delta, d.opts.Gamma, s.opts.Delta, s.opts.Gamma)
 	}
+	if d.windowEpochs != s.windowEpochs {
+		return fmt.Errorf("stream: delta with %d-epoch window against engine's %d", d.windowEpochs, s.windowEpochs)
+	}
 	for j, idx := range d.shards {
 		sh := s.shards[idx]
 		sh.mu.Lock()
@@ -414,6 +503,9 @@ func (s *Sharded) ApplyDelta(d *ShardedDelta) error {
 		if err := sh.m.replaceState(st); err != nil {
 			sh.mu.Unlock()
 			return fmt.Errorf("stream: shard %d: %w", idx, err)
+		}
+		if st.ring != nil {
+			st.ring.install(sh.m)
 		}
 		sh.updates = st.updates
 		if len(st.log) > cap(sh.active) {

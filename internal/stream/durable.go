@@ -58,6 +58,11 @@ type DurableOptions struct {
 	CheckpointInterval time.Duration
 	// OpenFile is the WAL's segment-file opener override (fault injection).
 	OpenFile wal.OpenFileFunc
+	// WindowEpochs, when ≥ 1, creates a windowed engine retaining that many
+	// epochs (see NewWindowedMaintainer/NewWindowedSharded); epoch boundaries
+	// are durably logged as empty WAL records by Advance. Only the create
+	// paths read it — recovery restores the span from the checkpoint.
+	WindowEpochs int
 }
 
 // DefaultCheckpointEvery is the default checkpoint cadence in ingest calls.
@@ -122,7 +127,13 @@ type DurableSharded struct {
 // committing an initial (empty) checkpoint. It fails if the directory
 // already holds a log — use RecoverDurableSharded or OpenDurableSharded.
 func NewDurableSharded(n, k, shards, bufferCap int, copts core.Options, opts DurableOptions) (*DurableSharded, error) {
-	s, err := NewSharded(n, k, shards, bufferCap, copts)
+	var s *Sharded
+	var err error
+	if opts.WindowEpochs >= 1 {
+		s, err = NewWindowedSharded(n, k, opts.WindowEpochs, shards, bufferCap, copts)
+	} else {
+		s, err = NewSharded(n, k, shards, bufferCap, copts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +173,11 @@ func RecoverDurableSharded(opts DurableOptions) (*DurableSharded, error) {
 	replayed := 0
 	err = l.Replay(info.SnapshotSeq, func(r wal.Record) error {
 		replayed++
+		// An empty record is an epoch-boundary marker (only Advance logs
+		// one: ingest calls early-return on empty batches before logging).
+		if len(r.Points) == 0 {
+			return s.Advance()
+		}
 		return s.AddBatch(r.Points, r.Weights)
 	})
 	if err != nil {
@@ -282,11 +298,46 @@ func (d *DurableSharded) AddBatch(points []int, weights []float64) error {
 	return nil
 }
 
+// Advance durably seals the current epoch on a windowed engine: the
+// boundary is logged as an empty WAL record before the ring rotates, so
+// recovery replays it in sequence and resumes the ring bit-identically.
+func (d *DurableSharded) Advance() error {
+	if !d.s.Windowed() {
+		return fmt.Errorf("stream: Advance on a non-windowed engine")
+	}
+	d.mu.RLock()
+	if _, err := d.log.Append(nil, nil); err != nil {
+		d.mu.RUnlock()
+		return err
+	}
+	err := d.s.Advance()
+	d.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	d.maybeCheckpoint()
+	return nil
+}
+
 // EstimateRange delegates to the engine.
 func (d *DurableSharded) EstimateRange(a, b int) (float64, error) { return d.s.EstimateRange(a, b) }
 
+// EstimateRangeOver delegates a windowed/decayed range query to the engine.
+func (d *DurableSharded) EstimateRangeOver(a, b, window int, halflife float64) (float64, error) {
+	return d.s.EstimateRangeOver(a, b, window, halflife)
+}
+
+// Windowed reports whether the wrapped engine retains a sliding epoch window.
+func (d *DurableSharded) Windowed() bool { return d.s.Windowed() }
+
 // Summary drains and merges the per-shard summaries (see Sharded.Summary).
 func (d *DurableSharded) Summary() (*core.Histogram, error) { return d.s.Summary() }
+
+// SummaryOver merges the window's decayed per-epoch summaries (see
+// Sharded.SummaryOver).
+func (d *DurableSharded) SummaryOver(window int, halflife float64) (*core.Histogram, error) {
+	return d.s.SummaryOver(window, halflife)
+}
 
 // maybeCheckpoint cuts a checkpoint in the background once CheckpointEvery
 // ingest calls accumulate; single-flight, so a slow snapshot never stacks.
@@ -449,7 +500,13 @@ type DurableMaintainer struct {
 // NewDurableMaintainer builds a fresh maintainer with a fresh WAL in
 // opts.Dir.
 func NewDurableMaintainer(n, k, bufferCap int, copts core.Options, opts DurableOptions) (*DurableMaintainer, error) {
-	m, err := NewMaintainer(n, k, bufferCap, copts)
+	var m *Maintainer
+	var err error
+	if opts.WindowEpochs >= 1 {
+		m, err = NewWindowedMaintainer(n, k, opts.WindowEpochs, bufferCap, copts)
+	} else {
+		m, err = NewMaintainer(n, k, bufferCap, copts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -480,6 +537,11 @@ func RecoverDurableMaintainer(opts DurableOptions) (*DurableMaintainer, error) {
 	replayed := 0
 	err = l.Replay(info.SnapshotSeq, func(r wal.Record) error {
 		replayed++
+		// An empty record is an epoch-boundary marker (only Advance logs
+		// one: ingest calls early-return on empty batches before logging).
+		if len(r.Points) == 0 {
+			return m.Advance()
+		}
 		return m.AddBatch(r.Points, r.Weights)
 	})
 	if err != nil {
@@ -517,6 +579,56 @@ func (d *DurableMaintainer) EstimateRange(a, b int) (float64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.m.EstimateRange(a, b)
+}
+
+// EstimateRangeOver answers a windowed/decayed range query under the ingest
+// lock.
+func (d *DurableMaintainer) EstimateRangeOver(a, b, window int, halflife float64) (float64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m.EstimateRangeOver(a, b, window, halflife)
+}
+
+// Windowed reports whether the wrapped maintainer retains a sliding epoch
+// window.
+func (d *DurableMaintainer) Windowed() bool { return d.m.Windowed() }
+
+// SummaryOver merges the window's decayed per-epoch summaries under the
+// ingest lock.
+func (d *DurableMaintainer) SummaryOver(window int, halflife float64) (*core.Histogram, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m.SummaryOver(window, halflife)
+}
+
+// Advance durably seals the current epoch on a windowed maintainer: the
+// boundary is logged as an empty WAL record before the ring rotates, so
+// recovery replays it in sequence and resumes the ring bit-identically.
+func (d *DurableMaintainer) Advance() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("stream: durable maintainer is closed")
+	}
+	if !d.m.Windowed() {
+		d.mu.Unlock()
+		return fmt.Errorf("stream: Advance on a non-windowed engine")
+	}
+	if _, err := d.log.Append(nil, nil); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	err := d.m.Advance()
+	d.sinceCkpt++
+	due := d.checkpointDueLocked()
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if due {
+		return d.Checkpoint()
+	}
+	return nil
 }
 
 // Add records one update durably.

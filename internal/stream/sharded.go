@@ -52,6 +52,9 @@ type Sharded struct {
 	// batchScratch recycles AddBatch's per-shard scatter buffers across
 	// calls (and across concurrent batching producers).
 	batchScratch sync.Pool
+	// windowEpochs is the sliding-window span in epochs of a windowed engine
+	// (every shard maintainer carries a ring of that span); 0 when plain.
+	windowEpochs int
 }
 
 // ingestShard is one intake lane: the striped mutex, the double-buffered
@@ -371,6 +374,11 @@ func (sh *ingestShard) drainLocked() error {
 // O(log pieces) plus a scan of that shard's pending updates (O(2·bufferCap)
 // worst case).
 func (s *Sharded) EstimateRange(a, b int) (float64, error) {
+	if s.windowEpochs > 0 {
+		// A windowed engine's plain query covers every retained epoch,
+		// undecayed.
+		return s.EstimateRangeOver(a, b, 0, 0)
+	}
 	if a < 1 || b > s.n || a > b {
 		return 0, fmt.Errorf("stream: range [%d, %d] invalid for domain [1, %d]", a, b, s.n)
 	}
@@ -408,6 +416,11 @@ func (s *Sharded) EstimateRange(a, b int) (float64, error) {
 // ingestion the snapshot is per-shard consistent: each shard contributes
 // every update it had absorbed when visited.
 func (s *Sharded) Summary() (*core.Histogram, error) {
+	if s.windowEpochs > 0 {
+		// A windowed engine's plain summary covers every retained epoch,
+		// undecayed.
+		return s.SummaryOver(0, 0)
+	}
 	hs := make([]*core.Histogram, 0, len(s.shards))
 	for _, sh := range s.shards {
 		sh.mu.Lock()

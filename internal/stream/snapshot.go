@@ -83,6 +83,11 @@ type maintainerState struct {
 	values      []float64
 	viewErr     float64
 	log         []sparse.Entry
+	// ring is the sealed-epoch ring of a windowed maintainer (nil when
+	// plain). It is NOT part of encode/decode — that layout is frozen for
+	// TagMaintainer/TagSharded; the windowed envelope writes the ring as a
+	// suffix after each state (see windowsnap.go).
+	ring *capturedRing
 }
 
 // captureState copies the maintainer's snapshot-relevant state. The copies
@@ -95,6 +100,7 @@ func captureState(m *Maintainer, log []sparse.Entry) maintainerState {
 		compactions: m.compactions,
 		hasView:     !m.view.empty(),
 		log:         append([]sparse.Entry(nil), log...),
+		ring:        captureRing(m),
 	}
 	if st.hasView {
 		st.ends = m.view.part.Boundaries()
@@ -220,6 +226,9 @@ func (st *maintainerState) apply(m *Maintainer) error {
 // updates yields identical summaries, compaction cadence, and EstimateRange
 // answers.
 func (m *Maintainer) Snapshot(w io.Writer) error {
+	if m.win != nil {
+		return m.snapshotWindowed(w)
+	}
 	enc := codec.NewWriter(w, codec.TagMaintainer)
 	encodeConfig(enc, m.n, m.k, m.opts, m.bufferCap)
 	st := captureState(m, m.buffer)
@@ -264,10 +273,21 @@ func RestoreMaintainer(r io.Reader) (*Maintainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	if tag != codec.TagMaintainer {
+	var m *Maintainer
+	switch tag {
+	case codec.TagMaintainer:
+		m, err = DecodeMaintainerPayload(dec)
+	case codec.TagWindowed:
+		var v any
+		if v, err = DecodeWindowedPayload(dec); err == nil {
+			var ok bool
+			if m, ok = v.(*Maintainer); !ok {
+				return nil, fmt.Errorf("stream: windowed envelope holds a sharded engine, not a maintainer")
+			}
+		}
+	default:
 		return nil, fmt.Errorf("stream: envelope holds type tag %d, not a maintainer checkpoint", tag)
 	}
-	m, err := DecodeMaintainerPayload(dec)
 	if err != nil {
 		return nil, err
 	}
@@ -300,6 +320,10 @@ func (s *Sharded) Snapshot(w io.Writer) error {
 		states[i] = captureState(sh.m, sh.active)
 		states[i].updates = sh.updates
 		sh.mu.Unlock()
+	}
+	if s.windowEpochs > 0 {
+		_, err := writeWindowedSharded(w, s.n, s.k, s.opts, s.shards[0].bufCap, s.windowEpochs, states)
+		return err
 	}
 	enc := codec.NewWriter(w, codec.TagSharded)
 	encodeConfig(enc, s.n, s.k, s.opts, s.shards[0].bufCap)
@@ -358,10 +382,21 @@ func RestoreSharded(r io.Reader) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	if tag != codec.TagSharded {
+	var s *Sharded
+	switch tag {
+	case codec.TagSharded:
+		s, err = DecodeShardedPayload(dec)
+	case codec.TagWindowed:
+		var v any
+		if v, err = DecodeWindowedPayload(dec); err == nil {
+			var ok bool
+			if s, ok = v.(*Sharded); !ok {
+				return nil, fmt.Errorf("stream: windowed envelope holds a maintainer, not a sharded engine")
+			}
+		}
+	default:
 		return nil, fmt.Errorf("stream: envelope holds type tag %d, not a sharded checkpoint", tag)
 	}
-	s, err := DecodeShardedPayload(dec)
 	if err != nil {
 		return nil, err
 	}

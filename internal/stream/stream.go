@@ -164,6 +164,10 @@ type Maintainer struct {
 	updates     int
 	compactions int
 	compactDur  durRing
+
+	// win is the sealed-epoch ring of a windowed maintainer (see window.go);
+	// nil on a plain maintainer, where every query covers the full history.
+	win *windowRing
 }
 
 // resolveBufferCap applies the shared default: 0 or negative picks a buffer
@@ -410,6 +414,11 @@ func (m *Maintainer) dedupedBuffer(log []sparse.Entry) []sparse.Entry {
 // circuits to the summary lookup alone when the buffer is empty — len(buffer)
 // is the running pending-update count, so the empty check is free.
 func (m *Maintainer) EstimateRange(a, b int) (float64, error) {
+	if m.win != nil {
+		// A windowed maintainer's plain query covers every retained epoch,
+		// undecayed.
+		return m.EstimateRangeOver(a, b, 0, 0)
+	}
 	if a < 1 || b > m.n || a > b {
 		return 0, fmt.Errorf("stream: range [%d, %d] invalid for domain [1, %d]", a, b, m.n)
 	}
@@ -450,6 +459,11 @@ func (m *Maintainer) materialize() *core.Histogram {
 // guarantee at O(k) pieces. The returned histogram is immutable and remains
 // valid (and correct for the stream seen so far) after further updates.
 func (m *Maintainer) Summary() (*core.Histogram, error) {
+	if m.win != nil {
+		// A windowed maintainer's plain summary covers every retained epoch,
+		// undecayed.
+		return m.SummaryOver(0, 0)
+	}
 	if err := m.compactFull(); err != nil {
 		return nil, err
 	}

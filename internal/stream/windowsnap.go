@@ -1,0 +1,231 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/sparse"
+)
+
+// Checkpoint/restore for windowed engines: the TagWindowed envelope.
+//
+// A windowed engine is a plain engine plus an epoch ring per maintainer, so
+// its checkpoint reuses the frozen maintainerState layout verbatim and
+// appends the ring as a suffix after each state:
+//
+//	encodeConfig | Int(windowEpochs) | Byte(mode) | body
+//
+// where mode 0 is a single maintainer (one state+ring) and mode 1 a sharded
+// engine (Int(shardCount), then shardCount state+ring pairs). Each ring is
+//
+//	Uvarint(tick) | Int(slots) | per slot: DeltaInts(ends), PackedFloat64s(values)
+//
+// Sealed slots are O(k)-piece summaries over the full domain [1, n], oldest
+// first. A restore rebuilds them with the same left-to-right prefix
+// accumulation as the live engine, so a restored engine resumes
+// bit-identically mid-window: same windowed answers, same future epoch
+// seals, same compaction cadence.
+
+// Windowed-envelope body modes.
+const (
+	windowedModeMaintainer byte = 0
+	windowedModeSharded    byte = 1
+)
+
+// capturedRing is an epoch ring detached from its engine: the slot
+// histograms are immutable, so capture is a pointer copy.
+type capturedRing struct {
+	tick  uint64
+	slots []*core.Histogram
+}
+
+// captureRing copies the maintainer's ring state (nil when plain). Must run
+// while the caller holds whatever lock guards the maintainer.
+func captureRing(m *Maintainer) *capturedRing {
+	if m.win == nil {
+		return nil
+	}
+	return &capturedRing{
+		tick:  m.win.tick,
+		slots: append([]*core.Histogram(nil), m.win.slots...),
+	}
+}
+
+func encodeRing(w *codec.Writer, r *capturedRing) {
+	w.Uvarint(r.tick)
+	w.Int(len(r.slots))
+	for _, h := range r.slots {
+		pieces := h.Pieces()
+		ends := make([]int, len(pieces))
+		vals := make([]float64, len(pieces))
+		for i, pc := range pieces {
+			ends[i] = pc.Hi
+			vals[i] = pc.Value
+		}
+		w.DeltaInts(ends)
+		w.PackedFloat64s(vals)
+	}
+}
+
+func decodeRing(r *codec.Reader, n, epochs int) (*capturedRing, error) {
+	tick, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.SliceLen()
+	if err != nil {
+		return nil, err
+	}
+	if count > epochs-1 {
+		return nil, fmt.Errorf("stream: %d sealed epochs in a %d-epoch window", count, epochs)
+	}
+	if uint64(count) > tick {
+		return nil, fmt.Errorf("stream: %d sealed epochs after %d ticks", count, tick)
+	}
+	ring := &capturedRing{tick: tick}
+	if epochs > 1 {
+		ring.slots = make([]*core.Histogram, 0, epochs-1)
+	}
+	for i := 0; i < count; i++ {
+		ends, err := r.DeltaInts()
+		if err != nil {
+			return nil, err
+		}
+		vals, err := r.PackedFloat64s()
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(ends) {
+			return nil, fmt.Errorf("stream: epoch slot with %d values for %d pieces", len(vals), len(ends))
+		}
+		part, err := interval.FromBoundaries(n, ends)
+		if err != nil {
+			return nil, fmt.Errorf("stream: epoch slot %d: %w", i, err)
+		}
+		ring.slots = append(ring.slots, core.NewHistogram(n, part, vals))
+	}
+	return ring, nil
+}
+
+// install moves the captured ring onto a windowed maintainer.
+func (r *capturedRing) install(m *Maintainer) {
+	m.win.tick = r.tick
+	m.win.slots = append(m.win.slots[:0], r.slots...)
+}
+
+// snapshotWindowed writes the maintainer (mode 0) TagWindowed envelope.
+func (m *Maintainer) snapshotWindowed(w io.Writer) error {
+	enc := codec.NewWriter(w, codec.TagWindowed)
+	encodeConfig(enc, m.n, m.k, m.opts, m.bufferCap)
+	enc.Int(m.win.epochs)
+	enc.Byte(windowedModeMaintainer)
+	st := captureState(m, m.buffer)
+	st.encode(enc)
+	encodeRing(enc, st.ring)
+	return enc.Close()
+}
+
+// writeWindowedSharded writes the sharded (mode 1) TagWindowed envelope from
+// already-captured per-shard states (each carrying its ring). Shared by
+// Sharded.Snapshot and Checkpoint.WriteTo.
+func writeWindowedSharded(w io.Writer, n, k int, opts core.Options, bufferCap, epochs int, states []maintainerState) (int64, error) {
+	enc := codec.NewWriter(w, codec.TagWindowed)
+	encodeConfig(enc, n, k, opts, bufferCap)
+	enc.Int(epochs)
+	enc.Byte(windowedModeSharded)
+	enc.Int(len(states))
+	for i := range states {
+		states[i].encode(enc)
+		encodeRing(enc, states[i].ring)
+	}
+	err := enc.Close()
+	return enc.Len(), err
+}
+
+// DecodeWindowedPayload reads and validates a TagWindowed checkpoint payload
+// and rebuilds the engine it holds: a *Maintainer (mode 0) or a *Sharded
+// (mode 1). Exported for the top-level tag dispatcher.
+func DecodeWindowedPayload(dec *codec.Reader) (any, error) {
+	n, k, opts, bufferCap, err := decodeConfig(dec)
+	if err != nil {
+		return nil, err
+	}
+	epochs, err := dec.Int()
+	if err != nil {
+		return nil, err
+	}
+	if epochs < 1 {
+		return nil, fmt.Errorf("stream: windowed checkpoint with %d epochs", epochs)
+	}
+	mode, err := dec.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case windowedModeMaintainer:
+		st, err := decodeState(dec, n)
+		if err != nil {
+			return nil, err
+		}
+		ring, err := decodeRing(dec, n, epochs)
+		if err != nil {
+			return nil, err
+		}
+		m, err := newMaintainer(n, k, bufferCap, opts)
+		if err != nil {
+			return nil, err
+		}
+		m.win = newWindowRing(epochs)
+		if err := st.apply(m); err != nil {
+			return nil, err
+		}
+		ring.install(m)
+		capHint := m.bufferCap
+		if len(st.log) > capHint {
+			capHint = len(st.log)
+		}
+		m.buffer = make([]sparse.Entry, 0, capHint)
+		m.buffer = append(m.buffer, st.log...)
+		return m, nil
+	case windowedModeSharded:
+		shardCount, err := dec.SliceLen()
+		if err != nil {
+			return nil, err
+		}
+		if shardCount < 1 {
+			return nil, fmt.Errorf("stream: windowed checkpoint with %d shards", shardCount)
+		}
+		states := make([]maintainerState, shardCount)
+		rings := make([]*capturedRing, shardCount)
+		for i := range states {
+			if states[i], err = decodeState(dec, n); err != nil {
+				return nil, err
+			}
+			if rings[i], err = decodeRing(dec, n, epochs); err != nil {
+				return nil, fmt.Errorf("stream: shard %d: %w", i, err)
+			}
+		}
+		s, err := NewWindowedSharded(n, k, epochs, shardCount, bufferCap, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, sh := range s.shards {
+			st := &states[i]
+			if err := st.apply(sh.m); err != nil {
+				return nil, fmt.Errorf("stream: shard %d: %w", i, err)
+			}
+			rings[i].install(sh.m)
+			sh.updates = st.updates
+			if len(st.log) > cap(sh.active) {
+				sh.active = make([]sparse.Entry, 0, len(st.log))
+			}
+			sh.active = append(sh.active[:0], st.log...)
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("stream: bad windowed checkpoint mode %d", mode)
+	}
+}
