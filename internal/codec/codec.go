@@ -71,6 +71,13 @@ const (
 	// shipped between servers), not a persistent synopsis, and must never be
 	// decodable as one. internal/serve's body tags occupy 0xF0–0xF3.
 	TagShardedDelta byte = 0xF4 // stream.Sharded delta checkpoint (changed shards only)
+	// TagShardedDeltaW is the windowed-engine delta layout: TagShardedDelta
+	// plus the window span in the header and each carried shard's epoch ring
+	// after its state. It is a separate tag (not a field spliced into 0xF4)
+	// so a mixed-version fleet fails loudly — an old binary rejects the
+	// unknown tag instead of misparsing the extra fields, and plain engines
+	// keep emitting byte-identical 0xF4 frames across the upgrade.
+	TagShardedDeltaW byte = 0xF5 // stream.Sharded delta checkpoint, windowed engine
 )
 
 // castagnoli is the CRC-32C table (iSCSI polynomial), hardware-accelerated

@@ -619,8 +619,9 @@ func writeSnapshotBody(w http.ResponseWriter, body []byte) {
 // In-flight requests keep serving the object they already loaded. The body
 // lands in a pooled wire buffer — on a replica syncing every few hundred
 // milliseconds this is the hot path, and steady-state decode should recycle
-// its scratch like the binary query paths do. A TagShardedDelta body is
-// dispatched to the delta-apply path instead of the decode-and-swap one.
+// its scratch like the binary query paths do. A delta body (TagShardedDelta
+// or TagShardedDeltaW) is dispatched to the delta-apply path instead of the
+// decode-and-swap one.
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes)
@@ -637,7 +638,8 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "%v", err)
 		return
 	}
-	if len(req) >= 6 && [4]byte(req[:4]) == codec.Magic && req[5] == codec.TagShardedDelta {
+	if len(req) >= 6 && [4]byte(req[:4]) == codec.Magic &&
+		(req[5] == codec.TagShardedDelta || req[5] == codec.TagShardedDeltaW) {
 		s.applyDelta(w, name, req)
 		return
 	}

@@ -12,9 +12,10 @@ import (
 // Delta checkpoints: replication proportional to change, not state.
 //
 // A full TagSharded envelope re-ships every shard on every sync even when one
-// shard changed. The delta frame (TagShardedDelta) instead carries a header
-// of {shard, fromVersion, toVersion} triples plus ONLY the changed shards'
-// summary views and pending logs. Versions are the per-shard counters
+// shard changed. The delta frame (TagShardedDelta, or TagShardedDeltaW for a
+// windowed engine) instead carries a header of {shard, fromVersion,
+// toVersion} triples plus ONLY the changed shards' summary views and pending
+// logs. Versions are the per-shard counters
 // Sharded maintains (bumped on every pending-log mutation and every
 // compaction install), captured consistently with the state by Checkpoint;
 // the epoch scopes them to one engine life, so a restarted primary can never
@@ -28,25 +29,34 @@ import (
 // delta, which doubles as the full-resync payload (a replica can rebuild an
 // engine from it with no prior state).
 
-// AppendDelta appends one complete TagShardedDelta envelope to dst and
-// returns the extended slice. since is the requesting replica's version
-// vector (from this checkpoint's epoch): shards whose captured version
-// differs from since[i] are included with fromVersion since[i]. A nil since
-// requests a complete delta: every shard, fromVersion 0. A checkpoint is
-// immutable, so repeated calls with the same since emit identical bytes.
+// AppendDelta appends one complete delta envelope to dst and returns the
+// extended slice: TagShardedDelta for a plain engine (the layout every
+// release has shipped) or TagShardedDeltaW for a windowed one, which adds
+// the window span to the header and each carried shard's epoch ring after
+// its state. since is the requesting replica's version vector (from this
+// checkpoint's epoch): shards whose captured version differs from since[i]
+// are included with fromVersion since[i]. A nil since requests a complete
+// delta: every shard, fromVersion 0. A checkpoint is immutable, so repeated
+// calls with the same since emit identical bytes.
 func (c *Checkpoint) AppendDelta(dst []byte, since []uint64) ([]byte, error) {
 	if since != nil && len(since) != len(c.states) {
 		return nil, fmt.Errorf("stream: since vector has %d entries for %d shards", len(since), len(c.states))
 	}
 	start := len(dst)
-	dst = codec.AppendFrameHeader(dst, codec.TagShardedDelta)
+	tag := codec.TagShardedDelta
+	if c.windowEpochs > 0 {
+		tag = codec.TagShardedDeltaW
+	}
+	dst = codec.AppendFrameHeader(dst, tag)
 	dst = codec.AppendUvarint(dst, uint64(c.n))
 	dst = codec.AppendUvarint(dst, uint64(c.k))
 	dst = codec.AppendFloat64(dst, c.opts.Delta)
 	dst = codec.AppendFloat64(dst, c.opts.Gamma)
 	dst = codec.AppendVarint(dst, int64(c.opts.Workers))
 	dst = codec.AppendUvarint(dst, uint64(c.bufferCap))
-	dst = codec.AppendUvarint(dst, uint64(c.windowEpochs))
+	if c.windowEpochs > 0 {
+		dst = codec.AppendUvarint(dst, uint64(c.windowEpochs))
+	}
 	dst = codec.AppendUvarint(dst, c.epoch)
 	dst = codec.AppendUvarint(dst, uint64(len(c.states)))
 	changed := make([]int, 0, len(c.states))
@@ -194,7 +204,9 @@ func payloadInt(p *codec.FramePayload) (int, error) {
 // ParseShardedDelta validates one complete delta frame (magic, version, tag,
 // CRC-32C footer) and decodes it in place — states reference freshly decoded
 // slices, never the input buffer, so the frame buffer may be recycled after
-// the call. Every shape and range check decodeState applies to full
+// the call. Both layouts are accepted: TagShardedDelta (plain engine) and
+// TagShardedDeltaW (windowed engine, with the window span and per-shard
+// epoch rings). Every shape and range check decodeState applies to full
 // checkpoints is applied here, plus the delta-specific ones: strictly
 // increasing shard indices inside the engine's shard count, and per-shard
 // version transitions that do not go backwards.
@@ -203,7 +215,7 @@ func ParseShardedDelta(frame []byte) (*ShardedDelta, error) {
 	if err != nil {
 		return nil, err
 	}
-	if tag != codec.TagShardedDelta {
+	if tag != codec.TagShardedDelta && tag != codec.TagShardedDeltaW {
 		return nil, fmt.Errorf("stream: envelope holds type tag %d, not a sharded delta", tag)
 	}
 	p := codec.NewFramePayload(payload)
@@ -237,8 +249,13 @@ func ParseShardedDelta(frame []byte) (*ShardedDelta, error) {
 	if d.bufferCap < 1 {
 		return nil, fmt.Errorf("stream: delta with buffer capacity %d", d.bufferCap)
 	}
-	if d.windowEpochs, err = payloadInt(&p); err != nil {
-		return nil, err
+	if tag == codec.TagShardedDeltaW {
+		if d.windowEpochs, err = payloadInt(&p); err != nil {
+			return nil, err
+		}
+		if d.windowEpochs < 1 {
+			return nil, fmt.Errorf("stream: windowed delta with a %d-epoch window", d.windowEpochs)
+		}
 	}
 	if d.epoch, err = p.Uvarint(); err != nil {
 		return nil, err

@@ -426,3 +426,71 @@ func TestDeltaErrorPaths(t *testing.T) {
 		t.Fatal("rebuilt an engine from an incomplete delta")
 	}
 }
+
+// TestDeltaTagMatchesEngineKind pins the wire-compatibility split: a plain
+// engine's delta keeps the original TagShardedDelta layout (byte-stable
+// across the windowed-engine upgrade, so old replicas of plain primaries
+// keep working), while a windowed engine's delta is a distinct
+// TagShardedDeltaW frame an old binary rejects loudly instead of
+// misparsing. Both tags parse back to the engine kind that emitted them.
+func TestDeltaTagMatchesEngineKind(t *testing.T) {
+	const n, k, shards, bufCap = 500, 4, 2, 16
+	plain, err := NewSharded(n, k, shards, bufCap, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := NewWindowedSharded(n, k, 3, shards, bufCap, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		if err := plain.Add(i, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := windowed.Add(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := windowed.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	frameFor := func(s *Sharded) []byte {
+		cp, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := cp.AppendDelta(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame
+	}
+	pf, wf := frameFor(plain), frameFor(windowed)
+	if pf[5] != codec.TagShardedDelta {
+		t.Fatalf("plain delta tag = %#x, want TagShardedDelta (%#x)", pf[5], codec.TagShardedDelta)
+	}
+	if wf[5] != codec.TagShardedDeltaW {
+		t.Fatalf("windowed delta tag = %#x, want TagShardedDeltaW (%#x)", wf[5], codec.TagShardedDeltaW)
+	}
+	pd, err := ParseShardedDelta(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.windowEpochs != 0 {
+		t.Fatalf("plain delta parsed with a %d-epoch window", pd.windowEpochs)
+	}
+	wd, err := ParseShardedDelta(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.windowEpochs != 3 {
+		t.Fatalf("windowed delta parsed with a %d-epoch window, want 3", wd.windowEpochs)
+	}
+	// Cross-application is a shape mismatch, not a misparse.
+	if err := plain.ApplyDelta(wd); err == nil {
+		t.Fatal("windowed delta applied to a plain engine")
+	}
+	if err := windowed.ApplyDelta(pd); err == nil {
+		t.Fatal("plain delta applied to a windowed engine")
+	}
+}

@@ -102,9 +102,11 @@ type DurableStats struct {
 // DurableSharded is a Sharded engine whose ingest calls are write-ahead
 // logged. All methods are safe for concurrent use.
 type DurableSharded struct {
-	// mu orders appends against checkpoints: ingest holds it shared (the
-	// log-then-apply pair must not straddle a checkpoint capture), a
-	// checkpoint holds it exclusive only for capture + rotate.
+	// mu orders appends against checkpoints and epoch seals: ingest holds it
+	// shared (the log-then-apply pair must not straddle a checkpoint capture),
+	// a checkpoint holds it exclusive only for capture + rotate, and Advance
+	// holds it exclusive so the epoch marker's log position matches the ring
+	// rotation exactly (see Advance).
 	mu   sync.RWMutex
 	s    *Sharded
 	log  *wal.Log
@@ -301,18 +303,30 @@ func (d *DurableSharded) AddBatch(points []int, weights []float64) error {
 // Advance durably seals the current epoch on a windowed engine: the
 // boundary is logged as an empty WAL record before the ring rotates, so
 // recovery replays it in sequence and resumes the ring bit-identically.
+//
+// Unlike ingest, Advance holds the mutex EXCLUSIVELY: an epoch marker is an
+// ordering fence, and if it shared the read side with Add/AddBatch a
+// concurrent batch could land in the log on one side of the marker but hit
+// the engine on the other — replay would then seal the batch into a
+// different epoch than the live run did, breaking bit-identical recovery.
+// The write lock makes the marker's log position and the ring rotation one
+// atomic step with respect to every ingest call.
 func (d *DurableSharded) Advance() error {
 	if !d.s.Windowed() {
 		return fmt.Errorf("stream: Advance on a non-windowed engine")
 	}
-	d.mu.RLock()
+	d.mu.Lock()
 	if _, err := d.log.Append(nil, nil); err != nil {
-		d.mu.RUnlock()
+		d.mu.Unlock()
 		return err
 	}
 	err := d.s.Advance()
-	d.mu.RUnlock()
+	d.mu.Unlock()
 	if err != nil {
+		// The log durably holds a marker the engine never applied; replaying
+		// it would seal one epoch more than the live run. Poison the log so
+		// no further appends can build on the divergent history.
+		d.log.Fail(fmt.Errorf("stream: epoch seal failed after its marker was logged: %w", err))
 		return err
 	}
 	d.maybeCheckpoint()
@@ -623,6 +637,10 @@ func (d *DurableMaintainer) Advance() error {
 	due := d.checkpointDueLocked()
 	d.mu.Unlock()
 	if err != nil {
+		// The marker is durably logged but the engine never sealed; replay
+		// would apply one extra seal. Poison the log so the divergent
+		// history cannot grow (same policy as DurableSharded.Advance).
+		d.log.Fail(fmt.Errorf("stream: epoch seal failed after its marker was logged: %w", err))
 		return err
 	}
 	if due {

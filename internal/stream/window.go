@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -296,10 +297,17 @@ func (s *Sharded) Tick() uint64 {
 // advanced under the shard lock, bumping the shard version so delta
 // replication ships the rotated ring. Concurrent producers see a per-shard
 // epoch boundary, the same consistency Summary and Snapshot offer.
+//
+// A per-shard failure does not stop the sweep: the remaining shards are
+// still sealed so the healthy rings stay in lockstep (Tick reads shard 0),
+// and the joined errors are returned. A failed shard is poisoned (its err
+// is sticky), so every later ingest or query touching it keeps failing —
+// windowed answers from the engine are unspecified after a non-nil Advance.
 func (s *Sharded) Advance() error {
 	if s.windowEpochs == 0 {
 		return fmt.Errorf("stream: Advance on a non-windowed engine")
 	}
+	var errs []error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		err := sh.drainLocked()
@@ -308,14 +316,15 @@ func (s *Sharded) Advance() error {
 				sh.err = err
 			}
 		}
-		if err != nil {
-			sh.mu.Unlock()
-			return err
+		if err == nil {
+			sh.version++
 		}
-		sh.version++
 		sh.mu.Unlock()
+		if err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // EstimateRangeOver answers a range sum over the newest `window` epochs

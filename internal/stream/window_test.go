@@ -2,8 +2,10 @@ package stream
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -752,5 +754,138 @@ func TestWindowedValidation(t *testing.T) {
 	}
 	if one.Tick() != 1 {
 		t.Fatalf("tick %d, want 1", one.Tick())
+	}
+}
+
+// TestShardedAdvanceSealsHealthyShardsOnError pins the lockstep contract: a
+// per-shard seal failure does not stop the sweep — every healthy shard's
+// ring still rotates (so Tick, read from shard 0, stays honest) and the
+// failure is in the joined error. The failed shard stays poisoned, so
+// windowed answers from the engine keep failing rather than silently
+// serving out-of-lockstep rings.
+func TestShardedAdvanceSealsHealthyShardsOnError(t *testing.T) {
+	const P = 4
+	s, err := NewWindowedSharded(windowN, windowK, 3, P, windowCap, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		if err := s.Add(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := errors.New("injected shard failure")
+	bad := s.shards[1]
+	bad.mu.Lock()
+	bad.err = sentinel
+	bad.mu.Unlock()
+	if err := s.Advance(); !errors.Is(err, sentinel) {
+		t.Fatalf("Advance = %v, want the injected shard error", err)
+	}
+	for i, sh := range s.shards {
+		want := uint64(1)
+		if i == 1 {
+			want = 0
+		}
+		if got := sh.m.win.tick; got != want {
+			t.Errorf("shard %d tick = %d after Advance, want %d", i, got, want)
+		}
+	}
+	if _, err := s.EstimateRangeOver(1, windowN, 0, 0); !errors.Is(err, sentinel) {
+		t.Fatalf("windowed query on the poisoned engine = %v, want the injected error", err)
+	}
+}
+
+// TestDurableAdvanceSealFailurePoisonsWAL pins the marker/seal asymmetry:
+// when the epoch marker reaches the log but the engine seal then fails, the
+// log durably records a boundary the engine never took — so the durable
+// wrapper must poison the WAL, refusing to grow a history that replays
+// differently than the live run.
+func TestDurableAdvanceSealFailurePoisonsWAL(t *testing.T) {
+	d, err := NewDurableSharded(windowN, windowK, 2, windowCap, core.DefaultOptions(), DurableOptions{
+		Dir: t.TempDir(), CheckpointEvery: -1, WindowEpochs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("injected shard failure")
+	bad := d.Engine().shards[0]
+	bad.mu.Lock()
+	bad.err = sentinel
+	bad.mu.Unlock()
+	if err := d.Advance(); !errors.Is(err, sentinel) {
+		t.Fatalf("durable Advance = %v, want the injected shard error", err)
+	}
+	if err := d.Add(2, 1); !errors.Is(err, sentinel) {
+		t.Fatalf("ingest after a failed durable seal = %v, want the poison error", err)
+	}
+	if err := d.Sync(); !errors.Is(err, sentinel) {
+		t.Fatalf("Sync after a failed durable seal = %v, want the poison error", err)
+	}
+}
+
+// TestConcurrentAdvanceIngestRecovery pins the epoch-marker ordering fence:
+// Advance holds the durability mutex exclusively, so with a sealer running
+// concurrently with ingest every logged batch lands on the same side of the
+// marker in the WAL as it did in the live engine, and crash recovery
+// reproduces the per-epoch split — and every windowed answer — bit-
+// identically. (With the marker on the shared read side, a batch could be
+// logged after the marker but applied before the seal, silently moving it
+// one epoch earlier on replay.)
+func TestConcurrentAdvanceIngestRecovery(t *testing.T) {
+	points, weights := streamFixture(windowN, windowTotal, 77)
+	const W, seals = 4, 25
+	dir := t.TempDir()
+	d, err := NewDurableSharded(windowN, windowK, 2, windowCap, core.DefaultOptions(), DurableOptions{
+		Dir: dir, CheckpointEvery: -1, WindowEpochs: W,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < seals; i++ {
+			if err := d.Advance(); err != nil {
+				done <- err
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		done <- nil
+	}()
+	for i := 0; i < windowTotal; i++ {
+		if err := d.Add(points[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverDurableSharded(DurableOptions{Dir: copyDir(t, dir), CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	defer d.Close()
+	if got, want := rec.Engine().Tick(), d.Engine().Tick(); got != want {
+		t.Fatalf("recovered tick = %d, want %d", got, want)
+	}
+	waitQuiesce(d.Engine())
+	waitQuiesce(rec.Engine())
+	for w := 0; w <= W; w++ {
+		for _, pr := range probeRanges(windowN) {
+			want, err1 := d.EstimateRangeOver(pr[0], pr[1], w, 1.0)
+			got, err2 := rec.EstimateRangeOver(pr[0], pr[1], w, 1.0)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			bitsEqual(t, "recovered concurrent EstimateRangeOver", got, want)
+		}
 	}
 }

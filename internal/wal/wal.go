@@ -567,6 +567,24 @@ func (l *Log) Sync() error {
 	return l.err
 }
 
+// Fail poisons the log with the caller's error: every subsequent Append,
+// Sync, Rotate, and Commit fails with it, exactly as an internal IO failure
+// would. The durability layer uses it when the log durably recorded an
+// operation the engine then failed to apply — appending further records
+// would grow a history that no longer matches any engine state. An already
+// failed or nil error is ignored (first error wins, like internal failures).
+func (l *Log) Fail(err error) {
+	if err == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
 // Rotate cuts a new segment: it drains and fsyncs the current one, closes
 // it, and opens wal-<boundary>.log as the new append target, returning the
 // boundary sequence number. A following Commit may checkpoint the boundary

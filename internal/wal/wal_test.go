@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -669,5 +670,34 @@ func TestWALExists(t *testing.T) {
 	defer l.Close()
 	if !Exists(dir) {
 		t.Fatal("created log not detected")
+	}
+}
+
+// TestWALFailPoisonsLog: a caller-injected failure (Log.Fail) poisons the
+// log exactly like an internal IO error — the first error wins and every
+// later Append, Sync, and Rotate returns it.
+func TestWALFailPoisonsLog(t *testing.T) {
+	l := mustCreate(t, t.TempDir(), Options{})
+	if _, err := l.Append([]int{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("engine diverged from the log")
+	l.Fail(nil) // nil is ignored
+	if _, err := l.Append([]int{3}, nil); err != nil {
+		t.Fatalf("Append after Fail(nil) = %v, want success", err)
+	}
+	l.Fail(sentinel)
+	l.Fail(errors.New("a later failure")) // first error wins
+	if _, err := l.Append([]int{4}, nil); !errors.Is(err, sentinel) {
+		t.Fatalf("Append after Fail = %v, want the injected error", err)
+	}
+	if err := l.Sync(); !errors.Is(err, sentinel) {
+		t.Fatalf("Sync after Fail = %v, want the injected error", err)
+	}
+	if _, err := l.Rotate(); !errors.Is(err, sentinel) {
+		t.Fatalf("Rotate after Fail = %v, want the injected error", err)
+	}
+	if err := l.Close(); err == nil {
+		t.Fatal("failed log closed clean")
 	}
 }
